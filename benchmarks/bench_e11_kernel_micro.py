@@ -1,0 +1,155 @@
+"""E11 -- kernel micro-costs and recovery (paper §6, implementation).
+
+Per-primitive latency (pnew, newversion, generic/specific deref, in-place
+update, pdelete, trigger dispatch) plus WAL recovery replay time as a
+function of log length, and the checkpoint's effect on it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, persistent
+from repro.storage.wal import recover
+
+
+@persistent(name="bench.E11Obj")
+class E11Obj:
+    def __init__(self, n: int = 0) -> None:
+        self.n = n
+
+
+def test_e11_pnew(db, benchmark):
+    benchmark(lambda: db.pnew(E11Obj()))
+
+
+def test_e11_newversion(db, benchmark):
+    ref = db.pnew(E11Obj())
+    benchmark(lambda: db.newversion(ref))
+
+
+def test_e11_generic_deref(db, benchmark):
+    ref = db.pnew(E11Obj(7))
+    value = benchmark(lambda: ref.n)
+    assert value == 7
+
+
+def test_e11_specific_deref(db, benchmark):
+    ref = db.pnew(E11Obj(7))
+    pinned = ref.pin()
+    value = benchmark(lambda: pinned.n)
+    assert value == 7
+
+
+def test_e11_inplace_update(db, benchmark):
+    ref = db.pnew(E11Obj(0))
+    state = {"n": 0}
+
+    def update():
+        state["n"] += 1
+        ref.n = state["n"]
+
+    benchmark(update)
+    assert ref.n == state["n"]
+
+
+def test_e11_pdelete_version(db, benchmark):
+    ref = db.pnew(E11Obj())
+    versions = [db.newversion(ref) for _ in range(3000)]
+    state = {"i": 0}
+
+    def delete_one():
+        db.pdelete(versions[state["i"]])
+        state["i"] += 1
+
+    benchmark.pedantic(delete_one, rounds=200, iterations=1)
+
+
+def test_e11_trigger_dispatch_overhead(db, benchmark):
+    """Update latency with 50 armed (non-matching) triggers."""
+    from repro.core.identity import Oid
+
+    for i in range(50):
+        db.triggers.register(lambda e, o, v: None, events="update", oid=Oid(10**6 + i))
+    ref = db.pnew(E11Obj(0))
+    benchmark(lambda: setattr(ref, "n", 1))
+
+
+def test_e11_transaction_batching(db, benchmark):
+    """100 ops in one transaction vs. 100 autocommits: one fsync vs many."""
+    refs = [db.pnew(E11Obj(i)) for i in range(100)]
+
+    def batched():
+        with db.transaction():
+            for ref in refs:
+                ref.n = ref.n + 1
+
+    benchmark.pedantic(batched, rounds=5, iterations=1)
+    flushes = db.stats()["wal_flushes"]
+    benchmark.extra_info["wal_flushes_total"] = flushes
+
+
+@pytest.mark.parametrize("ops", [100, 1000, 5000])
+def test_e11_recovery_time_vs_log_length(tmp_path, benchmark, ops):
+    """Replay time grows with the un-checkpointed log suffix."""
+    path = tmp_path / f"e11_rec_{ops}"
+    db = Database(path, checkpoint_threshold=0)  # never auto-checkpoint
+    for i in range(ops):
+        db.pnew(E11Obj(i))
+    # Crash (no close); then measure a fresh open's recovery.
+    del db
+
+    def reopen():
+        recovered = Database(path, checkpoint_threshold=0)
+        report = recovered.last_recovery
+        recovered.close()
+        return report
+
+    report = benchmark.pedantic(reopen, rounds=1, iterations=1)
+    # First reopen replays everything; subsequent opens find a clean log,
+    # so assert on the report captured from the measured run.
+    if report is not None:
+        benchmark.extra_info["ops_replayed"] = report.ops_replayed
+        assert report.ops_replayed >= ops
+    benchmark.extra_info["ops"] = ops
+
+
+def test_e11_checkpoint_resets_recovery(tmp_path, benchmark):
+    """After a checkpoint, crash recovery has (almost) nothing to do."""
+    path = tmp_path / "e11_ckpt"
+    db = Database(path)
+    for i in range(2000):
+        db.pnew(E11Obj(i))
+    db.checkpoint()
+    db.pnew(E11Obj(-1))  # one op after the checkpoint
+    del db  # crash
+
+    def reopen():
+        recovered = Database(path)
+        report = recovered.last_recovery
+        recovered.close()
+        return report
+
+    report = benchmark.pedantic(reopen, rounds=1, iterations=1)
+    if report is not None:
+        assert report.ops_replayed < 50  # only the post-checkpoint tail
+        benchmark.extra_info["ops_replayed"] = report.ops_replayed
+
+
+def test_e11_buffer_pool_hit_ratio(tmp_path, benchmark):
+    """Hot-set reads should be nearly all pool hits."""
+    db = Database(tmp_path / "e11_pool", pool_size=64)
+    try:
+        refs = [db.pnew(E11Obj(i)) for i in range(20)]
+
+        def read_hot_set():
+            return sum(r.n for r in refs)
+
+        total = benchmark(read_hot_set)
+        assert total == sum(range(20))
+        stats = db.stats()
+        hit_ratio = stats["pool_hits"] / max(1, stats["pool_hits"] + stats["pool_misses"])
+        benchmark.extra_info["hit_ratio"] = round(hit_ratio, 4)
+        assert hit_ratio > 0.9
+    finally:
+        db.close()

@@ -1,0 +1,66 @@
+"""E1 -- paper §4 running example: the derivation figures, regenerated.
+
+The paper's "figures" are version-graph diagrams: v1 revised from v0; v2 a
+variant of v0; v3 derived from v1; the version history v3-v1-v0.  This
+bench replays the exact operation sequence, asserts the exact graph, and
+times one full replay of the scenario (the paper's whole worked example as
+a single unit of work).
+"""
+
+from __future__ import annotations
+
+from repro import Database, persistent
+
+
+@persistent(name="bench.E1Object")
+class E1Object:
+    def __init__(self, state: str) -> None:
+        self.state = state
+
+
+def run_paper_scenario(db: Database) -> dict:
+    """The §4 op sequence; returns the shape facts the figures draw."""
+    p = db.pnew(E1Object("v0"))
+    v0 = p.pin()
+    v1 = db.newversion(p)          # revision of v0
+    v1.state = "v1"
+    v2 = db.newversion(v0)         # variant of v1, from v0
+    v2.state = "v2"
+    v3 = db.newversion(v1)         # derived from v1 via its version id
+    v3.state = "v3"
+    graph = db.graph(p)
+    shape = {
+        "temporal": graph.serials(),
+        "latest": graph.latest(),
+        "alternatives": graph.alternatives(),
+        "history_v3": [h.state for h in db.history(v3)],
+        "dprev_v2": db.dprevious(v2).vid.serial,
+        "tprev_v2": db.tprevious(v2).vid.serial,
+    }
+    db.pdelete(p)
+    return shape
+
+
+def test_e1_figure_shape_and_replay_cost(db, benchmark):
+    shape = benchmark(run_paper_scenario, db)
+    # The exact figures from §4:
+    assert shape["temporal"] == [1, 2, 3, 4]
+    assert shape["latest"] == 4
+    assert shape["alternatives"] == [[1, 2, 4], [1, 3]]
+    assert shape["history_v3"] == ["v3", "v1", "v0"]
+    assert shape["dprev_v2"] == 1  # derived from v0
+    assert shape["tprev_v2"] == 2  # temporally after v1
+    benchmark.extra_info["figure"] = shape
+
+
+def test_e1_scenario_per_policy(tmp_path, benchmark):
+    """The same figure must come out under delta storage."""
+    from benchmarks.conftest import make_db
+    from repro import StoragePolicy
+
+    db = make_db(tmp_path, "e1_delta", policy=StoragePolicy(kind="delta"))
+    try:
+        shape = benchmark(run_paper_scenario, db)
+        assert shape["alternatives"] == [[1, 2, 4], [1, 3]]
+    finally:
+        db.close()

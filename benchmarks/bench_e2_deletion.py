@@ -1,0 +1,93 @@
+"""E2 -- paper §4.4 deletion semantics: graph splicing, regenerated.
+
+Replays the deletion figures: deleting an interior version re-parents its
+derivation children; deleting the latest promotes the temporally previous
+version; deleting via the object id removes every version.  Times the
+splice operation itself across history sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, persistent
+
+
+@persistent(name="bench.E2Object")
+class E2Object:
+    def __init__(self, state: str = "s") -> None:
+        self.state = state
+
+
+def test_e2_deletion_figure(db, benchmark):
+    """One full §4.4 walkthrough: interior, latest, and object deletion."""
+
+    def scenario() -> dict:
+        p = db.pnew(E2Object())
+        v0 = p.pin()
+        v1 = db.newversion(p)
+        v2 = db.newversion(v0)
+        v3 = db.newversion(v1)
+        facts = {}
+        db.pdelete(v1)  # interior: v3 re-parents to v0
+        facts["v3_parent_after"] = db.dprevious(v3).vid.serial
+        facts["count_after_interior"] = db.version_count(p)
+        db.pdelete(db.deref(db.latest_vid(p.oid)))  # latest (v3 temporally last? v3 serial 4)
+        facts["latest_after"] = db.latest_vid(p.oid).serial
+        db.pdelete(p)
+        facts["alive"] = p.is_alive()
+        return facts
+
+    facts = benchmark(scenario)
+    assert facts["v3_parent_after"] == 1
+    assert facts["count_after_interior"] == 3
+    assert facts["latest_after"] == 3  # v2 (serial 3) promoted
+    assert facts["alive"] is False
+
+
+@pytest.mark.parametrize("history", [8, 64, 256])
+def test_e2_interior_delete_cost(tmp_path, benchmark, history):
+    """Splice cost as history grows: dominated by the entry rewrite, so it
+    grows linearly with history size (full-copy payloads are untouched)."""
+    db = Database(tmp_path / f"e2_{history}")
+    try:
+        p = db.pnew(E2Object())
+        for _ in range(history):
+            db.newversion(p)
+
+        state = {"next": 2}  # delete interior serials one per round
+
+        def delete_one():
+            from repro import Vid
+
+            serial = state["next"]
+            state["next"] += 1
+            db.pdelete(Vid(p.oid, serial))
+
+        benchmark.pedantic(delete_one, rounds=min(32, history - 2), iterations=1)
+        db.graph(p).validate()
+        benchmark.extra_info["history"] = history
+    finally:
+        db.close()
+
+
+def test_e2_object_delete_scales_with_versions(tmp_path, benchmark):
+    """pdelete(object id) removes all versions in one call."""
+    db = Database(tmp_path / "e2_obj")
+    try:
+        refs = []
+        for _ in range(16):
+            p = db.pnew(E2Object())
+            for _ in range(32):
+                db.newversion(p)
+            refs.append(p)
+        state = {"i": 0}
+
+        def delete_object():
+            db.pdelete(refs[state["i"]])
+            state["i"] += 1
+
+        benchmark.pedantic(delete_object, rounds=16, iterations=1)
+        assert db.object_count() == 0
+    finally:
+        db.close()

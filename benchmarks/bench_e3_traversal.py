@@ -1,0 +1,84 @@
+"""E3 -- paper §4 traversal primitives over synthetic version trees.
+
+Measures Dprevious/Tprevious/Dnext/Tnext, history extraction, and the
+alternatives enumeration across tree sizes, and asserts the structural
+claims: leaves == up-to-date alternatives, every history ends at the root,
+and Dprevious/Tprevious genuinely differ on branchy trees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.workloads.synthetic import make_random_tree
+
+
+@pytest.fixture(scope="module", params=[10, 100, 1000])
+def tree(request, tmp_path_factory):
+    """A seeded random tree of the requested size (one per module run)."""
+    n = request.param
+    db = Database(tmp_path_factory.mktemp(f"e3_{n}") / "db")
+    ref, versions = make_random_tree(db, n, branchiness=0.3, payload_size=64, seed=7)
+    yield db, ref, versions, n
+    db.close()
+
+
+def test_e3_pointer_traversal(tree, benchmark):
+    """Dprevious/Tprevious are O(1)-ish regardless of tree size."""
+    db, ref, versions, n = tree
+    middle = versions[len(versions) // 2]
+
+    def traverse():
+        db.dprevious(middle)
+        db.tprevious(middle)
+        db.tnext(middle)
+        db.dnext(middle)
+
+    benchmark(traverse)
+    benchmark.extra_info["tree_size"] = n
+
+
+def test_e3_history_extraction(tree, benchmark):
+    db, ref, versions, n = tree
+    leaf = db.leaves(ref)[-1]
+    history = benchmark(lambda: db.history(leaf))
+    assert history[0].vid == leaf.vid
+    assert db.dprevious(history[-1]) is None  # reaches the root
+    benchmark.extra_info["tree_size"] = n
+    benchmark.extra_info["history_depth"] = len(history)
+
+
+def test_e3_alternatives_enumeration(tree, benchmark):
+    db, ref, versions, n = tree
+    paths = benchmark(lambda: db.alternatives(ref))
+    leaves = db.leaves(ref)
+    assert sorted(p[-1].vid for p in paths) == sorted(l.vid for l in leaves)
+    # Each path is a valid derivation chain.
+    graph = db.graph(ref)
+    for path in paths:
+        serials = [v.vid.serial for v in path]
+        assert graph.dprevious(serials[0]) is None
+        for parent, child in zip(serials, serials[1:]):
+            assert graph.dprevious(child) == parent
+    benchmark.extra_info["tree_size"] = n
+    benchmark.extra_info["alternatives"] = len(paths)
+
+
+def test_e3_temporal_vs_derivation_differ(tree, benchmark):
+    """On a branchy tree the two relationships disagree for most versions."""
+    db, ref, versions, n = tree
+    graph = db.graph(ref)
+
+    def count_disagreements() -> int:
+        disagree = 0
+        for serial in graph.serials():
+            if graph.dprevious(serial) != graph.tprevious(serial):
+                disagree += 1
+        return disagree
+
+    disagreements = benchmark(count_disagreements)
+    if n >= 100:
+        assert disagreements > 0  # branching makes them diverge
+    benchmark.extra_info["tree_size"] = n
+    benchmark.extra_info["disagreements"] = disagreements

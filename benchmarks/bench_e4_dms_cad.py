@@ -1,0 +1,89 @@
+"""E4 -- the paper's §5 DMS CAD walkthrough, end to end.
+
+Regenerates the whole design scenario: initial state with three
+representations over shared data objects, releases with static bindings,
+schematic revisions visible only through dynamic bindings, and a seeded
+random evolution.  The assertions are the §5 claims; the timings cover
+scenario construction and a design-iteration step.
+"""
+
+from __future__ import annotations
+
+from repro.policies.configuration import resolve
+from repro.workloads.cad import (
+    DesignEvolution,
+    build_alu_design,
+    release_representation,
+    representation_view,
+    revise_schematic,
+)
+
+
+def test_e4_initial_design_state(db, benchmark):
+    design = benchmark.pedantic(
+        lambda: build_alu_design(db, name=f"alu{db.object_count()}"),
+        rounds=5,
+        iterations=1,
+    )
+    # Three representations; composition per §5.
+    assert design.schematic_rep.components() == ["schematic"]
+    assert design.fault_rep.components() == ["commands", "schematic", "vectors"]
+    assert design.timing_rep.components() == ["commands", "schematic", "vectors"]
+    # Shared data objects: timing's schematic IS the schematic's schematic,
+    # and timing's vectors ARE the fault's vectors.
+    assert (
+        resolve(db, design.timing_rep, "schematic").oid
+        == resolve(db, design.schematic_rep, "schematic").oid
+    )
+    assert (
+        resolve(db, design.timing_rep, "vectors").oid
+        == resolve(db, design.fault_rep, "vectors").oid
+    )
+
+
+def test_e4_release_then_revise(db, benchmark):
+    """The central §5 effect: dynamic views move, released views do not."""
+    design = build_alu_design(db)
+    state = {"round": 0}
+
+    def release_and_revise():
+        release = release_representation(db, design.timing_rep)
+        revise_schematic(db, design, f"rev{state['round']}")
+        state["round"] += 1
+        return release
+
+    release = benchmark.pedantic(release_and_revise, rounds=8, iterations=1)
+    live = representation_view(db, design.timing_rep)
+    frozen = representation_view(db, release)
+    # The last revision is visible live but not in the final release
+    # (which was cut before it).
+    last_patch = f"patch_rev{state['round'] - 1}"
+    assert any(c.startswith("patch_rev") for c in live["schematic"].cells)
+    assert last_patch in live["schematic"].cells
+    assert last_patch not in frozen["schematic"].cells
+
+
+def test_e4_design_iteration_throughput(db, benchmark):
+    """One designer action (seeded mix of revise/variant/vectors/release)."""
+    design = build_alu_design(db)
+    evolution = DesignEvolution(db, design, seed=99)
+    benchmark.pedantic(evolution.step, rounds=60, iterations=1)
+    log = evolution.log
+    assert log.revisions + log.variants + log.releases + log.vector_updates == 60
+    for obj in design.data_objects():
+        db.graph(obj).validate()
+    benchmark.extra_info["actions"] = {
+        "revisions": log.revisions,
+        "variants": log.variants,
+        "releases": log.releases,
+        "vector_updates": log.vector_updates,
+    }
+
+
+def test_e4_representation_materialization(db, benchmark):
+    design = build_alu_design(db)
+    for i in range(10):
+        revise_schematic(db, design, f"r{i}")
+    view = benchmark(lambda: representation_view(db, design.timing_rep))
+    assert set(view) == {"schematic", "vectors", "commands"}
+    assert "patch_r9" in view["schematic"].cells

@@ -1,0 +1,107 @@
+"""E6 -- version orthogonality (paper §3) vs. ORION declaration and IRIS
+transformation.
+
+The paper's claim: in Ode, versioning an object that was never "meant" to
+be versioned costs exactly one ``newversion`` -- no type change, no
+transformation, no extent migration.  ORION must migrate the whole class
+extent when versionability is retrofitted; IRIS must run a per-object
+transformation proportional to the object's size (plus reference
+rewriting).
+
+Expected shape: Ode flat in both extent size and object size; ORION linear
+in extent; IRIS linear in object size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import persistent
+from repro.baselines.iris import IrisStore
+from repro.baselines.orion import OrionStore
+
+
+@persistent(name="bench.E6Part")
+class E6Part:
+    def __init__(self, payload: str) -> None:
+        self.payload = payload
+
+
+def test_e6_ode_first_version_is_free(db, benchmark):
+    """Versioning a 'plain' Ode object: one newversion, nothing else."""
+    refs = [db.pnew(E6Part("x" * 100)) for _ in range(200)]
+    state = {"i": 0}
+
+    def version_one():
+        ref = refs[state["i"] % len(refs)]
+        state["i"] += 1
+        return db.newversion(ref)
+
+    benchmark.pedantic(version_one, rounds=50, iterations=1)
+    # No other object gained versions.
+    untouched = [r for r in refs if db.version_count(r) == 1]
+    assert len(untouched) == len(refs) - 50
+
+
+@pytest.mark.parametrize("extent", [100, 1000, 10000])
+def test_e6_orion_extent_migration(benchmark, extent):
+    """ORION: retrofitting versionability migrates the WHOLE extent."""
+    store = OrionStore()
+    for i in range(extent):
+        store.create("Late", {"i": i, "pad": "x" * 50})
+
+    migrated = benchmark.pedantic(
+        lambda: store.make_versionable("Late"), rounds=1, iterations=1
+    )
+    assert migrated == extent
+    benchmark.extra_info["extent"] = extent
+    benchmark.extra_info["migration_bytes"] = store.migration_bytes
+    # Shape: cost proportional to extent.
+    assert store.migration_bytes >= extent * 50
+
+
+@pytest.mark.parametrize("object_size", [100, 10000, 100000])
+def test_e6_iris_transformation_cost(benchmark, object_size):
+    """IRIS: the transformation copies the object's state."""
+    store = IrisStore()
+    oids = [
+        store.create({"pad": "x" * object_size}) for _ in range(20)
+    ]
+    state = {"i": 0}
+
+    def transform_one():
+        store.transform_to_versioned(oids[state["i"]])
+        state["i"] += 1
+
+    benchmark.pedantic(transform_one, rounds=20, iterations=1)
+    benchmark.extra_info["object_size"] = object_size
+    benchmark.extra_info["transform_bytes"] = store.transform_bytes
+    assert store.transform_bytes >= 20 * object_size
+
+
+def test_e6_iris_reference_rewrites(benchmark):
+    """IRIS transformation also pays per inbound reference."""
+    store = IrisStore()
+    target = store.create({"v": 1})
+    for _ in range(500):
+        store.create({"ref": target}, references=[target])
+
+    benchmark.pedantic(
+        lambda: store.transform_to_versioned(target), rounds=1, iterations=1
+    )
+    assert store.references_rewritten == 500
+
+
+def test_e6_ode_cost_independent_of_extent(tmp_path, benchmark):
+    """Ode's newversion cost does not grow with how many objects exist."""
+    from repro import Database
+
+    db = Database(tmp_path / "e6_big")
+    try:
+        for i in range(2000):
+            db.pnew(E6Part(f"other{i}"))
+        victim = db.pnew(E6Part("the-one"))
+        benchmark.pedantic(lambda: db.newversion(victim), rounds=20, iterations=1)
+        assert db.version_count(victim) == 21
+    finally:
+        db.close()

@@ -1,0 +1,113 @@
+"""E7 -- generic vs. specific dereference (paper §3/§4) vs. ENCORE.
+
+The paper's design makes an object id *logically denote* the latest
+version with no generic header object: generic deref is one object-table
+lookup more than specific deref, and neither depends on history depth.
+ENCORE resolves through a Version-Set object -- a real extra indirection.
+
+Also regenerates the §3 address-book behaviour as a throughput test:
+reading current addresses through generic references after every person
+moved many times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, persistent
+from repro.baselines.encore import EncoreStore, HistoryBearingEntity
+from repro.storage.serialization import register_type
+from repro.workloads.history import build_address_book, current_addresses
+
+
+@persistent(name="bench.E7Part")
+class E7Part:
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+
+@register_type
+class E7Design(HistoryBearingEntity):
+    def __init__(self, value: int) -> None:
+        super().__init__()
+        self.value = value
+
+
+def _grow_history(db, ref, depth: int) -> None:
+    for i in range(depth):
+        v = db.newversion(ref)
+        v.value = i
+
+
+@pytest.mark.parametrize("depth", [1, 100, 1000])
+def test_e7_generic_deref(tmp_path, benchmark, depth):
+    """Generic deref latency must be flat in history depth."""
+    db = Database(tmp_path / f"e7_g{depth}")
+    try:
+        ref = db.pnew(E7Part(0))
+        _grow_history(db, ref, depth)
+        value = benchmark(lambda: ref.value)
+        assert value == depth - 1 if depth else 0
+        benchmark.extra_info["depth"] = depth
+    finally:
+        db.close()
+
+
+@pytest.mark.parametrize("depth", [1, 100, 1000])
+def test_e7_specific_deref(tmp_path, benchmark, depth):
+    """Specific deref: same flatness, one table lookup fewer."""
+    db = Database(tmp_path / f"e7_s{depth}")
+    try:
+        ref = db.pnew(E7Part(0))
+        _grow_history(db, ref, depth)
+        pinned = db.versions(ref)[len(db.versions(ref)) // 2]
+        expected = pinned.value
+        value = benchmark(lambda: pinned.value)
+        assert value == expected
+        benchmark.extra_info["depth"] = depth
+    finally:
+        db.close()
+
+
+@pytest.mark.parametrize("depth", [1, 100, 1000])
+def test_e7_encore_generic_deref(benchmark, depth):
+    """ENCORE: object -> version-set -> default version (extra hop)."""
+    store = EncoreStore()
+    oid = store.create(E7Design(0))
+    for _ in range(depth):
+        store.new_version(oid)
+    obj = benchmark(lambda: store.deref_generic(oid))
+    assert obj.value == 0
+    benchmark.extra_info["depth"] = depth
+
+
+def test_e7_latest_vid_is_o1(tmp_path, benchmark):
+    """The binding step itself (oid -> latest vid): a dict lookup."""
+    db = Database(tmp_path / "e7_bind")
+    try:
+        ref = db.pnew(E7Part(0))
+        _grow_history(db, ref, 500)
+        vid = benchmark(lambda: db.latest_vid(ref.oid))
+        assert vid.serial == 501
+    finally:
+        db.close()
+
+
+def test_e7_address_book_current_reads(db, benchmark):
+    """§3's example: the book always reads current addresses, no updates to
+    the book itself ever needed."""
+    scenario = build_address_book(db, n_people=20, moves_per_person=10, seed=3)
+    addresses = benchmark(lambda: current_addresses(db, scenario.book))
+    assert len(addresses) == 20
+    # Every address is each person's LATEST (move 9 was last).
+    assert all("Move9" in addr for addr in addresses.values())
+
+
+def test_e7_pinned_reads_unaffected_by_later_versions(db, benchmark):
+    """Static binding: reading a pinned version costs the same no matter how
+    much history accumulated after it."""
+    ref = db.pnew(E7Part(7))
+    pinned = ref.pin()
+    _grow_history(db, ref, 300)
+    value = benchmark(lambda: pinned.value)
+    assert value == 7

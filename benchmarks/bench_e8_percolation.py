@@ -1,0 +1,129 @@
+"""E8 -- small changes, small impact (paper §3): percolation fan-out.
+
+The paper excludes percolation from the kernel "because creating a new
+version can lead to the automatic creation of a large number of versions
+of other objects".  This experiment quantifies exactly that: versions
+created per update with the percolation policy on vs. off, sweeping
+composite depth and fan-in.
+
+Expected shape: kernel-off is constant at 1 regardless of the composite;
+policy-on grows with composite size (multiplicatively with depth x fan).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, persistent
+from repro.policies.percolation import CompositeRegistry, percolate
+
+
+@persistent(name="bench.E8Component")
+class E8Component:
+    def __init__(self, name: str, children=None) -> None:
+        self.name = name
+        self.children = children or []
+
+
+def build_composite_tree(db, depth: int, fan: int):
+    """A composite tree: each node references ``fan`` children, ``depth``
+    levels deep.  Returns (leaf at the bottom, registry, all nodes)."""
+    registry = CompositeRegistry()
+    nodes = []
+
+    def build(level: int):
+        if level == 0:
+            node = db.pnew(E8Component(f"leaf{len(nodes)}"))
+            nodes.append(node)
+            return node
+        children = [build(level - 1) for _ in range(fan)]
+        node = db.pnew(
+            E8Component(f"n{level}_{len(nodes)}", [c.oid for c in children])
+        )
+        for child in children:
+            registry.link(node, child)
+        nodes.append(node)
+        return node
+
+    root = build(depth)
+    # the "hot" leaf: the first leaf created
+    leaf = nodes[0]
+    return leaf, root, registry, nodes
+
+
+@pytest.mark.parametrize("depth,fan", [(1, 2), (2, 2), (3, 2), (2, 4)])
+def test_e8_fan_out_with_policy(tmp_path, benchmark, depth, fan):
+    db = Database(tmp_path / f"e8_{depth}_{fan}")
+    try:
+        leaf, root, registry, nodes = build_composite_tree(db, depth, fan)
+
+        def update_with_percolation():
+            return percolate(db, db.newversion(leaf), registry=registry)
+
+        result = benchmark.pedantic(update_with_percolation, rounds=5, iterations=1)
+        benchmark.extra_info["depth"] = depth
+        benchmark.extra_info["fan"] = fan
+        benchmark.extra_info["fan_out"] = result.fan_out
+        # Fan-out equals the leaf's ancestor chain length (one parent per
+        # level in this tree shape).
+        assert result.fan_out == depth
+    finally:
+        db.close()
+
+
+@pytest.mark.parametrize("depth,fan", [(3, 2), (2, 4)])
+def test_e8_kernel_default_stays_flat(tmp_path, benchmark, depth, fan):
+    """Without the policy, one newversion creates exactly one version."""
+    db = Database(tmp_path / f"e8_off_{depth}_{fan}")
+    try:
+        leaf, root, registry, nodes = build_composite_tree(db, depth, fan)
+        totals_before = sum(db.version_count(n) for n in nodes)
+
+        benchmark.pedantic(lambda: db.newversion(leaf), rounds=5, iterations=1)
+
+        totals_after = sum(db.version_count(n) for n in nodes)
+        assert totals_after - totals_before == 5  # exactly the 5 newversions
+        benchmark.extra_info["depth"] = depth
+        benchmark.extra_info["fan"] = fan
+    finally:
+        db.close()
+
+
+def test_e8_shared_component_amplification(tmp_path, benchmark):
+    """Many parents sharing one component: the paper's worst case."""
+    db = Database(tmp_path / "e8_shared")
+    try:
+        shared = db.pnew(E8Component("shared"))
+        registry = CompositeRegistry()
+        parents = []
+        for i in range(32):
+            parent = db.pnew(E8Component(f"user{i}", [shared.oid]))
+            registry.link(parent, shared)
+            parents.append(parent)
+
+        result = benchmark.pedantic(
+            lambda: percolate(db, db.newversion(shared), registry=registry),
+            rounds=3,
+            iterations=1,
+        )
+        assert result.fan_out == 32
+        benchmark.extra_info["parents"] = 32
+        benchmark.extra_info["fan_out"] = result.fan_out
+    finally:
+        db.close()
+
+
+def test_e8_max_depth_caps_the_damage(tmp_path, benchmark):
+    db = Database(tmp_path / "e8_capped")
+    try:
+        leaf, root, registry, nodes = build_composite_tree(db, 3, 2)
+        result = benchmark.pedantic(
+            lambda: percolate(
+                db, db.newversion(leaf), registry=registry, max_depth=1
+            ),
+            rounds=5,
+            iterations=1,
+        )
+        assert result.fan_out == 1
+    finally:
+        db.close()

@@ -1,0 +1,119 @@
+"""E9 -- tree histories vs. linear histories (paper §3/§7).
+
+"Some current versioning proposals (GemStone and POSTGRES, for example)
+constrain the version relationship of an object to be linear, which is
+inadequate for design databases."  Two halves:
+
+* correctness: the linear model cannot create a variant at all (it raises),
+  while Ode's kernel creates it with one call;
+* cost of the workaround: the linear user must copy the old version into a
+  brand-new object, paying bytes proportional to object size and losing
+  shared identity/history, sweeping the branching factor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, persistent
+from repro.baselines.linear import LinearityError, LinearStore
+
+
+@persistent(name="bench.E9Design")
+class E9Design:
+    def __init__(self, payload: str) -> None:
+        self.payload = payload
+
+
+def test_e9_linear_cannot_branch(benchmark):
+    """The correctness half: branching raises, every time."""
+    store = LinearStore()
+    oid = store.create({"payload": "x" * 100})
+    store.new_version(oid)
+    store.new_version(oid)
+
+    def try_branch() -> bool:
+        try:
+            store.new_version(oid, base=0)
+            return False
+        except LinearityError:
+            return True
+
+    refused = benchmark(try_branch)
+    assert refused is True
+
+
+@pytest.mark.parametrize("branches", [1, 4, 8])
+def test_e9_ode_variant_creation(tmp_path, benchmark, branches):
+    """Ode: N variants from the same base version, one call each."""
+    db = Database(tmp_path / f"e9_ode_{branches}")
+    try:
+        ref = db.pnew(E9Design("x" * 2000))
+        base = ref.pin()
+        for _ in range(4):
+            db.newversion(ref)  # some mainline history first
+
+        def make_variants():
+            return [db.newversion(base) for _ in range(branches)]
+
+        variants = benchmark.pedantic(make_variants, rounds=3, iterations=1)
+        for v in variants:
+            assert db.dprevious(v).vid == base.vid
+        # Shared identity: all variants belong to the same object.
+        assert all(v.oid == ref.oid for v in variants)
+        benchmark.extra_info["branches"] = branches
+    finally:
+        db.close()
+
+
+@pytest.mark.parametrize("branches", [1, 4, 8])
+def test_e9_linear_branch_by_copy(benchmark, branches):
+    """Linear workaround: copy the whole object per branch."""
+    store = LinearStore()
+    oid = store.create({"payload": "x" * 2000})
+    for _ in range(4):
+        store.new_version(oid)
+
+    def make_branches():
+        return [store.branch_by_copy(oid, 0) for _ in range(branches)]
+
+    clones = benchmark.pedantic(make_branches, rounds=3, iterations=1)
+    # Identity severed: all clones are DIFFERENT objects with 1-entry history.
+    assert len(set(clones)) == branches
+    for clone in clones:
+        assert store.version_count(clone) == 1
+    benchmark.extra_info["branches"] = branches
+    benchmark.extra_info["bytes_copied"] = store.branch_copy_bytes
+
+
+def test_e9_history_queries_linear_vs_tree(tmp_path, benchmark):
+    """After branching, only the tree model can answer 'what are the
+    alternatives of this design?' -- the linear clones are unfindable."""
+    db = Database(tmp_path / "e9_altq")
+    try:
+        ref = db.pnew(E9Design("base"))
+        base = ref.pin()
+        for i in range(6):
+            v = db.newversion(base)
+            v.payload = f"alt{i}"
+
+        alternatives = benchmark(lambda: db.alternatives(ref))
+        assert len(alternatives) == 6
+        leaves = {a[-1].payload for a in alternatives}
+        assert leaves == {f"alt{i}" for i in range(6)}
+    finally:
+        db.close()
+
+
+def test_e9_linear_wins_nothing_on_pure_chains(tmp_path, benchmark):
+    """Fairness check: for purely linear histories both models are fine --
+    the paper's claim is about expressiveness, not chain speed."""
+    db = Database(tmp_path / "e9_chain")
+    try:
+        ref = db.pnew(E9Design("chain"))
+
+        benchmark.pedantic(lambda: db.newversion(ref), rounds=20, iterations=1)
+        assert db.version_count(ref) == 21
+        assert len(db.leaves(ref)) == 1
+    finally:
+        db.close()

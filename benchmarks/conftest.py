@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the experiment harness.
+
+Each ``bench_eN_*.py`` file regenerates one experiment from DESIGN.md §5.
+Timings go through pytest-benchmark; the *shape* claims (who wins, what
+grows, what stays flat) are asserted on deterministic proxies -- operation
+counts, byte counts, version counts -- so the harness doubles as a
+correctness gate.  ``benchmark.extra_info`` carries the measured series
+that EXPERIMENTS.md reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, StoragePolicy
+
+
+@pytest.fixture
+def db(tmp_path) -> Database:
+    """A fresh full-copy database."""
+    database = Database(tmp_path / "bench_db")
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def delta_db(tmp_path) -> Database:
+    """A fresh delta-storage database."""
+    database = Database(
+        tmp_path / "bench_delta", policy=StoragePolicy(kind="delta", keyframe_interval=16)
+    )
+    yield database
+    database.close()
+
+
+def make_db(tmp_path, name: str, **kwargs) -> Database:
+    """An extra database when a bench needs several configurations."""
+    return Database(tmp_path / name, **kwargs)

@@ -1,0 +1,73 @@
+"""ode-py: a reproduction of *Object Versioning in Ode* (ICDE 1991).
+
+R. Agrawal, S. J. Buroff, N. H. Gehani, D. Shasha.  The paper integrates
+object versioning into the O++ database programming language with a
+minimal set of primitives: version orthogonality, generic references
+(object ids denoting the latest version) vs. specific references (version
+ids), automatically maintained temporal and derived-from relationships,
+``pnew`` / ``newversion`` / ``pdelete``, and pointer-transparent version
+handles.  Everything else -- configurations, contexts, change
+notification, percolation -- is a *policy* users build from the
+primitives, and this package ships those policies too, plus faithful
+reimplementations of the related-work version models the paper compares
+against (ORION, IRIS, GemStone/POSTGRES-style linear histories, ENCORE).
+
+Quickstart::
+
+    from repro import Database, persistent
+
+    @persistent
+    class Part:
+        def __init__(self, name, weight):
+            self.name = name
+            self.weight = weight
+
+    with Database("/tmp/parts.ode") as db:
+        p = db.pnew(Part("bracket", 12))     # generic reference
+        v0 = p.pin()                          # specific reference
+        v1 = db.newversion(p)                 # derived from latest
+        v1.weight = 11                        # update the new version
+        assert p.weight == 11                 # generic ref reads latest
+        assert v0.weight == 12                # specific ref is pinned
+"""
+
+from repro.core import (
+    Database,
+    attr_between,
+    attr_equals,
+    Oid,
+    PersistentObject,
+    Query,
+    Ref,
+    StoragePolicy,
+    Transaction,
+    Trigger,
+    TriggerManager,
+    VersionGraph,
+    VersionRef,
+    Vid,
+    persistent,
+)
+from repro.errors import OdeError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "attr_between",
+    "attr_equals",
+    "Oid",
+    "PersistentObject",
+    "Query",
+    "Ref",
+    "StoragePolicy",
+    "Transaction",
+    "Trigger",
+    "TriggerManager",
+    "VersionGraph",
+    "VersionRef",
+    "Vid",
+    "persistent",
+    "OdeError",
+    "__version__",
+]

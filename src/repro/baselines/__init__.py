@@ -1,0 +1,44 @@
+"""Related-work version models the paper compares against (paper §7).
+
+Semantic reimplementations -- the comparisons the paper draws are about
+model behaviour (declared versionability, transformation procedures,
+linear histories, type-based version sets), which these reproduce exactly;
+all use the same codec as the kernel so benchmark differences reflect the
+models, not serialization.
+"""
+
+from repro.baselines.encore import EncoreStore, HistoryBearingEntity, VersionSet
+from repro.baselines.iris import IrisObject, IrisStore, IrisVersion
+from repro.baselines.linear import LinearityError, LinearObject, LinearStore
+from repro.baselines.orion import (
+    GenericHeader,
+    OrionStore,
+    OrionVersion,
+    PRIVATE,
+    PROJECT,
+    PUBLIC,
+    RELEASED,
+    TRANSIENT,
+    WORKING,
+)
+
+__all__ = [
+    "EncoreStore",
+    "HistoryBearingEntity",
+    "VersionSet",
+    "IrisObject",
+    "IrisStore",
+    "IrisVersion",
+    "LinearityError",
+    "LinearObject",
+    "LinearStore",
+    "GenericHeader",
+    "OrionStore",
+    "OrionVersion",
+    "PRIVATE",
+    "PROJECT",
+    "PUBLIC",
+    "RELEASED",
+    "TRANSIENT",
+    "WORKING",
+]

@@ -1,0 +1,173 @@
+"""ENCORE's version model (Hornick & Zdonik [19]), as the paper describes it.
+
+Paper §7: "Version control in ENCORE is realized by introducing two new
+types: History-Bearing-Entity (HBE) and Version-Set.  To create a
+versioned object, its corresponding type must inherit the properties
+defined by these two types.  Properties defined by HBE include
+next-version and previous-version.  Version-Set is used to collect all of
+the versions of an object.  It provides an insert operation that allows
+new versions to be added at the end of a version sequence or as an
+alternative to an existing version."
+
+Points of contrast with Ode that the experiments exercise:
+
+* versionability comes from **type inheritance** (like ORION's
+  declaration, unlike Ode's orthogonality) -- a type that does not inherit
+  :class:`HistoryBearingEntity` cannot be versioned;
+* generic access goes through the **Version-Set object** (one more
+  indirection than Ode's object table, measured by experiment E7);
+* the derivation structure is expressed through HBE's
+  next-version/previous-version properties and Version-Set's positional
+  insert.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.errors import BaselineError
+from repro.storage import serialization
+
+
+class HistoryBearingEntity:
+    """The HBE mixin: next-version / previous-version properties.
+
+    User types must inherit this (plus have their instances collected in a
+    :class:`VersionSet`) to be versionable in the ENCORE model.
+    """
+
+    def __init__(self) -> None:
+        self.previous_version: int | None = None
+        self.next_versions: list[int] = []
+
+
+class VersionSet:
+    """Collects all the versions of one object.
+
+    Versions are payload snapshots with HBE linkage.  ``insert`` appends at
+    the end of the version sequence or as an alternative to an existing
+    version, per the ENCORE description.
+    """
+
+    def __init__(self, set_id: int, type_name: str) -> None:
+        self.set_id = set_id
+        self.type_name = type_name
+        self._payloads: dict[int, bytes] = {}
+        self._previous: dict[int, int | None] = {}
+        self._next: dict[int, list[int]] = {}
+        self._sequence: list[int] = []  # insertion order == version sequence
+        self._ids = itertools.count(1)
+        self.default_version: int | None = None
+
+    def insert(self, obj: Any, alternative_to: int | None = None) -> int:
+        """Insert a version at the end of the sequence, or as an alternative.
+
+        ``alternative_to=None`` chains from the current end of the
+        sequence; otherwise the new version is an alternative derived from
+        the named version.
+        """
+        number = next(self._ids)
+        if alternative_to is None:
+            previous = self._sequence[-1] if self._sequence else None
+        else:
+            if alternative_to not in self._payloads:
+                raise BaselineError(
+                    f"no version {alternative_to} in version set {self.set_id}"
+                )
+            previous = alternative_to
+        self._payloads[number] = serialization.encode(obj)
+        self._previous[number] = previous
+        self._next[number] = []
+        if previous is not None:
+            self._next[previous].append(number)
+        self._sequence.append(number)
+        self.default_version = number
+        return number
+
+    def versions(self) -> list[int]:
+        """Version numbers in sequence order."""
+        return list(self._sequence)
+
+    def previous_of(self, number: int) -> int | None:
+        """HBE previous-version property."""
+        self._require(number)
+        return self._previous[number]
+
+    def next_of(self, number: int) -> list[int]:
+        """HBE next-version property."""
+        self._require(number)
+        return list(self._next[number])
+
+    def materialize(self, number: int) -> Any:
+        """Decode a fresh copy of one version."""
+        self._require(number)
+        return serialization.decode(self._payloads[number])
+
+    def update(self, number: int, obj: Any) -> None:
+        """Replace one version's state."""
+        self._require(number)
+        self._payloads[number] = serialization.encode(obj)
+
+    def _require(self, number: int) -> None:
+        if number not in self._payloads:
+            raise BaselineError(f"no version {number} in version set {self.set_id}")
+
+
+class EncoreStore:
+    """ENCORE-style store: versioning through HBE + Version-Set types."""
+
+    def __init__(self) -> None:
+        self._sets: dict[int, VersionSet] = {}
+        # object id -> version-set id: the extra indirection generic
+        # dereference pays in this model (experiment E7).
+        self._set_of_object: dict[int, int] = {}
+        self._ids = itertools.count(1)
+
+    def create(self, obj: Any) -> int:
+        """Create a versioned object (its type must inherit HBE).
+
+        Returns the object id; the first version is inserted into a fresh
+        version set.
+        """
+        if not isinstance(obj, HistoryBearingEntity):
+            raise BaselineError(
+                f"{type(obj).__qualname__} does not inherit HistoryBearingEntity; "
+                "ENCORE types must inherit HBE + Version-Set properties"
+            )
+        object_id = next(self._ids)
+        set_id = next(self._ids)
+        vset = VersionSet(set_id, type(obj).__qualname__)
+        vset.insert(obj)
+        self._sets[set_id] = vset
+        self._set_of_object[object_id] = set_id
+        return object_id
+
+    def version_set(self, object_id: int) -> VersionSet:
+        """The object's version set (the indirection step)."""
+        try:
+            return self._sets[self._set_of_object[object_id]]
+        except KeyError:
+            raise BaselineError(f"no object {object_id}") from None
+
+    def deref_generic(self, object_id: int) -> Any:
+        """Generic dereference: object -> version set -> default version."""
+        vset = self.version_set(object_id)
+        if vset.default_version is None:
+            raise BaselineError(f"object {object_id} has no versions")
+        return vset.materialize(vset.default_version)
+
+    def deref_specific(self, object_id: int, number: int) -> Any:
+        """Specific dereference: still resolves through the version set."""
+        return self.version_set(object_id).materialize(number)
+
+    def new_version(self, object_id: int, alternative_to: int | None = None) -> int:
+        """Insert a new version (sequence end, or alternative to one)."""
+        vset = self.version_set(object_id)
+        base_number = (
+            alternative_to if alternative_to is not None else vset.default_version
+        )
+        if base_number is None:
+            raise BaselineError(f"object {object_id} has no versions")
+        base = vset.materialize(base_number)
+        return vset.insert(base, alternative_to=alternative_to)

@@ -1,0 +1,133 @@
+"""Linear version histories (GemStone [14] / POSTGRES [29] style).
+
+Paper §3: "Some current versioning proposals (GemStone [14] and POSTGRES
+[29], for example) constrain the version relationship of an object to be
+linear, which is inadequate for design databases."  Paper §7: they
+"allow versioning of objects to capture the history of database states.
+The version relationship of an object is constrained to be linear."
+
+This baseline enforces exactly that constraint so experiment E9 can show
+both halves of the paper's claim:
+
+* **correctness**: deriving a variant from a non-latest version raises
+  :class:`LinearityError` in strict mode -- the model simply cannot
+  represent design alternatives;
+* **cost of the workaround**: ``branch_by_copy`` emulates what a linear
+  system's user must do instead -- copy the old version's state into a
+  brand-new object, losing shared identity and history.
+
+It is good at what it was built for -- historical databases -- so it also
+serves as the comparison substrate in the historical-query experiment
+(E12): ``as_of`` reads the state at a past position of the linear chain.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import BaselineError
+from repro.storage import serialization
+
+
+class LinearityError(BaselineError):
+    """The linear model cannot represent the requested branching."""
+
+
+@dataclass
+class LinearObject:
+    """An object with a strictly linear chain of versions."""
+
+    object_id: int
+    chain: list[bytes] = field(default_factory=list)  # index == version number
+
+
+class LinearStore:
+    """A versioned store whose histories are constrained to be linear."""
+
+    def __init__(self) -> None:
+        self._objects: dict[int, LinearObject] = {}
+        self._ids = itertools.count(1)
+        #: Bytes copied by branch_by_copy workarounds (experiment E9).
+        self.branch_copy_bytes = 0
+
+    def create(self, obj: Any) -> int:
+        """Create an object with one initial version."""
+        object_id = next(self._ids)
+        record = LinearObject(object_id)
+        record.chain.append(serialization.encode(obj))
+        self._objects[object_id] = record
+        return object_id
+
+    def _object(self, object_id: int) -> LinearObject:
+        try:
+            return self._objects[object_id]
+        except KeyError:
+            raise BaselineError(f"no object {object_id}") from None
+
+    def new_version(self, object_id: int, base: int | None = None) -> int:
+        """Append a version to the chain.
+
+        ``base`` may name only the latest version; anything older raises
+        :class:`LinearityError` -- the defining restriction of the model.
+        Returns the new version's index.
+        """
+        record = self._object(object_id)
+        latest = len(record.chain) - 1
+        if base is not None and base != latest:
+            raise LinearityError(
+                f"linear history: cannot derive from version {base}, "
+                f"only from the latest ({latest})"
+            )
+        record.chain.append(bytes(record.chain[latest]))
+        return latest + 1
+
+    def branch_by_copy(self, object_id: int, base: int) -> int:
+        """The linear user's variant workaround: copy into a new object.
+
+        Copies version ``base`` of the object into a brand-new object with
+        a fresh identity and a one-entry history.  The copy severs shared
+        identity: the variant no longer tracks -- or is reachable from --
+        the original (the cost E9 quantifies alongside the byte copying).
+        """
+        record = self._object(object_id)
+        try:
+            payload = record.chain[base]
+        except IndexError:
+            raise BaselineError(f"no version {base} of object {object_id}") from None
+        self.branch_copy_bytes += len(payload)
+        new_id = next(self._ids)
+        clone = LinearObject(new_id)
+        clone.chain.append(bytes(payload))
+        self._objects[new_id] = clone
+        return new_id
+
+    def update(self, object_id: int, obj: Any, version: int | None = None) -> None:
+        """Mutate a version (the latest by default)."""
+        record = self._object(object_id)
+        if version is None:
+            version = len(record.chain) - 1
+        try:
+            record.chain[version]
+        except IndexError:
+            raise BaselineError(f"no version {version} of object {object_id}") from None
+        record.chain[version] = serialization.encode(obj)
+
+    def deref(self, object_id: int) -> Any:
+        """Read the latest version."""
+        record = self._object(object_id)
+        return serialization.decode(record.chain[-1])
+
+    def as_of(self, object_id: int, version: int) -> Any:
+        """Historical read: the state as of chain position ``version``."""
+        record = self._object(object_id)
+        try:
+            payload = record.chain[version]
+        except IndexError:
+            raise BaselineError(f"no version {version} of object {object_id}") from None
+        return serialization.decode(payload)
+
+    def version_count(self, object_id: int) -> int:
+        """Length of the object's chain."""
+        return len(self._object(object_id).chain)

@@ -1,0 +1,58 @@
+"""The versioning kernel: the paper's primary contribution.
+
+Object ids and version ids, the version graph (temporal chain +
+derived-from tree), the version store (``pnew`` / ``newversion`` /
+``pdelete``), pointer-semantics references, transactions, triggers,
+clusters, and the database facade tying it together.
+"""
+
+from repro.core.database import Database
+from repro.core.identity import Oid, Vid
+from repro.core.indexes import (
+    AttrEquals,
+    AttrRange,
+    HashIndex,
+    IndexManager,
+    OrderedIndex,
+    attr_between,
+    attr_equals,
+)
+from repro.core.persistent import PersistentObject, persistent
+from repro.core.pointers import Ref, VersionRef, unwrap_ids, wrap_ids
+from repro.core.query import Query
+from repro.core.store import StoragePolicy, VersionStore
+from repro.core.transactions import EXCLUSIVE, SHARED, LockManager, Transaction
+from repro.core.triggers import ONCE, PERPETUAL, Trigger, TriggerManager
+from repro.core.vgraph import VersionGraph, VersionNode
+
+__all__ = [
+    "Database",
+    "AttrEquals",
+    "AttrRange",
+    "HashIndex",
+    "IndexManager",
+    "OrderedIndex",
+    "attr_between",
+    "attr_equals",
+    "Oid",
+    "Vid",
+    "PersistentObject",
+    "persistent",
+    "Ref",
+    "VersionRef",
+    "unwrap_ids",
+    "wrap_ids",
+    "Query",
+    "StoragePolicy",
+    "VersionStore",
+    "EXCLUSIVE",
+    "SHARED",
+    "LockManager",
+    "Transaction",
+    "ONCE",
+    "PERPETUAL",
+    "Trigger",
+    "TriggerManager",
+    "VersionGraph",
+    "VersionNode",
+]

@@ -1,0 +1,494 @@
+"""The Ode database facade: the public entry point of the reproduction.
+
+A :class:`Database` is a directory holding a data file and a write-ahead
+log.  It assembles the whole stack -- disk manager, buffer pool, WAL,
+catalog, version store, lock manager, trigger manager -- and exposes the
+paper's programming surface:
+
+* ``pnew(obj)`` -> generic :class:`~repro.core.pointers.Ref`
+* ``newversion(ref | vref)`` -> specific :class:`~repro.core.pointers.VersionRef`
+* ``pdelete(ref | vref)``
+* traversal: ``dprevious``, ``dnext``, ``tprevious``, ``tnext``,
+  ``history``, ``versions``, ``leaves``, ``alternatives``
+* clusters and ``query(...).suchthat(...)`` iteration
+* triggers via :attr:`Database.triggers`
+* transactions: ``with db.transaction(): ...`` (atomic, durable); every
+  operation outside an explicit transaction autocommits.
+
+Opening a database replays the WAL (redo committed work, undo losers),
+then checkpoints, so a process crash never loses acknowledged commits --
+the property the paper's persistence model promises ("such objects
+automatically persist across program invocations", §2).
+
+References returned by a Database are bound to it, so attribute writes
+through them are transactional and locked like any other mutation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.errors import TransactionStateError
+from repro.core.identity import Oid, Vid
+from repro.core.indexes import HashIndex, IndexManager, OrderedIndex
+from repro.core.pointers import Ref, VersionRef
+from repro.core.query import Query
+from repro.core.store import StoragePolicy, VersionStore
+from repro.core.transactions import EXCLUSIVE, SHARED, LockManager, Transaction
+from repro.core.triggers import TriggerManager
+from repro.core.vgraph import VersionGraph
+from repro.storage.buffer import BufferPool
+from repro.storage.catalog import Catalog
+from repro.storage.disk import DiskManager
+from repro.storage.heap import HeapFile
+from repro.storage.wal import LogManager, RecoveryReport, recover
+
+_DATA_FILE = "data.odb"
+_WAL_FILE = "wal.log"
+
+#: Default WAL size (bytes) that triggers an automatic checkpoint at commit.
+DEFAULT_CHECKPOINT_THRESHOLD = 8 * 1024 * 1024
+
+
+class Database:
+    """An Ode-style versioned object database in a directory.
+
+    Parameters
+    ----------
+    path:
+        Directory for the database files (created if missing).
+    policy:
+        Version payload storage policy (full copies or derived-from
+        deltas); see :class:`~repro.core.store.StoragePolicy`.
+    pool_size:
+        Buffer pool capacity in pages.
+    lock_timeout:
+        Seconds a transaction waits for a lock before aborting
+        (deadlock resolution).
+    checkpoint_threshold:
+        WAL bytes after which a commit triggers an automatic checkpoint
+        (0 disables automatic checkpoints).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        policy: StoragePolicy | None = None,
+        pool_size: int = 256,
+        lock_timeout: float = 2.0,
+        checkpoint_threshold: int = DEFAULT_CHECKPOINT_THRESHOLD,
+    ) -> None:
+        self._path = os.fspath(path)
+        os.makedirs(self._path, exist_ok=True)
+        self._disk = DiskManager(os.path.join(self._path, _DATA_FILE))
+        self._log = LogManager(os.path.join(self._path, _WAL_FILE))
+        self._pool = BufferPool(self._disk, pool_size)
+        self._pool.before_write = self._log.flush  # write-ahead rule
+        self.last_recovery: RecoveryReport | None = None
+        self._recover_if_needed()
+        self._catalog = Catalog(self._disk, self._pool)
+        self._store = VersionStore(self._catalog, policy)
+        self._locks = LockManager(lock_timeout)
+        self._triggers = TriggerManager(type_resolver=self._store.type_name)
+        self._store.add_observer(self._triggers.dispatch)
+        self._indexes = IndexManager(self._store)
+        self._txids = itertools.count(1)
+        # Physical-consistency mutex: serializes individual store/heap
+        # operations (page mutations are multi-step).  Transaction-level
+        # isolation is the lock manager's job; this only protects single
+        # operations.  Reentrant, so trigger actions that call back into
+        # the database from within a mutation do not self-deadlock.
+        self._storage_mutex = threading.RLock()
+        self._tlocal = threading.local()
+        self._active: set[int] = set()
+        self._txn_mutex = threading.Lock()
+        self._checkpoint_threshold = checkpoint_threshold
+        self._closed = False
+
+    # -- recovery ----------------------------------------------------------
+
+    def _recover_if_needed(self) -> None:
+        if self._log.size() == 0:
+            return
+        heaps: dict[int, HeapFile] = {}
+
+        def resolver(file_id: int) -> HeapFile:
+            heap = heaps.get(file_id)
+            if heap is None:
+                heap = HeapFile(file_id, self._disk, self._pool, known_pages=[])
+                heaps[file_id] = heap
+            return heap
+
+        self.last_recovery = recover(self._log, resolver)
+        self._pool.flush_all()
+        self._disk.sync()
+        self._log.truncate()
+        self._pool.drop_clean()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        """The database directory."""
+        return self._path
+
+    @property
+    def store(self) -> VersionStore:
+        """The underlying version store (unlogged surface; prefer the facade)."""
+        return self._store
+
+    @property
+    def catalog(self) -> Catalog:
+        """The system catalog."""
+        return self._catalog
+
+    @property
+    def triggers(self) -> TriggerManager:
+        """The trigger facility (O++ triggers, paper §2)."""
+        return self._triggers
+
+    def checkpoint(self) -> None:
+        """Flush all dirty state and truncate the WAL (quiescent only)."""
+        with self._txn_mutex:
+            if self._active:
+                raise TransactionStateError(
+                    "checkpoint requires no active transactions"
+                )
+            self._log.flush()
+            self._pool.flush_all()
+            self._disk.sync()
+            self._log.truncate()
+
+    def close(self) -> None:
+        """Checkpoint and close all files.  Idempotent."""
+        if self._closed:
+            return
+        self.checkpoint()
+        self._log.close()
+        self._disk.close()
+        self._closed = True
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- transactions ---------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start an explicit transaction bound to the calling thread."""
+        if self.current_transaction() is not None:
+            raise TransactionStateError("a transaction is already active on this thread")
+        txn = Transaction(
+            txid=next(self._txids),
+            log=self._log,
+            lock_manager=self._locks,
+            heap_resolver=self._catalog.heap_by_id,
+            on_finish=self._txn_finished,
+            storage_mutex=self._storage_mutex,
+        )
+        self._tlocal.txn = txn
+        with self._txn_mutex:
+            self._active.add(txn.txid)
+        return txn
+
+    def current_transaction(self) -> Transaction | None:
+        """The calling thread's active transaction, if any."""
+        txn = getattr(self._tlocal, "txn", None)
+        if txn is not None and txn.state != "active":
+            self._tlocal.txn = None
+            return None
+        return txn
+
+    def _txn_finished(self, txn: Transaction) -> None:
+        with self._txn_mutex:
+            self._active.discard(txn.txid)
+        if getattr(self._tlocal, "txn", None) is txn:
+            self._tlocal.txn = None
+        if txn.state == "aborted":
+            # WAL undo restored the heaps; rebuild the in-memory caches.
+            self._catalog.reload()
+            self._store.reload()
+            self._indexes.rebuild()
+        elif (
+            self._checkpoint_threshold
+            and self._log.size() > self._checkpoint_threshold
+        ):
+            with self._txn_mutex:
+                if not self._active:
+                    self._log.flush()
+                    self._pool.flush_all()
+                    self._disk.sync()
+                    self._log.truncate()
+
+    def savepoint(self) -> int:
+        """Mark a rollback point inside the current transaction."""
+        txn = self.current_transaction()
+        if txn is None:
+            raise TransactionStateError("savepoints require an active transaction")
+        return txn.savepoint()
+
+    def rollback_to(self, savepoint: int) -> int:
+        """Partially roll the current transaction back to a savepoint.
+
+        The transaction stays active; everything after the savepoint is
+        undone (durably -- the compensations are logged).  Returns the
+        number of operations undone.
+        """
+        txn = self.current_transaction()
+        if txn is None:
+            raise TransactionStateError("savepoints require an active transaction")
+        undone = txn.rollback_to(savepoint)
+        if undone:
+            # The heaps were rewound; bring the derived caches in line.
+            with self._storage_mutex:
+                self._catalog.reload()
+                self._store.reload()
+                self._indexes.rebuild()
+        return undone
+
+    @contextmanager
+    def transaction(self) -> Iterator[Transaction]:
+        """``with db.transaction():`` -- commit on exit, abort on exception."""
+        txn = self.begin()
+        try:
+            yield txn
+        except BaseException:
+            if txn.state == "active":
+                txn.abort()
+            raise
+        else:
+            if txn.state == "active":
+                txn.commit()
+
+    def _mutate(self, lock_oid: Oid | None, op) -> Any:
+        """Run ``op(log_op)`` inside the current or an autocommit txn."""
+        txn = self.current_transaction()
+        if txn is not None:
+            if lock_oid is not None:
+                txn.lock(lock_oid, EXCLUSIVE)
+            with self._storage_mutex:
+                return op(txn.log_op)
+        txn = self.begin()
+        try:
+            if lock_oid is not None:
+                txn.lock(lock_oid, EXCLUSIVE)
+            with self._storage_mutex:
+                result = op(txn.log_op)
+        except BaseException:
+            txn.abort()
+            raise
+        txn.commit()
+        return result
+
+    # -- kernel operations (paper §4) -------------------------------------------
+
+    def pnew(self, obj: Any) -> Ref:
+        """Create a persistent object; returns its generic reference."""
+        ref = self._mutate(None, lambda log_op: self._store.pnew(obj, log_op))
+        return Ref(self, ref.oid)
+
+    def newversion(self, target: Ref | VersionRef | Oid | Vid) -> VersionRef:
+        """Create a version derived from ``target`` (paper §4.2)."""
+        oid = self._oid_of(target)
+        vref = self._mutate(
+            oid, lambda log_op: self._store.newversion(self._unbind(target), log_op)
+        )
+        return VersionRef(self, vref.vid)
+
+    def pdelete(self, target: Ref | VersionRef | Oid | Vid) -> None:
+        """Delete an object (all versions) or one version (paper §4.4)."""
+        oid = self._oid_of(target)
+        self._mutate(oid, lambda log_op: self._store.pdelete(self._unbind(target), log_op))
+
+    @staticmethod
+    def _oid_of(target: Ref | VersionRef | Oid | Vid) -> Oid:
+        if isinstance(target, (Ref, VersionRef)):
+            return target.oid
+        if isinstance(target, Vid):
+            return target.oid
+        return target
+
+    def _unbind(self, target: Ref | VersionRef | Oid | Vid) -> Oid | Vid:
+        """Strip the binding so the store sees plain ids."""
+        if isinstance(target, Ref):
+            return target.oid
+        if isinstance(target, VersionRef):
+            return target.vid
+        return target
+
+    # -- dereferencing ------------------------------------------------------------
+
+    def deref(self, ident: Oid | Vid) -> Ref | VersionRef:
+        """Bind an id into a reference: Oid -> Ref (generic), Vid -> VersionRef."""
+        if isinstance(ident, Oid):
+            return Ref(self, ident)
+        if isinstance(ident, Vid):
+            return VersionRef(self, ident)
+        raise TypeError(f"expected Oid or Vid, got {type(ident).__qualname__}")
+
+    # -- store protocol (used by Ref/VersionRef bound to this database) ------------
+
+    def materialize(self, vid: Vid) -> Any:
+        """Decode a fresh copy of one version's object.
+
+        Inside an explicit transaction the read takes a SHARED lock on the
+        object (strict 2PL: read-modify-write cycles across transactions
+        serialize instead of losing updates).  Autocommit reads are
+        unlocked snapshot reads.
+        """
+        txn = self.current_transaction()
+        if txn is not None:
+            txn.lock(vid.oid, SHARED)
+        with self._storage_mutex:
+            return self._store.materialize(vid)
+
+    def latest_vid(self, oid: Oid) -> Vid:
+        """The version id an object id currently denotes (S-locked in txns)."""
+        txn = self.current_transaction()
+        if txn is not None:
+            txn.lock(oid, SHARED)
+        with self._storage_mutex:
+            return self._store.latest_vid(oid)
+
+    def write_version(self, vid: Vid, obj: Any) -> None:
+        """Update a version in place (transactional, X-locks the object)."""
+        self._mutate(vid.oid, lambda log_op: self._store.write_version(vid, obj, log_op))
+
+    def object_exists(self, oid: Oid) -> bool:
+        """True while the object has at least one live version."""
+        return self._store.object_exists(oid)
+
+    def version_exists(self, vid: Vid) -> bool:
+        """True while the specific version is live."""
+        return self._store.version_exists(vid)
+
+    def type_name(self, oid: Oid) -> str:
+        """Stable type name of the object's class."""
+        return self._store.type_name(oid)
+
+    # -- traversal (paper §4: Dprevious/Tprevious and duals) -----------------------
+
+    def _rebind_vref(self, vref: VersionRef | None) -> VersionRef | None:
+        return None if vref is None else VersionRef(self, vref.vid)
+
+    def dprevious(self, vref: VersionRef | Vid) -> VersionRef | None:
+        """The version ``vref`` was derived from (derivation parent)."""
+        return self._rebind_vref(self._store.dprevious(self._unbind(vref)))
+
+    def dnext(self, vref: VersionRef | Vid) -> list[VersionRef]:
+        """Versions derived from ``vref`` (revisions and variants)."""
+        return [VersionRef(self, v.vid) for v in self._store.dnext(self._unbind(vref))]
+
+    def tprevious(self, vref: VersionRef | Vid) -> VersionRef | None:
+        """The temporally preceding version."""
+        return self._rebind_vref(self._store.tprevious(self._unbind(vref)))
+
+    def tnext(self, vref: VersionRef | Vid) -> VersionRef | None:
+        """The temporally following version."""
+        return self._rebind_vref(self._store.tnext(self._unbind(vref)))
+
+    def history(self, vref: VersionRef | Vid) -> list[VersionRef]:
+        """Derivation path of ``vref``, newest first."""
+        return [VersionRef(self, v.vid) for v in self._store.history(self._unbind(vref))]
+
+    def versions(self, target: Ref | Oid) -> list[VersionRef]:
+        """All live versions, temporal order (oldest first)."""
+        oid = self._oid_of(target)
+        return [VersionRef(self, v.vid) for v in self._store.versions(oid)]
+
+    def version_as_of(self, target: Ref | Oid, timestamp: float) -> VersionRef | None:
+        """The version that was latest at wall-clock ``timestamp`` (§3)."""
+        return self._rebind_vref(
+            self._store.version_as_of(self._oid_of(target), timestamp)
+        )
+
+    def leaves(self, target: Ref | Oid) -> list[VersionRef]:
+        """Up-to-date version of every alternative."""
+        oid = self._oid_of(target)
+        return [VersionRef(self, v.vid) for v in self._store.leaves(oid)]
+
+    def alternatives(self, target: Ref | Oid) -> list[list[VersionRef]]:
+        """Every root-to-leaf derivation path."""
+        oid = self._oid_of(target)
+        return [
+            [VersionRef(self, v.vid) for v in path]
+            for path in self._store.alternatives(oid)
+        ]
+
+    def version_count(self, target: Ref | Oid) -> int:
+        """Number of live versions of the object."""
+        return self._store.version_count(self._oid_of(target))
+
+    def graph(self, target: Ref | Oid) -> VersionGraph:
+        """The object's version graph (read-only view)."""
+        return self._store.graph(self._oid_of(target))
+
+    # -- clusters & queries ----------------------------------------------------------
+
+    def cluster(self, type_or_name: type | str) -> list[Ref]:
+        """Generic references to every object of a type (the Ode cluster)."""
+        return [Ref(self, ref.oid) for ref in self._store.cluster(type_or_name)]
+
+    def query(self, type_or_name: type | str) -> Query:
+        """A ``suchthat``-style query over the type's cluster."""
+        return Query(self, type_or_name)
+
+    # -- indexes ------------------------------------------------------------------
+
+    def create_index(self, type_or_name: type | str, attr: str) -> HashIndex:
+        """Create (idempotently) a hash index on one cluster attribute.
+
+        Equality queries built with :func:`repro.core.indexes.attr_equals`
+        then resolve through the index instead of scanning the cluster.
+        """
+        return self._indexes.ensure(type_or_name, attr)
+
+    def create_ordered_index(self, type_or_name: type | str, attr: str) -> OrderedIndex:
+        """Create (idempotently) an ORDERED index on one cluster attribute.
+
+        Range queries built with :func:`repro.core.indexes.attr_between`
+        then resolve through the index instead of scanning.
+        """
+        return self._indexes.ensure_ordered(type_or_name, attr)
+
+    def drop_index(self, type_or_name: type | str, attr: str) -> None:
+        """Remove an index (queries fall back to cluster scans)."""
+        self._indexes.drop(type_or_name, attr)
+
+    def index_lookup(self, type_name: str, attr: str, value) -> list[Oid] | None:
+        """Index probe used by the query layer; None when not indexed."""
+        oids = self._indexes.lookup(type_name, attr, value)
+        return None if oids is None else sorted(oids)
+
+    def index_lookup_range(
+        self, type_name: str, attr: str, lo, hi
+    ) -> list[Oid] | None:
+        """Ordered-index probe used by the query layer; None when not indexed."""
+        oids = self._indexes.lookup_range(type_name, attr, lo, hi)
+        return None if oids is None else list(oids)
+
+    def cluster_names(self) -> list[str]:
+        """Type names with at least one live object."""
+        return self._store.cluster_names()
+
+    def object_count(self) -> int:
+        """Number of live persistent objects."""
+        return self._store.object_count()
+
+    def stats(self) -> dict[str, int]:
+        """Operational counters (pool behaviour, WAL flushes, sizes)."""
+        return {
+            "objects": self._store.object_count(),
+            "pool_hits": self._pool.hits,
+            "pool_misses": self._pool.misses,
+            "pool_evictions": self._pool.evictions,
+            "wal_bytes": self._log.size(),
+            "wal_flushes": self._log.flush_count,
+            "data_pages": self._disk.num_pages,
+        }

@@ -1,0 +1,291 @@
+"""Generic and specific references with native pointer semantics.
+
+Paper §6: "By overloading the definitions of the ``->`` and ``*`` operators
+we were able to define class VersionPtr in such a way that its objects
+could be manipulated just like normal pointers."  This module is the Python
+analogue: :class:`Ref` (a *generic* reference through an object id, always
+denoting the **latest** version -- dynamic/late binding) and
+:class:`VersionRef` (a *specific* reference through a version id -- static
+binding), both forwarding attribute access to the referenced persistent
+state via ``__getattr__`` / ``__setattr__``.
+
+Pointer behaviours reproduced:
+
+* ``ref.field`` reads a field of the referenced version (``p->field``);
+* ``ref.field = v`` updates that field *in place* -- mutating a version is
+  not the same as creating one; ``newversion`` is always explicit (paper
+  §4.2);
+* ``ref.method(...)`` calls a method on the referenced object and persists
+  any state the method mutated (the C++ original gets this for free because
+  ``->`` yields the real object);
+* stored references: an attribute holding an :class:`Oid` (or
+  :class:`Vid`) is returned through a Ref as another bound Ref
+  (VersionRef), so chains like ``book.owner.address`` follow generic
+  references exactly like the paper's address-book example -- the *latest*
+  address is always read.  Assigning a Ref/VersionRef to an attribute
+  stores the underlying id.
+
+The ``with ref.modify() as obj: ...`` form is the explicit alternative for
+multi-field updates (one materialize + one write-back).
+"""
+
+from __future__ import annotations
+
+import inspect
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.core.identity import Oid, Vid
+from repro.storage import serialization
+
+# Internal slots accessed via object.__getattribute__ to dodge forwarding.
+_REF_SLOTS = frozenset({"_store", "_oid", "_vid"})
+
+
+def unwrap_ids(value: Any) -> Any:
+    """Replace Refs/VersionRefs with their ids, recursing into containers.
+
+    Applied to every value stored through a reference so that persistent
+    state only ever contains codec values (ids, not live proxies).
+    """
+    if isinstance(value, Ref):
+        return value.oid
+    if isinstance(value, VersionRef):
+        return value.vid
+    if type(value) is list:
+        return [unwrap_ids(v) for v in value]
+    if type(value) is tuple:
+        return tuple(unwrap_ids(v) for v in value)
+    if type(value) is dict:
+        return {unwrap_ids(k): unwrap_ids(v) for k, v in value.items()}
+    if type(value) is set:
+        return {unwrap_ids(v) for v in value}
+    if type(value) is frozenset:
+        return frozenset(unwrap_ids(v) for v in value)
+    return value
+
+
+def wrap_ids(store: Any, value: Any) -> Any:
+    """Replace Oids/Vids with bound Refs/VersionRefs, recursing into containers.
+
+    Applied to every value read through a reference, which is what makes
+    reference chains (``a.b.c``) dereference like pointers.
+    """
+    if isinstance(value, Oid):
+        return Ref(store, value)
+    if isinstance(value, Vid):
+        return VersionRef(store, value)
+    if type(value) is list:
+        return [wrap_ids(store, v) for v in value]
+    if type(value) is tuple:
+        return tuple(wrap_ids(store, v) for v in value)
+    if type(value) is dict:
+        return {wrap_ids(store, k): wrap_ids(store, v) for k, v in value.items()}
+    if type(value) is set:
+        return {wrap_ids(store, v) for v in value}
+    if type(value) is frozenset:
+        return frozenset(wrap_ids(store, v) for v in value)
+    return value
+
+
+class _BaseRef:
+    """Shared forwarding machinery for Ref and VersionRef."""
+
+    __slots__ = ("_store", "_oid", "_vid")
+
+    # Subclasses define _target_vid() (which version to read) and
+    # _writable_vid() (which version an in-place write lands on).
+
+    def _target_vid(self) -> Vid:
+        raise NotImplementedError
+
+    def _writable_vid(self) -> Vid:
+        raise NotImplementedError
+
+    def deref(self) -> Any:
+        """Materialize and return the referenced version's object (a copy).
+
+        The Python analogue of the paper's ``*`` operator.  Mutating the
+        returned object does not touch the database; use attribute
+        assignment, method calls, or :meth:`modify` for that.
+        """
+        store = object.__getattribute__(self, "_store")
+        return store.materialize(self._target_vid())
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("__") and name.endswith("__"):
+            raise AttributeError(name)
+        store = object.__getattribute__(self, "_store")
+        obj = store.materialize(self._target_vid())
+        value = getattr(obj, name)
+        if inspect.ismethod(value) and value.__self__ is obj:
+            return _WritebackMethod(self, obj, value)
+        return wrap_ids(store, value)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name in _REF_SLOTS:
+            object.__setattr__(self, name, value)
+            return
+        store = object.__getattribute__(self, "_store")
+        vid = self._writable_vid()
+        obj = store.materialize(vid)
+        setattr(obj, name, unwrap_ids(value))
+        store.write_version(vid, obj)
+
+    @contextmanager
+    def modify(self) -> Iterator[Any]:
+        """Materialize once, let the body mutate, write back once."""
+        store = object.__getattribute__(self, "_store")
+        vid = self._writable_vid()
+        obj = store.materialize(vid)
+        yield obj
+        store.write_version(vid, obj)
+
+    def type_name(self) -> str:
+        """Stable type name of the referenced object."""
+        store = object.__getattribute__(self, "_store")
+        return store.type_name(self._target_vid().oid)
+
+
+class _WritebackMethod:
+    """A bound method proxy that persists the receiver's state after the call.
+
+    This is what lets ``ref.push(item)`` behave like ``p->push(item)`` in
+    O++: the method runs against the materialized object and any mutation
+    of it is written back to the referenced version.
+    """
+
+    __slots__ = ("_ref", "_obj", "_method")
+
+    def __init__(self, ref: _BaseRef, obj: Any, method: Any) -> None:
+        self._ref = ref
+        self._obj = obj
+        self._method = method
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        result = self._method(*unwrap_ids(list(args)), **unwrap_ids(kwargs))
+        store = object.__getattribute__(self._ref, "_store")
+        vid = self._ref._writable_vid()
+        store.write_version(vid, self._obj)
+        return wrap_ids(store, result)
+
+    def __repr__(self) -> str:
+        return f"<writeback method {self._method.__name__} of {self._ref!r}>"
+
+
+class Ref(_BaseRef):
+    """A *generic* reference: denotes the latest version of an object.
+
+    Paper §3: generic references give "dynamic or late binding" -- an
+    address book holding generic references to person objects always reads
+    their latest addresses.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, store: Any, oid: Oid) -> None:
+        object.__setattr__(self, "_store", store)
+        object.__setattr__(self, "_oid", oid)
+
+    @property
+    def oid(self) -> Oid:
+        """The object id this reference carries."""
+        return object.__getattribute__(self, "_oid")
+
+    def _target_vid(self) -> Vid:
+        store = object.__getattribute__(self, "_store")
+        return store.latest_vid(self.oid)
+
+    def _writable_vid(self) -> Vid:
+        return self._target_vid()
+
+    def pin(self) -> VersionRef:
+        """A *specific* reference to the current latest version.
+
+        Later ``newversion`` calls will not move the pinned reference --
+        this is the paper's static binding.
+        """
+        store = object.__getattribute__(self, "_store")
+        return VersionRef(store, self._target_vid())
+
+    def is_alive(self) -> bool:
+        """True while the object (any version of it) still exists."""
+        store = object.__getattribute__(self, "_store")
+        return store.object_exists(self.oid)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Ref) and other.oid == self.oid
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(("Ref", self.oid))
+
+    def __repr__(self) -> str:
+        return f"Ref({self.oid.value})"
+
+
+class VersionRef(_BaseRef):
+    """A *specific* reference: denotes one particular version, forever.
+
+    Paper §3: specific references give "static binding", needed when a
+    configuration must keep using the exact component version it was
+    released with.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, store: Any, vid: Vid) -> None:
+        object.__setattr__(self, "_store", store)
+        object.__setattr__(self, "_vid", vid)
+
+    @property
+    def vid(self) -> Vid:
+        """The version id this reference carries."""
+        return object.__getattribute__(self, "_vid")
+
+    @property
+    def oid(self) -> Oid:
+        """The id of the object this version belongs to."""
+        return self.vid.oid
+
+    def _target_vid(self) -> Vid:
+        return self.vid
+
+    def _writable_vid(self) -> Vid:
+        return self.vid
+
+    def ref(self) -> Ref:
+        """The generic reference to this version's object (latest-tracking)."""
+        store = object.__getattribute__(self, "_store")
+        return Ref(store, self.vid.oid)
+
+    def is_alive(self) -> bool:
+        """True while this specific version still exists."""
+        store = object.__getattribute__(self, "_store")
+        return store.version_exists(self.vid)
+
+    def is_latest(self) -> bool:
+        """True if this version is currently the object's latest."""
+        store = object.__getattribute__(self, "_store")
+        return store.object_exists(self.vid.oid) and store.latest_vid(self.vid.oid) == self.vid
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VersionRef) and other.vid == self.vid
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(("VersionRef", self.vid))
+
+    def __repr__(self) -> str:
+        return f"VersionRef({self.vid.oid.value}:{self.vid.serial})"
+
+
+# References nested in persistent state are stored as their ids: a Ref
+# persists as its Oid (generic -- stays late-bound on every read) and a
+# VersionRef as its Vid (specific -- pinned forever).
+serialization.install_reference_unwrapper(Ref, lambda ref: ref.oid)
+serialization.install_reference_unwrapper(VersionRef, lambda vref: vref.vid)

@@ -1,0 +1,618 @@
+"""The version store: ``pnew``, ``newversion``, ``pdelete``, dereferencing.
+
+This is the paper's contribution, assembled over the persistence library:
+
+* **pnew** (paper §2/§4.1): allocate a persistent object; it gets an object
+  id and an initial version.  Versioning is *orthogonal to type* -- any
+  object created with ``pnew`` can later be versioned, nothing is declared.
+* **newversion(id)** (paper §4.2): create a new version *derived from* the
+  denoted version.  On an object id the base is the latest version; on a
+  version id it is that specific version.  The new version starts as a copy
+  of its base, becomes the object's temporally latest version, and the
+  derived-from edge is recorded.  Creating a version changes no other
+  object (small changes have small impact -- no percolation, paper §3).
+* **pdelete** (paper §4.4): on an object id, delete the object and all its
+  versions; on a version id, delete just that version, splicing the
+  temporal chain and re-parenting derivation children.  Deleting the latest
+  version makes the temporally previous version the new latest.
+* **dereferencing** (paper §4.3): an object id denotes the latest version
+  (generic reference); a version id denotes one version (specific
+  reference).
+
+Version payloads are stored either as full copies or as deltas against the
+derived-from parent (paper §3 cites SCCS/RCS deltas as the intended use of
+the derived-from relationship).  The policy is per-store, with a keyframe
+interval bounding delta-chain length; experiment E5 measures the trade-off.
+
+All durable state lives in heap records, so transactional logging is
+inherited from the heap layer through the ``log_op`` callback.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.errors import (
+    DanglingReferenceError,
+    UnknownObjectError,
+    UnknownVersionError,
+    VersionError,
+)
+from repro.core.identity import Oid, Vid
+from repro.core.pointers import Ref, VersionRef, unwrap_ids
+from repro.core.vgraph import VersionGraph
+from repro.storage import serialization
+from repro.storage.catalog import Catalog
+from repro.storage.delta import apply_delta, compute_delta
+from repro.storage.heap import HeapFile, LogOp, Rid
+
+#: Heap names used by the store.
+OBJECTS_HEAP = "ode.objects"
+VERSIONS_HEAP = "ode.versions"
+CLUSTERS_HEAP = "ode.clusters"
+
+#: Payload storage kinds (first element of a node's ``data`` tuple).
+_FULL = "F"
+_DELTA = "D"
+
+#: Event kinds delivered to observers (the trigger facility subscribes).
+EV_CREATE = "create"
+EV_NEWVERSION = "newversion"
+EV_UPDATE = "update"
+EV_DELETE_VERSION = "delete_version"
+EV_DELETE_OBJECT = "delete_object"
+
+Observer = Callable[[str, Oid, Vid | None], None]
+
+
+@dataclass(frozen=True)
+class StoragePolicy:
+    """How version payloads are stored.
+
+    ``kind`` is ``"full"`` (every version is a full copy) or ``"delta"``
+    (a version stores a delta against its derived-from parent).  With
+    deltas, every ``keyframe_interval``-th version along a derivation path
+    is stored full, bounding materialization cost.
+    """
+
+    kind: str = "full"
+    keyframe_interval: int = 16
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("full", "delta"):
+            raise ValueError(f"unknown storage policy kind {self.kind!r}")
+        if self.keyframe_interval < 1:
+            raise ValueError("keyframe_interval must be >= 1")
+
+
+class _Entry:
+    """In-memory object-table entry for one persistent object."""
+
+    __slots__ = ("oid", "type_name", "graph", "rid", "cluster_rid")
+
+    def __init__(
+        self,
+        oid: Oid,
+        type_name: str,
+        graph: VersionGraph,
+        rid: Rid | None,
+        cluster_rid: Rid | None,
+    ) -> None:
+        self.oid = oid
+        self.type_name = type_name
+        self.graph = graph
+        self.rid = rid
+        self.cluster_rid = cluster_rid
+
+
+class VersionStore:
+    """Versioned persistent objects over the heap layer.
+
+    One store per database.  The object table (oid -> entry) is cached in
+    memory and written through to the ``ode.objects`` heap; version
+    payloads live in ``ode.versions``; per-type cluster membership in
+    ``ode.clusters``.
+    """
+
+    def __init__(self, catalog: Catalog, policy: StoragePolicy | None = None) -> None:
+        self._catalog = catalog
+        self._policy = policy or StoragePolicy()
+        self._objects: HeapFile = catalog.ensure_heap(OBJECTS_HEAP)
+        self._versions: HeapFile = catalog.ensure_heap(VERSIONS_HEAP)
+        self._clusters: HeapFile = catalog.ensure_heap(CLUSTERS_HEAP)
+        self._table: dict[Oid, _Entry] = {}
+        self._by_type: dict[str, set[Oid]] = {}
+        self._bytes_cache: dict[Vid, bytes] = {}
+        self._observers: list[Observer] = []
+        self._load()
+
+    @property
+    def policy(self) -> StoragePolicy:
+        """The store's payload storage policy."""
+        return self._policy
+
+    @property
+    def catalog(self) -> Catalog:
+        """The catalog this store was opened against."""
+        return self._catalog
+
+    # -- loading / reloading -------------------------------------------------
+
+    def _load(self) -> None:
+        self._table.clear()
+        self._by_type.clear()
+        self._bytes_cache.clear()
+        cluster_rids: dict[Oid, Rid] = {}
+        for rid, payload in self._clusters.scan():
+            type_name, oid = serialization.decode(payload)
+            cluster_rids[oid] = rid
+        for rid, payload in self._objects.scan():
+            oid, type_name, graph_state = serialization.decode(payload)
+            graph = VersionGraph.from_state(graph_state)
+            entry = _Entry(oid, type_name, graph, rid, cluster_rids.get(oid))
+            self._table[oid] = entry
+            self._by_type.setdefault(type_name, set()).add(oid)
+
+    def reload(self) -> None:
+        """Rebuild all in-memory state from the heaps.
+
+        Called after a transaction abort: the WAL undo restored the heap
+        records, and this brings the caches back in line.
+        """
+        self._load()
+
+    # -- observers (trigger facility hooks in here) ---------------------------
+
+    def add_observer(self, observer: Observer) -> None:
+        """Register a callback invoked after every store mutation."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: Observer) -> None:
+        """Unregister a previously added observer."""
+        self._observers.remove(observer)
+
+    def _notify(self, event: str, oid: Oid, vid: Vid | None) -> None:
+        for observer in list(self._observers):
+            observer(event, oid, vid)
+
+    # -- entry persistence -----------------------------------------------------
+
+    def _save_entry(self, entry: _Entry, log_op: LogOp | None) -> None:
+        payload = serialization.encode(
+            (entry.oid, entry.type_name, entry.graph.to_state())
+        )
+        if entry.rid is None:
+            entry.rid = self._objects.insert(payload, log_op)
+        else:
+            self._objects.update(entry.rid, payload, log_op)
+
+    def _entry(self, oid: Oid) -> _Entry:
+        entry = self._table.get(oid)
+        if entry is None:
+            raise UnknownObjectError(f"no persistent object {oid!r}")
+        return entry
+
+    # -- payload storage ---------------------------------------------------------
+
+    def _store_payload(
+        self,
+        entry: _Entry,
+        serial: int,
+        content: bytes,
+        base_serial: int | None,
+        log_op: LogOp | None,
+    ) -> tuple:
+        """Write ``content`` for a (new) version; returns the node ``data``."""
+        use_delta = (
+            self._policy.kind == "delta"
+            and base_serial is not None
+            and self._depth_since_keyframe(entry, base_serial) + 1
+            < self._policy.keyframe_interval
+        )
+        if use_delta:
+            base_bytes = self._version_bytes(entry, base_serial)
+            delta = compute_delta(base_bytes, content)
+            if len(delta) < len(content):
+                rid = self._versions.insert(delta, log_op)
+                return (_DELTA, rid.page_id, rid.slot)
+        rid = self._versions.insert(content, log_op)
+        return (_FULL, rid.page_id, rid.slot)
+
+    def _depth_since_keyframe(self, entry: _Entry, serial: int) -> int:
+        """Delta-chain length from ``serial`` back to the nearest full copy."""
+        depth = 0
+        graph = entry.graph
+        current: int | None = serial
+        while current is not None:
+            node = graph.node(current)
+            if node.data[0] == _FULL:
+                return depth
+            depth += 1
+            current = node.dprev
+        raise VersionError(f"delta chain of {entry.oid!r} has no full-copy root")
+
+    def _version_bytes(self, entry: _Entry, serial: int) -> bytes:
+        """Materialized payload bytes for one version (cached)."""
+        vid = Vid(entry.oid, serial)
+        cached = self._bytes_cache.get(vid)
+        if cached is not None:
+            return cached
+        graph = entry.graph
+        # Walk back to the nearest full copy, then apply deltas forward.
+        chain: list[int] = []
+        current: int | None = serial
+        while True:
+            if current is None:
+                raise VersionError(f"delta chain of {entry.oid!r} has no full-copy root")
+            node = graph.node(current)
+            chain.append(current)
+            if node.data[0] == _FULL:
+                break
+            current = node.dprev
+        chain.reverse()
+        root = chain[0]
+        content = self._read_record(graph.node(root).data)
+        for step in chain[1:]:
+            content = apply_delta(content, self._read_record(graph.node(step).data))
+        if len(self._bytes_cache) > 4096:
+            self._bytes_cache.clear()
+        self._bytes_cache[vid] = content
+        return content
+
+    def _read_record(self, data: tuple) -> bytes:
+        _kind, page_id, slot = data
+        return self._versions.read(Rid(page_id, slot))
+
+    def _rewrite_payload(
+        self, entry: _Entry, serial: int, content: bytes, log_op: LogOp | None
+    ) -> None:
+        """Replace the stored payload of an existing version with ``content``.
+
+        Keeps the node's storage kind consistent: a delta-stored node is
+        re-encoded against its current derivation parent, and the deltas of
+        any delta-stored children are recomputed (their *content* must not
+        change when their base does).
+        """
+        graph = entry.graph
+        node = graph.node(serial)
+        # Materialize delta children BEFORE the base changes.
+        delta_children = [
+            child for child in node.children if graph.node(child).data[0] == _DELTA
+        ]
+        child_contents = {
+            child: self._version_bytes(entry, child) for child in delta_children
+        }
+        kind, page_id, slot = node.data
+        if kind == _DELTA:
+            assert node.dprev is not None
+            base_bytes = self._version_bytes(entry, node.dprev)
+            stored = compute_delta(base_bytes, content)
+            if len(stored) >= len(content):
+                stored = content
+                node.data = (_FULL, page_id, slot)
+        else:
+            stored = content
+        self._versions.update(Rid(page_id, slot), stored, log_op)
+        self._bytes_cache[Vid(entry.oid, serial)] = content
+        for child, child_content in child_contents.items():
+            child_node = graph.node(child)
+            _ckind, cpage, cslot = child_node.data
+            new_delta = compute_delta(content, child_content)
+            if len(new_delta) >= len(child_content):
+                child_node.data = (_FULL, cpage, cslot)
+                self._versions.update(Rid(cpage, cslot), child_content, log_op)
+            else:
+                self._versions.update(Rid(cpage, cslot), new_delta, log_op)
+            self._bytes_cache[Vid(entry.oid, child)] = child_content
+
+    # -- public kernel operations ---------------------------------------------
+
+    def pnew(self, obj: Any, log_op: LogOp | None = None) -> Ref:
+        """Create a persistent object; returns its generic reference.
+
+        The object's state is captured immediately (via the stable codec);
+        the live ``obj`` is not kept -- all later access goes through the
+        returned reference.  The object starts with one version.
+        """
+        type_name = serialization.registered_name(type(obj))
+        if type_name is None:
+            # Version orthogonality in practice: pnew accepts any object.
+            # Auto-register under the qualified name, uniquified if a
+            # different class (e.g. a redefined local class) already took it.
+            base_name = f"{type(obj).__module__}.{type(obj).__qualname__}"
+            type_name = base_name
+            suffix = 1
+            while True:
+                try:
+                    serialization.register_type(type(obj), type_name)
+                    break
+                except serialization.SerializationError:
+                    suffix += 1
+                    type_name = f"{base_name}#{suffix}"
+        oid = Oid(self._catalog.next_value("ode.oid", log_op))
+        graph = VersionGraph()
+        entry = _Entry(oid, type_name, graph, None, None)
+        content = self._encode_object(obj)
+        serial = 1
+        data = self._store_payload(entry, serial, content, None, log_op)
+        graph.create(serial, None, time.time(), data)
+        self._save_entry(entry, log_op)
+        cluster_payload = serialization.encode((type_name, oid))
+        entry.cluster_rid = self._clusters.insert(cluster_payload, log_op)
+        self._table[oid] = entry
+        self._by_type.setdefault(type_name, set()).add(oid)
+        self._bytes_cache[Vid(oid, serial)] = content
+        self._notify(EV_CREATE, oid, Vid(oid, serial))
+        return Ref(self, oid)
+
+    def newversion(self, target: Ref | VersionRef | Oid | Vid, log_op: LogOp | None = None) -> VersionRef:
+        """Create a new version derived from ``target`` (paper §4.2).
+
+        With an object id / generic reference, the base is the latest
+        version; with a version id / specific reference, the base is that
+        version -- deriving from a non-latest version is what creates
+        variants (alternatives).  The new version starts with the base's
+        contents and becomes the object's latest.
+        """
+        base_vid = self._resolve(target)
+        entry = self._entry(base_vid.oid)
+        graph = entry.graph
+        base_serial = base_vid.serial
+        content = self._version_bytes(entry, base_serial)
+        serial = graph.max_serial + 1
+        data = self._store_payload(entry, serial, content, base_serial, log_op)
+        graph.create(serial, base_serial, time.time(), data)
+        self._save_entry(entry, log_op)
+        vid = Vid(entry.oid, serial)
+        self._bytes_cache[vid] = content
+        self._notify(EV_NEWVERSION, entry.oid, vid)
+        return VersionRef(self, vid)
+
+    def pdelete(self, target: Ref | VersionRef | Oid | Vid, log_op: LogOp | None = None) -> None:
+        """Delete an object (all versions) or one version (paper §4.4)."""
+        if isinstance(target, (Ref, Oid)):
+            oid = target.oid if isinstance(target, Ref) else target
+            self._delete_object(oid, log_op)
+        else:
+            vid = target.vid if isinstance(target, VersionRef) else target
+            self._delete_version(vid, log_op)
+
+    def _delete_object(self, oid: Oid, log_op: LogOp | None) -> None:
+        entry = self._entry(oid)
+        for node in list(entry.graph.walk_temporal()):
+            _kind, page_id, slot = node.data
+            self._versions.delete(Rid(page_id, slot), log_op)
+            self._bytes_cache.pop(Vid(oid, node.serial), None)
+        if entry.rid is not None:
+            self._objects.delete(entry.rid, log_op)
+        if entry.cluster_rid is not None:
+            self._clusters.delete(entry.cluster_rid, log_op)
+        del self._table[oid]
+        self._by_type[entry.type_name].discard(oid)
+        self._notify(EV_DELETE_OBJECT, oid, None)
+
+    def _delete_version(self, vid: Vid, log_op: LogOp | None) -> None:
+        entry = self._entry(vid.oid)
+        graph = entry.graph
+        if vid.serial not in graph:
+            raise UnknownVersionError(f"no live version {vid!r}")
+        if len(graph) == 1:
+            # Deleting the only version deletes the object.
+            self._delete_object(vid.oid, log_op)
+            return
+        node = graph.node(vid.serial)
+        # Children stored as deltas against this version must be re-based
+        # before the splice: materialize them now.
+        delta_children = [
+            child for child in node.children if graph.node(child).data[0] == _DELTA
+        ]
+        child_contents = {
+            child: self._version_bytes(entry, child) for child in delta_children
+        }
+        removed = graph.remove(vid.serial)
+        _kind, page_id, slot = removed.data
+        self._versions.delete(Rid(page_id, slot), log_op)
+        self._bytes_cache.pop(vid, None)
+        for child, child_content in child_contents.items():
+            child_node = graph.node(child)
+            _ckind, cpage, cslot = child_node.data
+            if child_node.dprev is None:
+                # Re-parented to nothing: must become a full copy.
+                child_node.data = (_FULL, cpage, cslot)
+                self._versions.update(Rid(cpage, cslot), child_content, log_op)
+            else:
+                base = self._version_bytes(entry, child_node.dprev)
+                new_delta = compute_delta(base, child_content)
+                if len(new_delta) >= len(child_content):
+                    child_node.data = (_FULL, cpage, cslot)
+                    self._versions.update(Rid(cpage, cslot), child_content, log_op)
+                else:
+                    self._versions.update(Rid(cpage, cslot), new_delta, log_op)
+            self._bytes_cache[Vid(entry.oid, child)] = child_content
+        self._save_entry(entry, log_op)
+        self._notify(EV_DELETE_VERSION, vid.oid, vid)
+
+    # -- dereferencing (used by Ref / VersionRef) --------------------------------
+
+    def _resolve(self, target: Ref | VersionRef | Oid | Vid) -> Vid:
+        if isinstance(target, Ref):
+            return self.latest_vid(target.oid)
+        if isinstance(target, Oid):
+            return self.latest_vid(target)
+        if isinstance(target, VersionRef):
+            return target.vid
+        if isinstance(target, Vid):
+            return target
+        raise TypeError(f"expected a reference or id, got {type(target).__qualname__}")
+
+    def latest_vid(self, oid: Oid) -> Vid:
+        """The version id an object id currently denotes (paper §4.3)."""
+        entry = self._table.get(oid)
+        if entry is None:
+            raise DanglingReferenceError(f"object {oid!r} no longer exists")
+        serial = entry.graph.latest()
+        assert serial is not None  # empty graphs are deleted eagerly
+        return Vid(oid, serial)
+
+    def materialize(self, vid: Vid) -> Any:
+        """Decode and return a fresh copy of the version's object."""
+        entry = self._table.get(vid.oid)
+        if entry is None:
+            raise DanglingReferenceError(f"object {vid.oid!r} no longer exists")
+        if vid.serial not in entry.graph:
+            raise DanglingReferenceError(f"version {vid!r} no longer exists")
+        return serialization.decode(self._version_bytes(entry, vid.serial))
+
+    def write_version(self, vid: Vid, obj: Any, log_op: LogOp | None = None) -> None:
+        """Update a version's contents **in place** (no new version).
+
+        Paper §4.2 separates mutating a version from creating one:
+        ``newversion`` is always explicit.
+        """
+        entry = self._table.get(vid.oid)
+        if entry is None:
+            raise DanglingReferenceError(f"object {vid.oid!r} no longer exists")
+        if vid.serial not in entry.graph:
+            raise DanglingReferenceError(f"version {vid!r} no longer exists")
+        content = self._encode_object(obj)
+        self._rewrite_payload(entry, vid.serial, content, log_op)
+        self._notify(EV_UPDATE, vid.oid, vid)
+
+    def _encode_object(self, obj: Any) -> bytes:
+        # The codec unwraps nested Refs/VersionRefs to ids by itself (see
+        # serialization.install_reference_unwrapper); unwrap_ids handles the
+        # case where obj *is* a bare container of references.
+        return serialization.encode(unwrap_ids(obj))
+
+    # -- existence & metadata ----------------------------------------------------
+
+    def object_exists(self, oid: Oid) -> bool:
+        """True while the object has at least one live version."""
+        return oid in self._table
+
+    def version_exists(self, vid: Vid) -> bool:
+        """True while this specific version is live."""
+        entry = self._table.get(vid.oid)
+        return entry is not None and vid.serial in entry.graph
+
+    def type_name(self, oid: Oid) -> str:
+        """Stable type name of the object's class."""
+        return self._entry(oid).type_name
+
+    def graph(self, oid: Oid) -> VersionGraph:
+        """The object's version graph (live view -- do not mutate)."""
+        return self._entry(oid).graph
+
+    # -- traversal surface (paper §4: Dprevious/Tprevious and duals) --------------
+
+    def dprevious(self, vref: VersionRef | Vid) -> VersionRef | None:
+        """The version ``vref`` was derived from, or None for an initial version."""
+        vid = self._resolve(vref)
+        serial = self._entry(vid.oid).graph.dprevious(vid.serial)
+        return None if serial is None else VersionRef(self, Vid(vid.oid, serial))
+
+    def dnext(self, vref: VersionRef | Vid) -> list[VersionRef]:
+        """Versions derived from ``vref`` (its revisions and variants)."""
+        vid = self._resolve(vref)
+        return [
+            VersionRef(self, Vid(vid.oid, s))
+            for s in self._entry(vid.oid).graph.dnext(vid.serial)
+        ]
+
+    def tprevious(self, vref: VersionRef | Vid) -> VersionRef | None:
+        """The temporally preceding version, or None for the oldest."""
+        vid = self._resolve(vref)
+        serial = self._entry(vid.oid).graph.tprevious(vid.serial)
+        return None if serial is None else VersionRef(self, Vid(vid.oid, serial))
+
+    def tnext(self, vref: VersionRef | Vid) -> VersionRef | None:
+        """The temporally following version, or None for the latest."""
+        vid = self._resolve(vref)
+        serial = self._entry(vid.oid).graph.tnext(vid.serial)
+        return None if serial is None else VersionRef(self, Vid(vid.oid, serial))
+
+    def history(self, vref: VersionRef | Vid) -> list[VersionRef]:
+        """The derivation path of ``vref``, newest first (paper §4.3)."""
+        vid = self._resolve(vref)
+        return [
+            VersionRef(self, Vid(vid.oid, s))
+            for s in self._entry(vid.oid).graph.history(vid.serial)
+        ]
+
+    def version_as_of(self, target: Ref | Oid, timestamp: float) -> VersionRef | None:
+        """The version that was latest at wall-clock ``timestamp``.
+
+        Paper §3 motivates temporal order with historical databases "that
+        must access the past states of the database" and "supporting time
+        in databases" [30]: every version records its creation time, so
+        the state as of any instant is the newest version created at or
+        before it.  Returns None when the object did not exist yet.
+        (Versions deleted since then are gone -- pdelete is a real delete,
+        not a logical one.)
+        """
+        oid = target.oid if isinstance(target, Ref) else target
+        graph = self._entry(oid).graph
+        best: int | None = None
+        for node in graph.walk_temporal():
+            if node.ctime <= timestamp:
+                best = node.serial
+            else:
+                break
+        return None if best is None else VersionRef(self, Vid(oid, best))
+
+    def versions(self, target: Ref | Oid) -> list[VersionRef]:
+        """All live versions of an object, temporal order (oldest first)."""
+        oid = target.oid if isinstance(target, Ref) else target
+        return [
+            VersionRef(self, Vid(oid, s)) for s in self._entry(oid).graph.serials()
+        ]
+
+    def leaves(self, target: Ref | Oid) -> list[VersionRef]:
+        """The up-to-date version of every alternative (derivation leaves)."""
+        oid = target.oid if isinstance(target, Ref) else target
+        return [VersionRef(self, Vid(oid, s)) for s in self._entry(oid).graph.leaves()]
+
+    def alternatives(self, target: Ref | Oid) -> list[list[VersionRef]]:
+        """Every root-to-leaf derivation path (paper §4: alternative designs)."""
+        oid = target.oid if isinstance(target, Ref) else target
+        return [
+            [VersionRef(self, Vid(oid, s)) for s in path]
+            for path in self._entry(oid).graph.alternatives()
+        ]
+
+    def version_count(self, target: Ref | Oid) -> int:
+        """Number of live versions of the object."""
+        oid = target.oid if isinstance(target, Ref) else target
+        return len(self._entry(oid).graph)
+
+    # -- clusters (per-type extents, used by the query layer) ----------------------
+
+    def cluster(self, type_or_name: type | str) -> list[Ref]:
+        """Generic references to every object of the given type.
+
+        Ode clusters objects by type; the query layer iterates these.
+        """
+        if isinstance(type_or_name, str):
+            name = type_or_name
+        else:
+            resolved = serialization.registered_name(type_or_name)
+            name = resolved if resolved is not None else (
+                f"{type_or_name.__module__}.{type_or_name.__qualname__}"
+            )
+        oids = sorted(self._by_type.get(name, set()))
+        return [Ref(self, oid) for oid in oids]
+
+    def cluster_names(self) -> list[str]:
+        """Type names with at least one live object."""
+        return sorted(name for name, oids in self._by_type.items() if oids)
+
+    def all_objects(self) -> Iterator[Ref]:
+        """Generic references to every live object, oid order."""
+        for oid in sorted(self._table):
+            yield Ref(self, oid)
+
+    def object_count(self) -> int:
+        """Number of live persistent objects."""
+        return len(self._table)

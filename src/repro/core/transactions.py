@@ -1,0 +1,289 @@
+"""Transactions and locking for the versioning kernel.
+
+The paper defers concurrency control ("We do not discuss concurrency
+control issues in this paper", §4 fn. 3), but its persistence model demands
+atomic, durable updates -- a ``newversion`` touches the versions heap, the
+object table, and the id counter, and either all of it survives a crash or
+none of it does.  This module provides:
+
+* :class:`LockManager` -- strict two-phase locking at object granularity
+  with shared/exclusive modes, lock upgrade, and timeout-based deadlock
+  resolution (a waiter that times out aborts, wound-free and simple).
+* :class:`Transaction` -- collects WAL records for its heap operations,
+  commits by flushing the log through its ``COMMIT`` record, and aborts by
+  applying undo images in reverse while logging the compensation ops so
+  that crash recovery repeats them (see :mod:`repro.storage.wal`).
+
+In-memory rollback after abort is coarse: the store and catalog caches are
+rebuilt from the (restored) heaps by the database facade.  Aborts are rare
+in the paper's workloads; simplicity wins.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import LockTimeoutError, TransactionStateError
+from repro.storage.wal import (
+    ABORT_END,
+    BEGIN,
+    COMMIT,
+    OP_DELETE,
+    OP_INSERT,
+    OP_UPDATE,
+    LogManager,
+    LogRecord,
+)
+
+if TYPE_CHECKING:
+    from repro.storage.heap import HeapFile
+
+#: Lock modes.
+SHARED = "S"
+EXCLUSIVE = "X"
+
+#: Transaction states.
+ACTIVE = "active"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+
+class LockManager:
+    """Strict 2PL lock table keyed by arbitrary hashable resources.
+
+    Compatible requests: any number of SHARED holders, or exactly one
+    EXCLUSIVE holder.  A holder of SHARED may upgrade to EXCLUSIVE when it
+    is the only holder.  Waits time out after ``timeout`` seconds and raise
+    :class:`LockTimeoutError` -- the caller is expected to abort, which
+    resolves deadlocks.
+    """
+
+    def __init__(self, timeout: float = 2.0) -> None:
+        self._timeout = timeout
+        self._cond = threading.Condition()
+        # resource -> {txid: mode}
+        self._holders: dict[object, dict[int, str]] = {}
+
+    def acquire(self, txid: int, resource: object, mode: str) -> None:
+        """Acquire (or upgrade to) ``mode`` on ``resource`` for ``txid``."""
+        if mode not in (SHARED, EXCLUSIVE):
+            raise ValueError(f"unknown lock mode {mode!r}")
+        deadline = time.monotonic() + self._timeout
+        with self._cond:
+            while True:
+                holders = self._holders.setdefault(resource, {})
+                held = holders.get(txid)
+                if held == EXCLUSIVE or held == mode:
+                    return
+                if mode == SHARED:
+                    if all(m == SHARED for t, m in holders.items() if t != txid):
+                        holders[txid] = SHARED
+                        return
+                else:  # EXCLUSIVE (fresh or upgrade)
+                    others = [t for t in holders if t != txid]
+                    if not others:
+                        holders[txid] = EXCLUSIVE
+                        return
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    if not holders:
+                        del self._holders[resource]
+                    raise LockTimeoutError(
+                        f"txn {txid} timed out waiting for {mode} on {resource!r}"
+                    )
+                self._cond.wait(remaining)
+
+    def release_all(self, txid: int) -> None:
+        """Release every lock held by ``txid`` (commit/abort time)."""
+        with self._cond:
+            empty = []
+            for resource, holders in self._holders.items():
+                holders.pop(txid, None)
+                if not holders:
+                    empty.append(resource)
+            for resource in empty:
+                del self._holders[resource]
+            self._cond.notify_all()
+
+    def held(self, txid: int) -> dict[object, str]:
+        """Snapshot of the locks held by ``txid`` (testing aid)."""
+        with self._cond:
+            return {
+                resource: holders[txid]
+                for resource, holders in self._holders.items()
+                if txid in holders
+            }
+
+
+class Transaction:
+    """One atomic unit of work against the database.
+
+    Created by the database facade, which passes ``heap_resolver`` (file id
+    -> :class:`HeapFile`) for abort-time undo and ``on_finish`` for cache
+    invalidation and lock release.  The transaction's :meth:`log_op` is the
+    callback threaded through every heap mutation it performs.
+    """
+
+    def __init__(
+        self,
+        txid: int,
+        log: LogManager,
+        lock_manager: LockManager,
+        heap_resolver: Callable[[int], "HeapFile"],
+        on_finish: Callable[["Transaction"], None],
+        storage_mutex: "threading.RLock | None" = None,
+    ) -> None:
+        self.txid = txid
+        self.state = ACTIVE
+        self._log = log
+        self._locks = lock_manager
+        self._heap_resolver = heap_resolver
+        self._on_finish = on_finish
+        self._storage_mutex = storage_mutex
+        self._ops: list[LogRecord] = []
+        self._log.append(LogRecord(BEGIN, txid))
+
+    # -- the heap callback ----------------------------------------------------
+
+    def log_op(
+        self,
+        kind: int,
+        file_id: int,
+        page_id: int,
+        slot: int,
+        payload: bytes,
+        undo_payload: bytes,
+    ) -> None:
+        """Record one heap mutation (appended to the WAL, buffered)."""
+        self._require_active()
+        record = LogRecord(kind, self.txid, file_id, page_id, slot, payload, undo_payload)
+        self._log.append(record)
+        self._ops.append(record)
+
+    # -- locking ------------------------------------------------------------
+
+    def lock(self, resource: object, mode: str = EXCLUSIVE) -> None:
+        """Acquire a lock held until commit/abort (strict 2PL)."""
+        self._require_active()
+        self._locks.acquire(self.txid, resource, mode)
+
+    # -- savepoints ------------------------------------------------------------
+
+    def savepoint(self) -> int:
+        """Mark the current position; :meth:`rollback_to` returns here.
+
+        Savepoints are plain op-counts: cheap, nestable, and invalidated
+        by rolling back past them.
+        """
+        self._require_active()
+        return len(self._ops)
+
+    def rollback_to(self, savepoint: int) -> int:
+        """Undo every operation after ``savepoint``; the txn stays active.
+
+        Compensation ops are logged (as in abort) so crash recovery agrees
+        with the in-memory undo.  Returns the number of ops undone.
+        The caller (the database facade) must refresh derived caches.
+        """
+        self._require_active()
+        if not 0 <= savepoint <= len(self._ops):
+            raise TransactionStateError(
+                f"invalid savepoint {savepoint} (transaction has {len(self._ops)} ops)"
+            )
+        victims = self._ops[savepoint:]
+        del self._ops[savepoint:]
+        if self._storage_mutex is not None:
+            with self._storage_mutex:
+                self._undo_records(victims)
+        else:
+            self._undo_records(victims)
+        return len(victims)
+
+    # -- outcome --------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Make every logged operation durable, then release locks."""
+        self._require_active()
+        self._log.append(LogRecord(COMMIT, self.txid))
+        self._log.flush()
+        self.state = COMMITTED
+        self._finish()
+
+    def abort(self) -> None:
+        """Undo every operation (in reverse), log the compensations, finish."""
+        self._require_active()
+        if self._storage_mutex is not None:
+            with self._storage_mutex:
+                self._undo_all()
+        else:
+            self._undo_all()
+        self._log.append(LogRecord(ABORT_END, self.txid))
+        self._log.flush()
+        self.state = ABORTED
+        self._finish()
+
+    def _undo_all(self) -> None:
+        self._undo_records(self._ops)
+
+    def _undo_records(self, records: list[LogRecord]) -> None:
+        for record in reversed(records):
+            heap = self._heap_resolver(record.file_id)
+            if record.kind == OP_INSERT:
+                heap.replay_delete(record.page_id, record.slot)
+                self._log.append(
+                    LogRecord(
+                        OP_DELETE,
+                        self.txid,
+                        record.file_id,
+                        record.page_id,
+                        record.slot,
+                        b"",
+                        record.payload,
+                    )
+                )
+            elif record.kind == OP_UPDATE:
+                heap.replay_update(record.page_id, record.slot, record.undo_payload)
+                self._log.append(
+                    LogRecord(
+                        OP_UPDATE,
+                        self.txid,
+                        record.file_id,
+                        record.page_id,
+                        record.slot,
+                        record.undo_payload,
+                        record.payload,
+                    )
+                )
+            else:  # OP_DELETE
+                heap.replay_insert(record.page_id, record.slot, record.undo_payload)
+                self._log.append(
+                    LogRecord(
+                        OP_INSERT,
+                        self.txid,
+                        record.file_id,
+                        record.page_id,
+                        record.slot,
+                        record.undo_payload,
+                        b"",
+                    )
+                )
+
+    def _finish(self) -> None:
+        self._locks.release_all(self.txid)
+        self._on_finish(self)
+
+    def _require_active(self) -> None:
+        if self.state != ACTIVE:
+            raise TransactionStateError(
+                f"transaction {self.txid} is {self.state}, not active"
+            )
+
+    @property
+    def op_count(self) -> int:
+        """Number of heap operations logged so far."""
+        return len(self._ops)
+
+    def __repr__(self) -> str:
+        return f"Transaction(txid={self.txid}, state={self.state}, ops={len(self._ops)})"

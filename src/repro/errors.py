@@ -1,0 +1,137 @@
+"""Exception hierarchy for ode-py.
+
+Every error raised by the library derives from :class:`OdeError`, so callers
+can catch one base class at an API boundary.  The hierarchy mirrors the
+subsystems: storage errors (pages, heap, WAL), identity/version errors (the
+paper's kernel), transaction errors, and policy errors.
+"""
+
+from __future__ import annotations
+
+
+class OdeError(Exception):
+    """Base class for every error raised by ode-py."""
+
+
+# ---------------------------------------------------------------------------
+# Storage layer
+# ---------------------------------------------------------------------------
+
+
+class StorageError(OdeError):
+    """Base class for errors raised by the persistence substrate."""
+
+
+class PageError(StorageError):
+    """A slotted-page operation failed (bad slot, page overflow, ...)."""
+
+
+class PageFullError(PageError):
+    """The record does not fit in the page's free space."""
+
+
+class BadSlotError(PageError):
+    """The referenced slot does not exist or holds no record."""
+
+
+class DiskError(StorageError):
+    """Low-level file I/O against the database file failed."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool could not satisfy a request (e.g. all frames pinned)."""
+
+
+class HeapError(StorageError):
+    """A heap-file record operation failed."""
+
+
+class RecordNotFoundError(HeapError):
+    """No record lives at the given record id."""
+
+
+class WalError(StorageError):
+    """The write-ahead log is corrupt or an append/replay failed."""
+
+
+class SerializationError(StorageError):
+    """A value could not be encoded to or decoded from the stable codec."""
+
+
+class DeltaError(StorageError):
+    """A delta could not be computed or applied against its base."""
+
+
+class CatalogError(StorageError):
+    """The system catalog is missing an entry or is inconsistent."""
+
+
+# ---------------------------------------------------------------------------
+# Versioning kernel
+# ---------------------------------------------------------------------------
+
+
+class VersionError(OdeError):
+    """Base class for version-graph and version-store errors."""
+
+
+class UnknownObjectError(VersionError):
+    """The object id does not name a live persistent object."""
+
+
+class UnknownVersionError(VersionError):
+    """The version id does not name a live version."""
+
+
+class DanglingReferenceError(VersionError):
+    """A Ref/VersionRef was dereferenced after its target was deleted."""
+
+
+class GraphInvariantError(VersionError):
+    """An internal version-graph invariant was violated (a bug if seen)."""
+
+
+# ---------------------------------------------------------------------------
+# Transactions
+# ---------------------------------------------------------------------------
+
+
+class TransactionError(OdeError):
+    """Base class for transaction failures."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted (explicitly or by conflict)."""
+
+
+class LockTimeoutError(TransactionError):
+    """A lock could not be acquired before the deadlock-avoidance timeout."""
+
+
+class TransactionStateError(TransactionError):
+    """An operation was issued against a finished or inactive transaction."""
+
+
+# ---------------------------------------------------------------------------
+# Policies and baselines
+# ---------------------------------------------------------------------------
+
+
+class PolicyError(OdeError):
+    """Base class for errors in policy modules (configurations, ...)."""
+
+
+class ConfigurationError(PolicyError):
+    """A configuration binding is missing or cannot be resolved."""
+
+
+class BaselineError(OdeError):
+    """Base class for errors raised by the related-work baseline models."""
+
+
+class NotVersionableError(BaselineError):
+    """ORION-style model: the class was not declared versionable."""
+
+
+class CheckoutError(BaselineError):
+    """ORION-style model: invalid checkout/checkin sequence."""

@@ -1,0 +1,91 @@
+"""Policies built from the kernel primitives.
+
+The paper's design principle is "primitives, not policies": configurations
+and contexts (paper §5), change notification (§2), and version percolation
+(§3) are all deliberately *excluded* from the kernel because users can
+build them.  This package builds them, as the existence proof.
+"""
+
+from repro.policies.checkout import (
+    OrionOnOde,
+    RELEASED,
+    TRANSIENT,
+    WORKING,
+)
+from repro.policies.composites import (
+    CascadeReport,
+    CompositeManager,
+    OwnershipRegistry,
+)
+from repro.policies.configuration import (
+    Configuration,
+    Context,
+    DYNAMIC,
+    STATIC,
+    freeze,
+    materialize,
+    resolve,
+    resolve_in_context,
+)
+from repro.policies.notification import (
+    CHANGE_EVENTS,
+    ChangeNotifier,
+    Notification,
+    Subscription,
+)
+from repro.policies.environments import (
+    DEFAULT_STATES,
+    DEFAULT_TRANSITIONS,
+    VersionEnvironment,
+    alternatives_in_state,
+    effective_version,
+    latest_in_state,
+    partition,
+    promote_pipeline,
+    sweep_dead_assignments,
+    versions_in_state,
+)
+from repro.policies.percolation import (
+    CompositeRegistry,
+    PercolationResult,
+    find_referencers,
+    ids_in_state,
+    percolate,
+)
+
+__all__ = [
+    "CascadeReport",
+    "CompositeManager",
+    "OwnershipRegistry",
+    "OrionOnOde",
+    "RELEASED",
+    "TRANSIENT",
+    "WORKING",
+    "DEFAULT_STATES",
+    "DEFAULT_TRANSITIONS",
+    "VersionEnvironment",
+    "alternatives_in_state",
+    "effective_version",
+    "latest_in_state",
+    "partition",
+    "promote_pipeline",
+    "sweep_dead_assignments",
+    "versions_in_state",
+    "Configuration",
+    "Context",
+    "DYNAMIC",
+    "STATIC",
+    "freeze",
+    "materialize",
+    "resolve",
+    "resolve_in_context",
+    "CHANGE_EVENTS",
+    "ChangeNotifier",
+    "Notification",
+    "Subscription",
+    "CompositeRegistry",
+    "PercolationResult",
+    "find_referencers",
+    "ids_in_state",
+    "percolate",
+]

@@ -1,0 +1,250 @@
+"""Delta codec: store a version as its difference from the derived-from base.
+
+Paper §3: "The derived-from relationship can be used to store versions by
+storing their 'differences' (called deltas [28, 32])" -- citing SCCS and
+RCS.  This module provides the binary-delta machinery that the version
+store's ``delta`` storage policy uses, and experiment E5 measures the
+space/latency trade-off against full copies.
+
+Algorithm: rsync-style block matching.  The *base* is split into fixed-size
+blocks which are indexed by a rolling checksum (a weak Adler-32 variant)
+plus a strong hash.  The *target* is scanned with the rolling checksum; on a
+match the delta emits ``COPY(base_offset, length)`` (greedily extended past
+the block boundary), otherwise literal bytes accumulate into ``ADD`` ops.
+Applying a delta is a single pass over its ops.
+
+Delta wire format (all varints)::
+
+    magic 'D1' | base_len | target_len | op*
+    op := 0x01 len bytes           -- ADD literal
+        | 0x02 offset len          -- COPY from base
+
+The codec verifies ``base_len`` on apply, so applying a delta to the wrong
+base fails loudly instead of producing garbage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import DeltaError
+from repro.storage.serialization import read_uvarint, write_uvarint
+
+#: Default block size for the base index.  Small enough to find matches in
+#: page-sized records, large enough that the index stays compact.
+DEFAULT_BLOCK_SIZE = 64
+
+_MAGIC = b"D1"
+_OP_ADD = 0x01
+_OP_COPY = 0x02
+
+_MOD = 1 << 16
+
+
+def _weak_checksum(data: bytes | memoryview) -> tuple[int, int, int]:
+    """Adler-style weak checksum; returns ``(a, b, combined)``."""
+    a = 0
+    b = 0
+    for byte in data:
+        a = (a + byte) % _MOD
+        b = (b + a) % _MOD
+    return a, b, (b << 16) | a
+
+
+def _roll(a: int, b: int, out_byte: int, in_byte: int, block: int) -> tuple[int, int, int]:
+    """Slide the weak checksum one byte forward."""
+    a = (a - out_byte + in_byte) % _MOD
+    b = (b - block * out_byte + a) % _MOD
+    return a, b, (b << 16) | a
+
+
+def _strong_hash(data: bytes | memoryview) -> bytes:
+    return hashlib.blake2b(bytes(data), digest_size=8).digest()
+
+
+@dataclass(frozen=True)
+class DeltaStats:
+    """Size accounting for one computed delta (used by experiment E5)."""
+
+    base_len: int
+    target_len: int
+    delta_len: int
+    copy_bytes: int
+    add_bytes: int
+
+    @property
+    def ratio(self) -> float:
+        """Delta size relative to the target (< 1.0 means the delta saves space)."""
+        if self.target_len == 0:
+            return 0.0 if self.delta_len == 0 else float("inf")
+        return self.delta_len / self.target_len
+
+
+def compute_delta(
+    base: bytes, target: bytes, block_size: int = DEFAULT_BLOCK_SIZE
+) -> bytes:
+    """Compute a delta that transforms ``base`` into ``target``.
+
+    Always succeeds; in the worst case the delta is one big ADD (slightly
+    larger than the target itself).  Callers deciding between full-copy and
+    delta storage should compare ``len(delta)`` with ``len(target)``.
+    """
+    if block_size < 8:
+        raise DeltaError("block size must be >= 8")
+    out = bytearray(_MAGIC)
+    write_uvarint(out, len(base))
+    write_uvarint(out, len(target))
+
+    if not base or len(target) < block_size:
+        _emit_add(out, target)
+        return bytes(out)
+
+    # Index base blocks: weak checksum -> [(block_start, strong_hash)].
+    index: dict[int, list[tuple[int, bytes]]] = {}
+    base_view = memoryview(base)
+    for start in range(0, len(base) - block_size + 1, block_size):
+        blk = base_view[start : start + block_size]
+        _a, _b, combined = _weak_checksum(blk)
+        index.setdefault(combined, []).append((start, _strong_hash(blk)))
+
+    target_view = memoryview(target)
+    pos = 0
+    literal_start = 0
+    n = len(target)
+    a = b = combined = -1
+    checksum_valid = False
+    while pos + block_size <= n:
+        window = target_view[pos : pos + block_size]
+        if not checksum_valid:
+            a, b, combined = _weak_checksum(window)
+            checksum_valid = True
+        match_start = -1
+        candidates = index.get(combined)
+        if candidates:
+            strong = _strong_hash(window)
+            for base_start, base_strong in candidates:
+                if base_strong == strong:
+                    match_start = base_start
+                    break
+        if match_start >= 0:
+            # Extend the match greedily beyond the block.
+            length = block_size
+            while (
+                pos + length < n
+                and match_start + length < len(base)
+                and target[pos + length] == base[match_start + length]
+            ):
+                length += 1
+            if literal_start < pos:
+                _emit_add(out, target[literal_start:pos])
+            _emit_copy(out, match_start, length)
+            pos += length
+            literal_start = pos
+            checksum_valid = False
+        else:
+            # Roll one byte forward.
+            if pos + block_size < n:
+                a, b, combined = _roll(
+                    a, b, target[pos], target[pos + block_size], block_size
+                )
+            pos += 1
+    if literal_start < n:
+        _emit_add(out, target[literal_start:])
+    return bytes(out)
+
+
+def _emit_add(out: bytearray, data: bytes | memoryview) -> None:
+    if len(data) == 0:
+        return
+    out.append(_OP_ADD)
+    write_uvarint(out, len(data))
+    out.extend(data)
+
+
+def _emit_copy(out: bytearray, offset: int, length: int) -> None:
+    out.append(_OP_COPY)
+    write_uvarint(out, offset)
+    write_uvarint(out, length)
+
+
+def apply_delta(base: bytes, delta: bytes) -> bytes:
+    """Reconstruct the target from ``base`` and a delta.
+
+    Raises :class:`DeltaError` if the delta is malformed, was computed
+    against a base of a different length, or reconstructs the wrong number
+    of bytes.
+    """
+    if delta[:2] != _MAGIC:
+        raise DeltaError("not a delta (bad magic)")
+    pos = 2
+    base_len, pos = read_uvarint(delta, pos)
+    target_len, pos = read_uvarint(delta, pos)
+    if base_len != len(base):
+        raise DeltaError(
+            f"delta was computed against a {base_len}-byte base, got {len(base)} bytes"
+        )
+    out = bytearray()
+    n = len(delta)
+    while pos < n:
+        op = delta[pos]
+        pos += 1
+        if op == _OP_ADD:
+            length, pos = read_uvarint(delta, pos)
+            if pos + length > n:
+                raise DeltaError("truncated ADD op")
+            out.extend(delta[pos : pos + length])
+            pos += length
+        elif op == _OP_COPY:
+            offset, pos = read_uvarint(delta, pos)
+            length, pos = read_uvarint(delta, pos)
+            if offset + length > len(base):
+                raise DeltaError("COPY op reaches past end of base")
+            out.extend(base[offset : offset + length])
+        else:
+            raise DeltaError(f"unknown delta op 0x{op:02x}")
+    if len(out) != target_len:
+        raise DeltaError(
+            f"delta reconstructed {len(out)} bytes, expected {target_len}"
+        )
+    return bytes(out)
+
+
+def delta_stats(base: bytes, target: bytes, delta: bytes) -> DeltaStats:
+    """Decompose a delta into COPY/ADD byte counts (for experiment E5)."""
+    if delta[:2] != _MAGIC:
+        raise DeltaError("not a delta (bad magic)")
+    pos = 2
+    _base_len, pos = read_uvarint(delta, pos)
+    _target_len, pos = read_uvarint(delta, pos)
+    copy_bytes = 0
+    add_bytes = 0
+    n = len(delta)
+    while pos < n:
+        op = delta[pos]
+        pos += 1
+        if op == _OP_ADD:
+            length, pos = read_uvarint(delta, pos)
+            add_bytes += length
+            pos += length
+        elif op == _OP_COPY:
+            _offset, pos = read_uvarint(delta, pos)
+            length, pos = read_uvarint(delta, pos)
+            copy_bytes += length
+        else:
+            raise DeltaError(f"unknown delta op 0x{op:02x}")
+    return DeltaStats(
+        base_len=len(base),
+        target_len=len(target),
+        delta_len=len(delta),
+        copy_bytes=copy_bytes,
+        add_bytes=add_bytes,
+    )
+
+
+def materialize_chain(root: bytes, deltas: list[bytes]) -> bytes:
+    """Apply a derivation chain of deltas in order starting from ``root``."""
+    current = root
+    for delta in deltas:
+        current = apply_delta(current, delta)
+    return current

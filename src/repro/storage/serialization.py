@@ -1,0 +1,370 @@
+"""Stable binary codec for persistent object state.
+
+The Ode persistence library stores C++ object images; the Python analogue
+needs a codec that is (a) *stable* -- the byte encoding of a value never
+changes across runs, so deltas and WAL replay are deterministic -- and
+(b) *closed* -- only a known set of types can be persisted, so a database
+file can always be read back without importing arbitrary code.
+
+Supported values:
+
+* ``None``, ``bool``, ``int`` (arbitrary precision), ``float``, ``str``,
+  ``bytes``
+* ``list``, ``tuple``, ``dict``, ``set``, ``frozenset`` of supported values
+* :class:`~repro.core.identity.Oid` and :class:`~repro.core.identity.Vid`
+  (persistent references -- the on-disk form of the paper's object ids and
+  version ids)
+* registered *persistent types*: any class registered via
+  :func:`register_type` is encoded as ``(type name, state dict)`` where the
+  state comes from ``__getstate__``/``obj.__dict__``.
+
+Integers use zig-zag varints; containers are length-prefixed.  ``dict``
+preserves insertion order (like Python).  ``set``/``frozenset`` elements are
+sorted by their encoded bytes so equal sets always encode identically.
+
+We deliberately do **not** use :mod:`pickle`: pickle is neither stable
+across Python versions nor safe to load from an untrusted database file.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable
+
+from repro.errors import SerializationError
+
+# Tag bytes.  Never renumber -- they are on-disk format.
+_T_NONE = 0x00
+_T_FALSE = 0x01
+_T_TRUE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_BYTES = 0x06
+_T_LIST = 0x07
+_T_TUPLE = 0x08
+_T_DICT = 0x09
+_T_SET = 0x0A
+_T_FROZENSET = 0x0B
+_T_OID = 0x0C
+_T_VID = 0x0D
+_T_OBJECT = 0x0E
+_T_BIGINT = 0x0F  # ints that overflow a 64-bit zig-zag varint
+
+_F64 = struct.Struct("<d")
+
+# Registry: class <-> stable name.  Populated by register_type().
+_TYPE_BY_NAME: dict[str, type] = {}
+_NAME_BY_TYPE: dict[type, str] = {}
+
+# Hooks installed by repro.core so that Oid/Vid/Ref encode without a
+# circular import at module load time.  They are set in repro.core.identity.
+_oid_codec: tuple[Callable[[Any], bytes], Callable[[bytes], Any]] | None = None
+_vid_codec: tuple[Callable[[Any], bytes], Callable[[bytes], Any]] | None = None
+_oid_type: type | None = None
+_vid_type: type | None = None
+
+
+def install_identity_codec(
+    oid_type: type,
+    oid_encode: Callable[[Any], bytes],
+    oid_decode: Callable[[bytes], Any],
+    vid_type: type,
+    vid_encode: Callable[[Any], bytes],
+    vid_decode: Callable[[bytes], Any],
+) -> None:
+    """Wire the identity types into the codec (called by repro.core.identity)."""
+    global _oid_codec, _vid_codec, _oid_type, _vid_type
+    _oid_codec = (oid_encode, oid_decode)
+    _vid_codec = (vid_encode, vid_decode)
+    _oid_type = oid_type
+    _vid_type = vid_type
+
+
+_ref_unwrappers: list[tuple[type, Callable[[Any], Any]]] = []
+
+
+def install_reference_unwrapper(ref_type: type, to_id: Callable[[Any], Any]) -> None:
+    """Teach the codec to encode a live reference proxy as its id.
+
+    Installed by :mod:`repro.core.pointers` so that a Ref nested anywhere in
+    persistent state is stored as its Oid (and a VersionRef as its Vid) --
+    decoding yields the id, and access through a reference re-binds it.
+    """
+    _ref_unwrappers.append((ref_type, to_id))
+
+
+def register_type(cls: type, name: str | None = None) -> type:
+    """Register ``cls`` as a persistable type under a stable ``name``.
+
+    Usable as a decorator::
+
+        @register_type
+        class Part: ...
+
+    Instances are encoded as their ``__getstate__()`` (or ``__dict__``) and
+    decoded via ``cls.__new__`` + ``__setstate__`` (or ``__dict__.update``),
+    so no constructor runs on load.  Re-registering the same class under the
+    same name is a no-op; a name collision with a different class raises.
+    """
+    if name is None:
+        name = f"{cls.__module__}.{cls.__qualname__}"
+    existing = _TYPE_BY_NAME.get(name)
+    if existing is not None and existing is not cls:
+        raise SerializationError(f"type name {name!r} already registered to {existing!r}")
+    _TYPE_BY_NAME[name] = cls
+    _NAME_BY_TYPE[cls] = name
+    return cls
+
+
+def registered_name(cls: type) -> str | None:
+    """The stable name ``cls`` was registered under, or None."""
+    return _NAME_BY_TYPE.get(cls)
+
+
+def lookup_type(name: str) -> type:
+    """Resolve a stable type name back to the class; raises if unknown."""
+    try:
+        return _TYPE_BY_NAME[name]
+    except KeyError:
+        raise SerializationError(f"unknown persistent type {name!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Varints
+# ---------------------------------------------------------------------------
+
+
+def write_uvarint(out: bytearray, value: int) -> None:
+    """Append an unsigned LEB128 varint."""
+    if value < 0:
+        raise SerializationError("uvarint cannot encode negative values")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_uvarint(data: bytes, pos: int) -> tuple[int, int]:
+    """Read an unsigned varint at ``pos``; return ``(value, new_pos)``."""
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise SerializationError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63 + 7:
+            raise SerializationError("varint too long")
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 63) if -(1 << 63) <= value < (1 << 63) else -1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+
+def _encode_into(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif type(value) is int:
+        if -(1 << 63) <= value < (1 << 63):
+            out.append(_T_INT)
+            write_uvarint(out, _zigzag(value))
+        else:
+            out.append(_T_BIGINT)
+            raw = value.to_bytes((value.bit_length() + 8) // 8 + 1, "little", signed=True)
+            write_uvarint(out, len(raw))
+            out.extend(raw)
+    elif type(value) is float:
+        out.append(_T_FLOAT)
+        out.extend(_F64.pack(value))
+    elif type(value) is str:
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        write_uvarint(out, len(raw))
+        out.extend(raw)
+    elif type(value) is bytes:
+        out.append(_T_BYTES)
+        write_uvarint(out, len(value))
+        out.extend(value)
+    elif type(value) is list:
+        out.append(_T_LIST)
+        write_uvarint(out, len(value))
+        for item in value:
+            _encode_into(out, item)
+    elif type(value) is tuple:
+        out.append(_T_TUPLE)
+        write_uvarint(out, len(value))
+        for item in value:
+            _encode_into(out, item)
+    elif type(value) is dict:
+        out.append(_T_DICT)
+        write_uvarint(out, len(value))
+        for key, val in value.items():
+            _encode_into(out, key)
+            _encode_into(out, val)
+    elif type(value) in (set, frozenset):
+        out.append(_T_SET if type(value) is set else _T_FROZENSET)
+        encoded = sorted(encode(item) for item in value)
+        write_uvarint(out, len(encoded))
+        for raw in encoded:
+            out.extend(raw)
+    elif _oid_type is not None and type(value) is _oid_type:
+        assert _oid_codec is not None
+        raw = _oid_codec[0](value)
+        out.append(_T_OID)
+        write_uvarint(out, len(raw))
+        out.extend(raw)
+    elif _vid_type is not None and type(value) is _vid_type:
+        assert _vid_codec is not None
+        raw = _vid_codec[0](value)
+        out.append(_T_VID)
+        write_uvarint(out, len(raw))
+        out.extend(raw)
+    else:
+        for ref_type, to_id in _ref_unwrappers:
+            if isinstance(value, ref_type):
+                _encode_into(out, to_id(value))
+                return
+        name = _NAME_BY_TYPE.get(type(value))
+        if name is None:
+            raise SerializationError(
+                f"cannot persist value of unregistered type {type(value).__qualname__}"
+            )
+        getstate = getattr(value, "__getstate__", None)
+        state = getstate() if callable(getstate) else dict(value.__dict__)
+        if state is None:
+            # Python 3.11+: object.__getstate__ returns None when __dict__
+            # is empty; persist the empty state rather than failing.
+            state = dict(value.__dict__)
+        if not isinstance(state, dict):
+            raise SerializationError(
+                f"{name}: __getstate__ must return a dict, got {type(state).__qualname__}"
+            )
+        out.append(_T_OBJECT)
+        _encode_into(out, name)
+        _encode_into(out, state)
+
+
+def encode(value: Any) -> bytes:
+    """Encode ``value`` to stable bytes.  Raises :class:`SerializationError`."""
+    out = bytearray()
+    _encode_into(out, value)
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+
+def _decode_at(data: bytes, pos: int) -> tuple[Any, int]:
+    if pos >= len(data):
+        raise SerializationError("truncated value")
+    tag = data[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT:
+        raw, pos = read_uvarint(data, pos)
+        return _unzigzag(raw), pos
+    if tag == _T_BIGINT:
+        length, pos = read_uvarint(data, pos)
+        if pos + length > len(data):
+            raise SerializationError("truncated bigint")
+        value = int.from_bytes(data[pos : pos + length], "little", signed=True)
+        return value, pos + length
+    if tag == _T_FLOAT:
+        if pos + 8 > len(data):
+            raise SerializationError("truncated float")
+        return _F64.unpack_from(data, pos)[0], pos + 8
+    if tag == _T_STR:
+        length, pos = read_uvarint(data, pos)
+        if pos + length > len(data):
+            raise SerializationError("truncated string")
+        return data[pos : pos + length].decode("utf-8"), pos + length
+    if tag == _T_BYTES:
+        length, pos = read_uvarint(data, pos)
+        if pos + length > len(data):
+            raise SerializationError("truncated bytes")
+        return data[pos : pos + length], pos + length
+    if tag in (_T_LIST, _T_TUPLE):
+        count, pos = read_uvarint(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _decode_at(data, pos)
+            items.append(item)
+        return (items if tag == _T_LIST else tuple(items)), pos
+    if tag == _T_DICT:
+        count, pos = read_uvarint(data, pos)
+        result: dict[Any, Any] = {}
+        for _ in range(count):
+            key, pos = _decode_at(data, pos)
+            val, pos = _decode_at(data, pos)
+            result[key] = val
+        return result, pos
+    if tag in (_T_SET, _T_FROZENSET):
+        count, pos = read_uvarint(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _decode_at(data, pos)
+            items.append(item)
+        return (set(items) if tag == _T_SET else frozenset(items)), pos
+    if tag == _T_OID:
+        if _oid_codec is None:
+            raise SerializationError("identity codec not installed")
+        length, pos = read_uvarint(data, pos)
+        return _oid_codec[1](data[pos : pos + length]), pos + length
+    if tag == _T_VID:
+        if _vid_codec is None:
+            raise SerializationError("identity codec not installed")
+        length, pos = read_uvarint(data, pos)
+        return _vid_codec[1](data[pos : pos + length]), pos + length
+    if tag == _T_OBJECT:
+        name, pos = _decode_at(data, pos)
+        state, pos = _decode_at(data, pos)
+        cls = lookup_type(name)
+        obj = cls.__new__(cls)
+        setstate = getattr(obj, "__setstate__", None)
+        if callable(setstate):
+            setstate(state)
+        else:
+            obj.__dict__.update(state)
+        return obj, pos
+    raise SerializationError(f"unknown tag byte 0x{tag:02x}")
+
+
+def decode(data: bytes) -> Any:
+    """Decode bytes produced by :func:`encode`.
+
+    Raises :class:`SerializationError` on trailing garbage, so a decoded
+    record is always exactly one value.
+    """
+    value, pos = _decode_at(data, 0)
+    if pos != len(data):
+        raise SerializationError(f"{len(data) - pos} trailing bytes after value")
+    return value

@@ -1,0 +1,43 @@
+"""Operational tools: inspection, integrity checking, and vacuum.
+
+What a downstream user reaches for when a database directory looks odd:
+
+* :func:`repro.tools.inspect.inspect_database` / ``python -m repro.tools.inspect``
+  -- human-readable summary of a database directory;
+* :func:`repro.tools.check.check_database` -- fsck-style deep integrity
+  verification (every version materializes, every graph validates, no
+  orphan payload records);
+* :func:`repro.tools.vacuum.vacuum` -- rewrite a database into a fresh
+  compact directory, dropping dead pages and fragmentation.
+"""
+
+from repro.tools.check import CheckReport, check_database
+from repro.tools.dump import DumpError, dump_database, load_database
+from repro.tools.inspect import DatabaseSummary, inspect_database
+from repro.tools.migrate import (
+    MigrationError,
+    MigrationReport,
+    add_field,
+    drop_field,
+    migrate_cluster,
+    rename_field,
+)
+from repro.tools.vacuum import VacuumReport, vacuum
+
+__all__ = [
+    "CheckReport",
+    "check_database",
+    "DumpError",
+    "dump_database",
+    "load_database",
+    "MigrationError",
+    "MigrationReport",
+    "add_field",
+    "drop_field",
+    "migrate_cluster",
+    "rename_field",
+    "DatabaseSummary",
+    "inspect_database",
+    "VacuumReport",
+    "vacuum",
+]

@@ -1,0 +1,127 @@
+"""fsck for ode-py databases: deep integrity verification.
+
+Checks, for an open database:
+
+1. every version graph validates structurally (acyclic derivation,
+   temporal chain consistent, parent/child symmetry);
+2. every live version's payload materializes through the codec (delta
+   chains reconstruct, spanning records assemble);
+3. every payload record in the versions heap is referenced by exactly one
+   live version (no orphans, no double-references);
+4. cluster membership matches the object table in both directions;
+5. the object-table heap decodes record by record.
+
+Returns a :class:`CheckReport`; ``ok`` is True when no problems were
+found.  Never mutates the database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.database import Database
+from repro.core.identity import Vid
+from repro.errors import OdeError
+from repro.storage.heap import Rid
+
+
+@dataclass
+class CheckReport:
+    """Findings of one :func:`check_database` run."""
+
+    objects_checked: int = 0
+    versions_checked: int = 0
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the database passed every check."""
+        return not self.problems
+
+    def render(self) -> str:
+        """Human-readable report."""
+        header = (
+            f"checked {self.objects_checked} objects / "
+            f"{self.versions_checked} versions: "
+            + ("OK" if self.ok else f"{len(self.problems)} problem(s)")
+        )
+        return "\n".join([header] + [f"  - {p}" for p in self.problems])
+
+
+def check_database(db: Database) -> CheckReport:
+    """Run every integrity check against an open database."""
+    report = CheckReport()
+    store = db.store
+    catalog = db.catalog
+
+    versions_heap = catalog.ensure_heap("ode.versions")
+    objects_heap = catalog.ensure_heap("ode.objects")
+    clusters_heap = catalog.ensure_heap("ode.clusters")
+
+    # 5. object-table heap decodes.
+    from repro.storage import serialization
+
+    table_rids = set()
+    for rid, payload in objects_heap.scan():
+        table_rids.add(rid)
+        try:
+            serialization.decode(payload)
+        except OdeError as exc:
+            report.problems.append(f"object-table record {rid} undecodable: {exc}")
+
+    # 1+2: graphs validate, versions materialize; collect payload refs.
+    referenced: dict[Rid, Vid] = {}
+    for ref in store.all_objects():
+        report.objects_checked += 1
+        graph = store.graph(ref.oid)
+        try:
+            graph.validate()
+        except OdeError as exc:
+            report.problems.append(f"object {ref.oid!r}: graph invalid: {exc}")
+            continue
+        for node in graph.walk_temporal():
+            report.versions_checked += 1
+            vid = Vid(ref.oid, node.serial)
+            _kind, page_id, slot = node.data
+            rid = Rid(page_id, slot)
+            if rid in referenced:
+                report.problems.append(
+                    f"payload record {rid} referenced by both "
+                    f"{referenced[rid]!r} and {vid!r}"
+                )
+            referenced[rid] = vid
+            try:
+                store.materialize(vid)
+            except OdeError as exc:
+                report.problems.append(f"version {vid!r} unmaterializable: {exc}")
+
+    # 3. orphan payload records.
+    for rid, _payload in versions_heap.scan():
+        if rid not in referenced:
+            report.problems.append(f"orphan payload record at {rid}")
+
+    # 4. cluster membership symmetric with the object table.
+    cluster_oids = set()
+    for rid, payload in clusters_heap.scan():
+        try:
+            type_name, oid = serialization.decode(payload)
+        except (OdeError, ValueError) as exc:
+            report.problems.append(f"cluster record {rid} undecodable: {exc}")
+            continue
+        if oid in cluster_oids:
+            report.problems.append(f"object {oid!r} has duplicate cluster records")
+        cluster_oids.add(oid)
+        if not store.object_exists(oid):
+            report.problems.append(
+                f"cluster record {rid} names dead object {oid!r}"
+            )
+        elif store.type_name(oid) != type_name:
+            report.problems.append(
+                f"object {oid!r} clustered as {type_name!r} but typed "
+                f"{store.type_name(oid)!r}"
+            )
+    for ref in store.all_objects():
+        if ref.oid not in cluster_oids:
+            report.problems.append(f"object {ref.oid!r} missing from clusters heap")
+
+    return report

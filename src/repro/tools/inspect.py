@@ -1,0 +1,119 @@
+"""Database inspection: what is in this directory?
+
+``python -m repro.tools.inspect /path/to/db`` prints a summary; the same
+information is available programmatically via :func:`inspect_database`,
+which returns a :class:`DatabaseSummary` of plain data (safe to log or
+serialize).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+from repro.core.database import Database
+
+
+@dataclass
+class ClusterSummary:
+    """Per-cluster statistics."""
+
+    type_name: str
+    objects: int
+    versions: int
+    max_history: int
+    branched_objects: int  # objects with >1 derivation leaf
+
+
+@dataclass
+class DatabaseSummary:
+    """Everything :func:`inspect_database` gathers."""
+
+    path: str
+    objects: int
+    versions: int
+    clusters: list[ClusterSummary] = field(default_factory=list)
+    heaps: list[str] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+    data_pages: int = 0
+    wal_bytes: int = 0
+    storage_policy: str = "full"
+
+    def render(self) -> str:
+        """A human-readable multi-line report."""
+        lines = [
+            f"database: {self.path}",
+            f"  policy: {self.storage_policy}",
+            f"  data pages: {self.data_pages}  wal bytes: {self.wal_bytes}",
+            f"  objects: {self.objects}  versions: {self.versions}",
+            f"  heaps: {', '.join(self.heaps) or '(none)'}",
+            "  counters: "
+            + (", ".join(f"{k}={v}" for k, v in sorted(self.counters.items())) or "(none)"),
+            "  clusters:",
+        ]
+        for cluster in self.clusters:
+            lines.append(
+                f"    {cluster.type_name}: {cluster.objects} objects, "
+                f"{cluster.versions} versions (max history {cluster.max_history}, "
+                f"{cluster.branched_objects} branched)"
+            )
+        if not self.clusters:
+            lines.append("    (empty)")
+        return "\n".join(lines)
+
+
+def inspect_database(db: Database) -> DatabaseSummary:
+    """Gather a summary of an open database."""
+    store = db.store
+    catalog = db.catalog
+    clusters: list[ClusterSummary] = []
+    total_versions = 0
+    for type_name in store.cluster_names():
+        refs = store.cluster(type_name)
+        versions = 0
+        max_history = 0
+        branched = 0
+        for ref in refs:
+            graph = store.graph(ref.oid)
+            versions += len(graph)
+            max_history = max(max_history, len(graph))
+            if len(graph.leaves()) > 1:
+                branched += 1
+        total_versions += versions
+        clusters.append(
+            ClusterSummary(
+                type_name=type_name,
+                objects=len(refs),
+                versions=versions,
+                max_history=max_history,
+                branched_objects=branched,
+            )
+        )
+    stats = db.stats()
+    counters = {name: catalog.peek_value(name) for name in ("ode.oid",)}
+    return DatabaseSummary(
+        path=db.path,
+        objects=store.object_count(),
+        versions=total_versions,
+        clusters=clusters,
+        heaps=catalog.heap_names(),
+        counters=counters,
+        data_pages=stats["data_pages"],
+        wal_bytes=stats["wal_bytes"],
+        storage_policy=store.policy.kind,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: ``python -m repro.tools.inspect <db-dir>``."""
+    args = argv if argv is not None else sys.argv[1:]
+    if len(args) != 1:
+        print("usage: python -m repro.tools.inspect <database-directory>")
+        return 2
+    with Database(args[0]) as db:
+        print(inspect_database(db).render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,123 @@
+"""Version-graph rendering: ASCII trees and Graphviz DOT.
+
+The Ode project's companion system OdeView [4] presented version
+derivation graphs graphically.  This module is the text-mode equivalent:
+``ascii_tree`` draws the paper's derivation figures in the terminal, and
+``to_dot`` emits Graphviz for real diagrams.  Both draw the *derived-from*
+tree (solid arrows in the paper's figures) and annotate the *temporal*
+chain (the dotted arrows) with sequence positions.
+
+Example output for the paper's §4 running example::
+
+    v1 [t0]  <- latest is v4
+    ├── v2 [t1]
+    │   └── v4 [t3] *latest*
+    └── v3 [t2]
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.database import Database
+from repro.core.identity import Oid, Vid
+from repro.core.pointers import Ref
+from repro.core.vgraph import VersionGraph
+
+Labeler = Callable[[int], str]
+
+
+def ascii_tree(
+    graph: VersionGraph,
+    labeler: Labeler | None = None,
+) -> str:
+    """Render a derivation forest as an ASCII tree.
+
+    ``labeler(serial)`` may add a per-version annotation (e.g. a field of
+    the version's state); by default versions show their serial and
+    temporal position.
+    """
+    order = {serial: pos for pos, serial in enumerate(graph.serials())}
+    latest = graph.latest()
+    lines: list[str] = []
+
+    def label(serial: int) -> str:
+        text = f"v{serial} [t{order[serial]}]"
+        if labeler is not None:
+            extra = labeler(serial)
+            if extra:
+                text += f" {extra}"
+        if serial == latest:
+            text += " *latest*"
+        return text
+
+    def walk(serial: int, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(label(serial))
+            child_prefix = ""
+        else:
+            connector = "└── " if is_last else "├── "
+            lines.append(prefix + connector + label(serial))
+            child_prefix = prefix + ("    " if is_last else "│   ")
+        children = graph.dnext(serial)
+        for i, child in enumerate(children):
+            walk(child, child_prefix, i == len(children) - 1, False)
+
+    for root in graph.roots():
+        walk(root, "", True, True)
+    return "\n".join(lines)
+
+
+def to_dot(
+    graph: VersionGraph,
+    name: str = "versions",
+    labeler: Labeler | None = None,
+) -> str:
+    """Render a version graph as Graphviz DOT.
+
+    Solid edges are derived-from (paper's solid arrows); dashed edges are
+    the temporal chain (the paper's dotted arrows); the latest version is
+    drawn doubled, matching the object-id-denotes-latest convention.
+    """
+    latest = graph.latest()
+    lines = [f"digraph {name} {{", "  rankdir=BT;", "  node [shape=circle];"]
+    for node in graph.walk_temporal():
+        label = f"v{node.serial}"
+        if labeler is not None:
+            extra = labeler(node.serial)
+            if extra:
+                label += f"\\n{extra}"
+        shape = "doublecircle" if node.serial == latest else "circle"
+        lines.append(f'  v{node.serial} [label="{label}", shape={shape}];')
+    for node in graph.walk_temporal():
+        if node.dprev is not None:
+            lines.append(f"  v{node.serial} -> v{node.dprev};")
+    serials = graph.serials()
+    for older, newer in zip(serials, serials[1:]):
+        lines.append(f"  v{newer} -> v{older} [style=dashed, constraint=false];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def describe_object(
+    db: Database,
+    target: Ref | Oid,
+    field: str | None = None,
+) -> str:
+    """A ready-to-print report for one object: header + ASCII tree.
+
+    ``field`` names an attribute to annotate each version with.
+    """
+    oid = target.oid if isinstance(target, Ref) else target
+    graph = db.graph(db.deref(oid))
+    labeler: Labeler | None = None
+    if field is not None:
+        def labeler(serial: int) -> str:
+            value = getattr(db.deref(Vid(oid, serial)), field, None)
+            return f"{field}={value!r}"
+
+    header = (
+        f"object {oid.value} ({db.type_name(oid)}): "
+        f"{len(graph)} versions, {len(graph.leaves())} alternative(s)"
+    )
+    return header + "\n" + ascii_tree(graph, labeler)

@@ -1,0 +1,80 @@
+"""Workload generators: the paper's examples as executable scenarios.
+
+* :mod:`repro.workloads.cad` -- the §5 DMS ALU design-evolution workload;
+* :mod:`repro.workloads.history` -- the §3 address-book and ledger
+  historical-database workloads;
+* :mod:`repro.workloads.synthetic` -- seeded topology and payload
+  generators for benchmarks and property tests.
+"""
+
+from repro.workloads.cad import (
+    AluDesign,
+    Chip,
+    DesignEvolution,
+    FaultCommands,
+    SchematicData,
+    TestVectors,
+    TimingCommands,
+    build_alu_design,
+    release_representation,
+    representation_view,
+    revise_schematic,
+)
+from repro.workloads.history import (
+    Account,
+    AddressBook,
+    AddressBookScenario,
+    LedgerScenario,
+    Person,
+    address_as_of,
+    address_history,
+    audit_trail,
+    balance_as_of,
+    build_address_book,
+    build_ledger,
+    current_addresses,
+    move_person,
+    post,
+)
+from repro.workloads.synthetic import (
+    Blob,
+    make_chain,
+    make_random_tree,
+    make_star,
+    mutate_payload,
+    random_payload,
+)
+
+__all__ = [
+    "AluDesign",
+    "Chip",
+    "DesignEvolution",
+    "FaultCommands",
+    "SchematicData",
+    "TestVectors",
+    "TimingCommands",
+    "build_alu_design",
+    "release_representation",
+    "representation_view",
+    "revise_schematic",
+    "Account",
+    "AddressBook",
+    "AddressBookScenario",
+    "LedgerScenario",
+    "Person",
+    "address_as_of",
+    "address_history",
+    "audit_trail",
+    "balance_as_of",
+    "build_address_book",
+    "build_ledger",
+    "current_addresses",
+    "move_person",
+    "post",
+    "Blob",
+    "make_chain",
+    "make_random_tree",
+    "make_star",
+    "mutate_payload",
+    "random_payload",
+]

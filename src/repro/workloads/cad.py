@@ -1,0 +1,277 @@
+"""The DMS CAD design-database workload (paper §5).
+
+Paper §5 illustrates the versioning facilities by modelling "a CAD design
+evolution ... an abbreviated version of our simulation of the DMS design
+database system [26] being used in our VLSI design laboratory":
+
+    "We will design an ALU chip that has several representations of which
+    we will only consider three in this example: schematic, fault and
+    timing.  Each representation consists of a set of data objects.  The
+    schematic representation only consists of the schematic data. ...
+    The timing representation consists of the schematic data (same as the
+    one in the schematic representation), vectors (same as the one in the
+    fault representation), and timing commands."
+
+We model the data objects (:class:`SchematicData`, :class:`TestVectors`,
+:class:`FaultCommands`, :class:`TimingCommands`), build the three
+representations as configurations (each representation "can be thought of
+as a configuration", §5), and assemble the ALU as a complex object holding
+its representations.  :func:`build_alu_design` creates the initial design
+state; :class:`DesignEvolution` then drives a seeded random evolution --
+revisions, variants, releases -- through the public API, which is the
+workload for experiments E4 and E8.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.database import Database
+from repro.core.persistent import persistent
+from repro.core.pointers import Ref, VersionRef
+from repro.policies.configuration import Configuration, freeze, resolve
+
+
+@persistent(name="dms.SchematicData")
+class SchematicData:
+    """The schematic netlist of a chip: cells and the nets wiring them."""
+
+    def __init__(self, cells: list[str], nets: list[tuple[str, str]]) -> None:
+        self.cells = cells
+        self.nets = nets
+        self.revision_note = "initial"
+
+    def add_cell(self, cell: str, connect_to: str | None = None) -> None:
+        """Add a cell, optionally wiring it to an existing cell."""
+        self.cells.append(cell)
+        if connect_to is not None:
+            self.nets.append((connect_to, cell))
+
+
+@persistent(name="dms.TestVectors")
+class TestVectors:
+    """Stimulus vectors shared by the fault and timing representations."""
+
+    def __init__(self, patterns: list[str]) -> None:
+        self.patterns = patterns
+
+    def add_pattern(self, pattern: str) -> None:
+        """Append one test pattern."""
+        self.patterns.append(pattern)
+
+
+@persistent(name="dms.FaultCommands")
+class FaultCommands:
+    """Fault-simulation commands of the fault representation."""
+
+    def __init__(self, commands: list[str]) -> None:
+        self.commands = commands
+
+
+@persistent(name="dms.TimingCommands")
+class TimingCommands:
+    """Timing-analysis commands of the timing representation."""
+
+    def __init__(self, commands: list[str]) -> None:
+        self.commands = commands
+
+
+@persistent(name="dms.Chip")
+class Chip:
+    """The ALU complex object: a chip with named representations.
+
+    ``representations`` maps representation name -> the Oid of its
+    configuration object (a generic reference: the chip always sees each
+    representation's current configuration version).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.representations: dict[str, Any] = {}
+
+
+@dataclass
+class AluDesign:
+    """Handles to every object of the initial ALU design state."""
+
+    chip: Ref
+    schematic_data: Ref
+    vectors: Ref
+    fault_commands: Ref
+    timing_commands: Ref
+    schematic_rep: Ref
+    fault_rep: Ref
+    timing_rep: Ref
+
+    def data_objects(self) -> list[Ref]:
+        """The four leaf data objects."""
+        return [
+            self.schematic_data,
+            self.vectors,
+            self.fault_commands,
+            self.timing_commands,
+        ]
+
+    def representations(self) -> dict[str, Ref]:
+        """Representation name -> configuration reference."""
+        return {
+            "schematic": self.schematic_rep,
+            "fault": self.fault_rep,
+            "timing": self.timing_rep,
+        }
+
+
+def build_alu_design(db: Database, name: str = "alu") -> AluDesign:
+    """Create the paper's initial design state (§5, step 1).
+
+    The three representations are configurations over the shared data
+    objects, all bound *dynamically* at first (development mode): the
+    schematic representation sees the schematic data; the fault
+    representation sees the vectors and fault commands; the timing
+    representation sees the schematic data, the same vectors, and the
+    timing commands.
+    """
+    schematic_data = db.pnew(
+        SchematicData(
+            cells=["alu_core", "carry_chain", "flag_logic"],
+            nets=[("alu_core", "carry_chain"), ("alu_core", "flag_logic")],
+        )
+    )
+    vectors = db.pnew(TestVectors(["0101", "1010", "1111"]))
+    fault_commands = db.pnew(FaultCommands(["inject stuck-at-0", "report coverage"]))
+    timing_commands = db.pnew(TimingCommands(["trace critical-path", "report slack"]))
+
+    schematic_rep = db.pnew(Configuration("schematic"))
+    schematic_rep.bind_dynamic("schematic", schematic_data)
+
+    fault_rep = db.pnew(Configuration("fault"))
+    fault_rep.bind_dynamic("schematic", schematic_data)
+    fault_rep.bind_dynamic("vectors", vectors)
+    fault_rep.bind_dynamic("commands", fault_commands)
+
+    timing_rep = db.pnew(Configuration("timing"))
+    timing_rep.bind_dynamic("schematic", schematic_data)
+    timing_rep.bind_dynamic("vectors", vectors)
+    timing_rep.bind_dynamic("commands", timing_commands)
+
+    chip = db.pnew(Chip(name))
+    with chip.modify() as c:
+        c.representations = {
+            "schematic": schematic_rep.oid,
+            "fault": fault_rep.oid,
+            "timing": timing_rep.oid,
+        }
+    return AluDesign(
+        chip=chip,
+        schematic_data=schematic_data,
+        vectors=vectors,
+        fault_commands=fault_commands,
+        timing_commands=timing_commands,
+        schematic_rep=schematic_rep,
+        fault_rep=fault_rep,
+        timing_rep=timing_rep,
+    )
+
+
+def revise_schematic(db: Database, design: AluDesign, note: str) -> VersionRef:
+    """Create a schematic revision (paper §5, step 2: change the state).
+
+    A new version of the schematic data is derived from the latest; every
+    representation bound *dynamically* to the schematic sees it at once,
+    while frozen (released) representation versions keep the old one.
+    """
+    revision = db.newversion(design.schematic_data)
+    with revision.modify() as data:
+        data.add_cell(f"patch_{note}", connect_to="alu_core")
+        data.revision_note = note
+    return revision
+
+
+def release_representation(db: Database, rep: Ref) -> VersionRef:
+    """Release a representation: freeze its bindings at current latest."""
+    return freeze(db, rep)
+
+
+def representation_view(db: Database, rep: Ref | VersionRef) -> dict[str, Any]:
+    """Materialize every component a representation currently binds."""
+    return {
+        component: resolve(db, rep, component).deref()
+        for component in rep.components()
+    }
+
+
+@dataclass
+class EvolutionLog:
+    """What a random design evolution did (asserted on by tests)."""
+
+    revisions: int = 0
+    variants: int = 0
+    releases: int = 0
+    vector_updates: int = 0
+    created: list[Any] = field(default_factory=list)
+
+
+class DesignEvolution:
+    """Seeded random design-evolution driver over an ALU design.
+
+    Each step is one designer action: revise the schematic, fork a variant
+    of the schematic from an older version, extend the test vectors, or
+    release a representation.  Deterministic for a given seed, so
+    benchmarks and property tests can replay identical histories.
+    """
+
+    def __init__(self, db: Database, design: AluDesign, seed: int = 0) -> None:
+        self._db = db
+        self._design = design
+        self._rng = random.Random(seed)
+        self.log = EvolutionLog()
+
+    def step(self) -> str:
+        """Perform one random action; returns the action name."""
+        roll = self._rng.random()
+        if roll < 0.45:
+            self._revise()
+            return "revise"
+        if roll < 0.65:
+            self._variant()
+            return "variant"
+        if roll < 0.85:
+            self._update_vectors()
+            return "vectors"
+        self._release()
+        return "release"
+
+    def run(self, steps: int) -> EvolutionLog:
+        """Run ``steps`` actions and return the accumulated log."""
+        for _ in range(steps):
+            self.step()
+        return self.log
+
+    def _revise(self) -> None:
+        note = f"r{self.log.revisions}"
+        vref = revise_schematic(self._db, self._design, note)
+        self.log.revisions += 1
+        self.log.created.append(vref.vid)
+
+    def _variant(self) -> None:
+        versions = self._db.versions(self._design.schematic_data)
+        base = self._rng.choice(versions)
+        vref = self._db.newversion(base)
+        with vref.modify() as data:
+            data.revision_note = f"variant_of_{base.vid.serial}"
+        self.log.variants += 1
+        self.log.created.append(vref.vid)
+
+    def _update_vectors(self) -> None:
+        pattern = format(self._rng.getrandbits(8), "08b")
+        self._design.vectors.add_pattern(pattern)
+        self.log.vector_updates += 1
+
+    def _release(self) -> None:
+        reps = list(self._design.representations().values())
+        rep = self._rng.choice(reps)
+        release = release_representation(self._db, rep)
+        self.log.releases += 1
+        self.log.created.append(release.vid)

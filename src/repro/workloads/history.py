@@ -1,0 +1,159 @@
+"""Historical-database workloads (paper §3's motivation for temporal order).
+
+Paper §3: versions "ordered temporally according to their creation time ...
+is important for historical databases, such as those used in accounting,
+legal, and financial applications, that must access the past states of the
+database [14, 29], and for supporting time in databases [30]", and the
+address-book example: "an address-book object that keeps track of current
+addresses requires references to the latest versions of person objects to
+access their latest addresses (generic, dynamic or late binding)".
+
+Two workloads:
+
+* **Address book** -- Person objects referenced generically by an
+  AddressBook.  Every move creates a *new version* of the person, so the
+  book always reads current addresses through generic references while
+  every past address stays reachable through the temporal chain.
+* **Ledger** -- Account objects where every posting is a new version
+  carrying the running balance; ``balance_as_of`` audits any past state.
+
+Experiment E12 runs these against the kernel and against the linear
+baseline (which is genuinely good at this shape of history -- the paper
+concedes linear models target exactly historical databases).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.database import Database
+from repro.core.persistent import persistent
+from repro.core.pointers import Ref, VersionRef
+
+
+@persistent(name="hist.Person")
+class Person:
+    """A person with a current address."""
+
+    def __init__(self, name: str, address: str) -> None:
+        self.name = name
+        self.address = address
+
+
+@persistent(name="hist.AddressBook")
+class AddressBook:
+    """Holds *generic* references (Oids) so it always reads latest addresses."""
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self.entries: list = []  # list of Oid
+
+    def add(self, person_oid) -> None:
+        """Add a person by generic reference."""
+        self.entries.append(person_oid)
+
+
+def move_person(db: Database, person: Ref, new_address: str) -> VersionRef:
+    """A person moves: record it as a new version (history preserved)."""
+    version = db.newversion(person)
+    version.address = new_address
+    return version
+
+
+def current_addresses(db: Database, book: Ref) -> dict[str, str]:
+    """Read every entry's *latest* address through its generic reference."""
+    out: dict[str, str] = {}
+    for entry in book.entries:  # entries come back as bound Refs
+        out[entry.name] = entry.address
+    return out
+
+
+def address_history(db: Database, person: Ref) -> list[str]:
+    """Every address the person ever had, oldest first (temporal chain)."""
+    return [v.address for v in db.versions(person)]
+
+
+def address_as_of(db: Database, person: Ref, index: int) -> str:
+    """The address as of the ``index``-th state (0 = original)."""
+    return db.versions(person)[index].address
+
+
+@dataclass
+class AddressBookScenario:
+    """Handles produced by :func:`build_address_book`."""
+
+    book: Ref
+    people: list[Ref]
+
+
+def build_address_book(
+    db: Database, n_people: int = 10, moves_per_person: int = 3, seed: int = 0
+) -> AddressBookScenario:
+    """Create a book of ``n_people`` and move each ``moves_per_person`` times."""
+    rng = random.Random(seed)
+    book = db.pnew(AddressBook("alice"))
+    people: list[Ref] = []
+    for i in range(n_people):
+        person = db.pnew(Person(f"person{i}", f"{i} First St"))
+        book.add(person)
+        people.append(person)
+    for person in people:
+        for move in range(moves_per_person):
+            move_person(db, person, f"{rng.randrange(1000)} Move{move} Ave")
+    return AddressBookScenario(book=book, people=people)
+
+
+# ---------------------------------------------------------------------------
+# Ledger
+# ---------------------------------------------------------------------------
+
+
+@persistent(name="hist.Account")
+class Account:
+    """An account whose every posting is a new version (auditable)."""
+
+    def __init__(self, owner: str, balance: int = 0) -> None:
+        self.owner = owner
+        self.balance = balance
+        self.last_posting = "open"
+
+
+def post(db: Database, account: Ref, amount: int, memo: str) -> VersionRef:
+    """Apply a posting as a new version carrying the running balance."""
+    version = db.newversion(account)
+    with version.modify() as acct:
+        acct.balance += amount
+        acct.last_posting = memo
+    return version
+
+
+def balance_as_of(db: Database, account: Ref, posting_index: int) -> int:
+    """The balance after the ``posting_index``-th state (0 = opening)."""
+    return db.versions(account)[posting_index].balance
+
+
+def audit_trail(db: Database, account: Ref) -> list[tuple[str, int]]:
+    """Every (memo, balance) state, oldest first."""
+    return [(v.last_posting, v.balance) for v in db.versions(account)]
+
+
+@dataclass
+class LedgerScenario:
+    """Handles produced by :func:`build_ledger`."""
+
+    accounts: list[Ref]
+    postings: int
+
+
+def build_ledger(
+    db: Database, n_accounts: int = 4, n_postings: int = 50, seed: int = 0
+) -> LedgerScenario:
+    """Open accounts and apply ``n_postings`` random postings across them."""
+    rng = random.Random(seed)
+    accounts = [db.pnew(Account(f"acct{i}", balance=1000)) for i in range(n_accounts)]
+    for i in range(n_postings):
+        account = rng.choice(accounts)
+        amount = rng.randrange(-200, 201)
+        post(db, account, amount, f"posting{i}")
+    return LedgerScenario(accounts=accounts, postings=n_postings)

@@ -1,0 +1,119 @@
+"""Synthetic version-topology and payload generators.
+
+Used by the property-based tests and by every parameter-sweep benchmark:
+
+* topology builders: derivation **chains** (revision after revision),
+  **stars** (many variants of one base), and seeded **random trees** with a
+  controlled branching tendency;
+* payload generators: byte blobs of a given size and a mutator that edits
+  a controlled fraction of a blob (the edit-ratio knob of experiment E5).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.database import Database
+from repro.core.persistent import persistent
+from repro.core.pointers import Ref, VersionRef
+
+
+@persistent(name="synthetic.Blob")
+class Blob:
+    """A payload-carrying object for storage experiments."""
+
+    def __init__(self, data: bytes, tag: str = "") -> None:
+        self.data = data
+        self.tag = tag
+
+
+def random_payload(size: int, seed: int = 0) -> bytes:
+    """``size`` pseudo-random bytes, deterministic per seed."""
+    return random.Random(seed).randbytes(size)
+
+
+def mutate_payload(data: bytes, edit_ratio: float, seed: int = 0) -> bytes:
+    """Edit ``edit_ratio`` of ``data`` in a few contiguous runs.
+
+    Contiguous runs (rather than scattered single bytes) model real edits
+    -- a designer changes a region of a netlist -- and are also the shape
+    block deltas are designed for.
+    """
+    if not 0.0 <= edit_ratio <= 1.0:
+        raise ValueError("edit_ratio must be in [0, 1]")
+    rng = random.Random(seed)
+    out = bytearray(data)
+    to_edit = int(len(data) * edit_ratio)
+    runs = max(1, to_edit // 64)
+    for _ in range(runs):
+        run = max(1, to_edit // runs)
+        if len(out) <= run:
+            start = 0
+            run = len(out)
+        else:
+            start = rng.randrange(len(out) - run)
+        out[start : start + run] = rng.randbytes(run)
+    return bytes(out)
+
+
+def make_chain(db: Database, length: int, payload_size: int = 256, seed: int = 0) -> list[VersionRef]:
+    """A pure revision chain: v0 <- v1 <- ... <- v(length-1).
+
+    Each revision edits ~5% of the payload.  Returns the versions oldest
+    first.
+    """
+    data = random_payload(payload_size, seed)
+    ref = db.pnew(Blob(data, tag="chain"))
+    versions = [ref.pin()]
+    for i in range(1, length):
+        version = db.newversion(ref)
+        data = mutate_payload(data, 0.05, seed=seed + i)
+        version.data = data
+        versions.append(version)
+    return versions
+
+
+def make_star(db: Database, variants: int, payload_size: int = 256, seed: int = 0) -> tuple[VersionRef, list[VersionRef]]:
+    """One base version with ``variants`` variants derived directly from it.
+
+    Returns ``(base, variants)`` -- the paper's alternatives pattern.
+    """
+    data = random_payload(payload_size, seed)
+    ref = db.pnew(Blob(data, tag="star"))
+    base = ref.pin()
+    out: list[VersionRef] = []
+    for i in range(variants):
+        version = db.newversion(base)
+        version.tag = f"variant{i}"
+        out.append(version)
+    return base, out
+
+
+def make_random_tree(
+    db: Database,
+    n_versions: int,
+    branchiness: float = 0.3,
+    payload_size: int = 256,
+    seed: int = 0,
+) -> tuple[Ref, list[VersionRef]]:
+    """A seeded random derivation tree with ``n_versions`` total versions.
+
+    With probability ``branchiness`` each new version derives from a
+    uniformly random older version (creating a variant); otherwise from the
+    latest (a revision).  Returns ``(object ref, versions oldest first)``.
+    """
+    if n_versions < 1:
+        raise ValueError("need at least one version")
+    rng = random.Random(seed)
+    data = random_payload(payload_size, seed)
+    ref = db.pnew(Blob(data, tag="tree"))
+    versions = [ref.pin()]
+    for i in range(1, n_versions):
+        if rng.random() < branchiness:
+            base = rng.choice(versions)
+        else:
+            base = versions[-1]
+        version = db.newversion(base)
+        version.data = mutate_payload(data, 0.05, seed=seed + i)
+        versions.append(version)
+    return ref, versions

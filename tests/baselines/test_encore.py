@@ -1,0 +1,112 @@
+"""Unit tests for the ENCORE baseline model (HBE + Version-Set)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.encore import EncoreStore, HistoryBearingEntity
+from repro.errors import BaselineError
+from repro.storage.serialization import register_type
+
+
+@register_type
+class Design(HistoryBearingEntity):
+    """A versionable type: inherits the HBE properties, as ENCORE requires."""
+
+    def __init__(self, value):
+        super().__init__()
+        self.value = value
+
+
+class PlainThing:
+    """Not an HBE: must be rejected by the ENCORE model."""
+
+    def __init__(self):
+        self.x = 1
+
+
+@pytest.fixture
+def store():
+    return EncoreStore()
+
+
+def test_hbe_inheritance_required(store):
+    with pytest.raises(BaselineError):
+        store.create(PlainThing())
+
+
+def test_create_hbe_object(store):
+    oid = store.create(Design(1))
+    assert store.deref_generic(oid).value == 1
+
+
+def test_generic_deref_goes_through_version_set(store):
+    oid = store.create(Design(1))
+    vset = store.version_set(oid)
+    assert vset.default_version == 1
+    store.new_version(oid)
+    assert store.version_set(oid).default_version == 2
+
+
+def test_new_version_at_sequence_end(store):
+    oid = store.create(Design(1))
+    n2 = store.new_version(oid)
+    n3 = store.new_version(oid)
+    vset = store.version_set(oid)
+    assert vset.versions() == [1, n2, n3]
+    assert vset.previous_of(n3) == n2
+
+
+def test_insert_as_alternative(store):
+    oid = store.create(Design(1))
+    n2 = store.new_version(oid)
+    alt = store.new_version(oid, alternative_to=1)
+    vset = store.version_set(oid)
+    assert vset.previous_of(alt) == 1
+    assert sorted(vset.next_of(1)) == sorted([n2, alt])
+
+
+def test_hbe_previous_next_properties(store):
+    oid = store.create(Design(1))
+    n2 = store.new_version(oid)
+    vset = store.version_set(oid)
+    assert vset.previous_of(1) is None
+    assert vset.next_of(1) == [n2]
+    assert vset.next_of(n2) == []
+
+
+def test_version_contents_copied_from_base(store):
+    oid = store.create(Design("original"))
+    vset = store.version_set(oid)
+    obj = vset.materialize(1)
+    obj.value = "changed"
+    vset.update(1, obj)
+    n2 = store.new_version(oid)
+    assert vset.materialize(n2).value == "changed"
+
+
+def test_specific_deref(store):
+    oid = store.create(Design(1))
+    vset = store.version_set(oid)
+    obj = vset.materialize(1)
+    obj.value = 10
+    vset.update(1, obj)
+    store.new_version(oid)
+    assert store.deref_specific(oid, 1).value == 10
+
+
+def test_unknown_object_and_version(store):
+    with pytest.raises(BaselineError):
+        store.version_set(99)
+    oid = store.create(Design(1))
+    with pytest.raises(BaselineError):
+        store.deref_specific(oid, 42)
+    with pytest.raises(BaselineError):
+        store.new_version(oid, alternative_to=42)
+
+
+def test_materialize_returns_fresh_copies(store):
+    oid = store.create(Design([1, 2]))
+    a = store.deref_generic(oid)
+    a.value.append(3)
+    assert store.deref_generic(oid).value == [1, 2]

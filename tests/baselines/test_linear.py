@@ -1,0 +1,96 @@
+"""Unit tests for the linear-history baseline (GemStone/POSTGRES style)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.linear import LinearityError, LinearStore
+from repro.errors import BaselineError
+
+
+@pytest.fixture
+def store():
+    return LinearStore()
+
+
+def test_create_and_deref(store):
+    oid = store.create({"v": 1})
+    assert store.deref(oid) == {"v": 1}
+    assert store.version_count(oid) == 1
+
+
+def test_new_version_appends(store):
+    oid = store.create({"v": 1})
+    assert store.new_version(oid) == 1
+    assert store.new_version(oid) == 2
+    assert store.version_count(oid) == 3
+
+
+def test_new_version_copies_latest(store):
+    oid = store.create({"v": 1})
+    store.update(oid, {"v": 2})
+    store.new_version(oid)
+    assert store.deref(oid) == {"v": 2}
+
+
+def test_derive_from_latest_allowed(store):
+    oid = store.create({"v": 1})
+    store.new_version(oid, base=0)  # 0 is the latest
+    assert store.version_count(oid) == 2
+
+
+def test_branching_rejected(store):
+    """The paper's core claim about linear models: no variants."""
+    oid = store.create({"v": 1})
+    store.new_version(oid)
+    store.new_version(oid)
+    with pytest.raises(LinearityError):
+        store.new_version(oid, base=0)
+    with pytest.raises(LinearityError):
+        store.new_version(oid, base=1)
+
+
+def test_branch_by_copy_workaround(store):
+    oid = store.create({"v": 1})
+    store.new_version(oid)
+    store.update(oid, {"v": 2})
+    clone = store.branch_by_copy(oid, 0)
+    assert clone != oid
+    assert store.deref(clone) == {"v": 1}
+    assert store.version_count(clone) == 1  # history severed
+    assert store.branch_copy_bytes > 0
+
+
+def test_branch_copy_severs_identity(store):
+    oid = store.create({"v": 1})
+    clone = store.branch_by_copy(oid, 0)
+    store.update(oid, {"v": 99})
+    assert store.deref(clone) == {"v": 1}  # changes do not propagate
+
+
+def test_as_of_historical_read(store):
+    oid = store.create({"v": 0})
+    for i in range(1, 5):
+        store.new_version(oid)
+        store.update(oid, {"v": i})
+    for i in range(5):
+        assert store.as_of(oid, i) == {"v": i}
+
+
+def test_as_of_out_of_range(store):
+    oid = store.create({"v": 1})
+    with pytest.raises(BaselineError):
+        store.as_of(oid, 5)
+
+
+def test_update_specific_version(store):
+    oid = store.create({"v": 1})
+    store.new_version(oid)
+    store.update(oid, {"v": 42}, version=0)
+    assert store.as_of(oid, 0) == {"v": 42}
+    assert store.deref(oid) == {"v": 1}
+
+
+def test_missing_object(store):
+    with pytest.raises(BaselineError):
+        store.deref(17)

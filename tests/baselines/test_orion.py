@@ -1,0 +1,163 @@
+"""Unit tests for the ORION baseline model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.orion import (
+    OrionStore,
+    PRIVATE,
+    PROJECT,
+    PUBLIC,
+)
+from repro.errors import BaselineError, CheckoutError, NotVersionableError
+
+
+@pytest.fixture
+def store():
+    return OrionStore()
+
+
+def test_declared_class_gets_versions(store):
+    store.declare_versionable("Chip")
+    oid = store.create("Chip", {"v": 1})
+    assert store.versions_of(oid) == [1]
+
+
+def test_undeclared_class_cannot_version(store):
+    oid = store.create("Plain", {"v": 1})
+    with pytest.raises(NotVersionableError):
+        store.checkout(oid)
+    with pytest.raises(NotVersionableError):
+        store.versions_of(oid)
+
+
+def test_undeclared_objects_still_readable(store):
+    oid = store.create("Plain", {"v": 7})
+    assert store.deref_generic(oid) == {"v": 7}
+
+
+def test_make_versionable_migrates_extent(store):
+    oids = [store.create("Late", {"i": i}) for i in range(10)]
+    store.create("Other", {"x": 1})
+    migrated = store.make_versionable("Late")
+    assert migrated == 10
+    assert store.migration_bytes > 0
+    for oid in oids:
+        assert store.versions_of(oid) == [1]
+    # The other class's extent was untouched.
+    with pytest.raises(NotVersionableError):
+        store.versions_of(store.create("Other", {"x": 2}))
+
+
+def test_new_version_starts_transient_in_private_db(store):
+    store.declare_versionable("Chip")
+    oid = store.create("Chip", {"v": 1})
+    assert store.database_of(oid, 1) == PRIVATE
+
+
+def test_checkin_moves_to_project_db(store):
+    store.declare_versionable("Chip")
+    oid = store.create("Chip", {"v": 1})
+    store.checkin(oid, 1)
+    assert store.database_of(oid, 1) == PROJECT
+
+
+def test_promote_moves_to_public_db(store):
+    store.declare_versionable("Chip")
+    oid = store.create("Chip", {"v": 1})
+    store.checkin(oid, 1)
+    store.promote(oid, 1)
+    assert store.database_of(oid, 1) == PUBLIC
+
+
+def test_checkout_creates_transient_copy(store):
+    store.declare_versionable("Chip")
+    oid = store.create("Chip", {"v": 1})
+    store.checkin(oid, 1)
+    new = store.checkout(oid, 1)
+    assert new == 2
+    assert store.database_of(oid, 2) == PRIVATE
+    assert store.deref_specific(oid, 2) == {"v": 1}
+
+
+def test_checkout_of_transient_rejected(store):
+    store.declare_versionable("Chip")
+    oid = store.create("Chip", {"v": 1})
+    with pytest.raises(CheckoutError):
+        store.checkout(oid, 1)  # still transient
+
+
+def test_update_requires_checkout(store):
+    store.declare_versionable("Chip")
+    oid = store.create("Chip", {"v": 1})
+    store.checkin(oid, 1)
+    with pytest.raises(CheckoutError):
+        store.update_transient(oid, 1, {"v": 2})  # working: immutable
+
+
+def test_edit_cycle(store):
+    store.declare_versionable("Chip")
+    oid = store.create("Chip", {"v": 1})
+    store.checkin(oid, 1)
+    number = store.checkout(oid, 1)
+    store.update_transient(oid, number, {"v": 2})
+    store.checkin(oid, number)
+    assert store.deref_generic(oid) == {"v": 2}
+
+
+def test_transfer_bytes_accumulate(store):
+    store.declare_versionable("Chip")
+    oid = store.create("Chip", {"payload": "x" * 1000})
+    store.checkin(oid, 1)
+    before = store.transfer_bytes
+    number = store.checkout(oid, 1)
+    store.checkin(oid, number)
+    assert store.transfer_bytes > before
+
+
+def test_generic_deref_follows_default(store):
+    store.declare_versionable("Chip")
+    oid = store.create("Chip", {"v": 1})
+    store.checkin(oid, 1)
+    number = store.checkout(oid, 1)
+    store.update_transient(oid, number, {"v": 2})
+    # Default still points at v1 until checkin.
+    assert store.deref_generic(oid) == {"v": 1}
+    store.checkin(oid, number)
+    assert store.deref_generic(oid) == {"v": 2}
+
+
+def test_set_default_explicitly(store):
+    store.declare_versionable("Chip")
+    oid = store.create("Chip", {"v": 1})
+    store.checkin(oid, 1)
+    number = store.checkout(oid, 1)
+    store.checkin(oid, number)
+    store.set_default(oid, 1)
+    assert store.deref_generic(oid) == {"v": 1}
+
+
+def test_derive_from_released(store):
+    store.declare_versionable("Chip")
+    oid = store.create("Chip", {"v": 1})
+    store.checkin(oid, 1)
+    store.promote(oid, 1)
+    number = store.derive(oid, 1)
+    assert store.database_of(oid, number) == PRIVATE
+
+
+def test_promote_requires_working(store):
+    store.declare_versionable("Chip")
+    oid = store.create("Chip", {"v": 1})
+    with pytest.raises(CheckoutError):
+        store.promote(oid, 1)  # still transient
+
+
+def test_missing_object_and_version(store):
+    with pytest.raises(BaselineError):
+        store.deref_generic(99)
+    store.declare_versionable("Chip")
+    oid = store.create("Chip", {"v": 1})
+    with pytest.raises(BaselineError):
+        store.deref_specific(oid, 42)

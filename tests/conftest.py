@@ -1,0 +1,65 @@
+"""Shared fixtures: temporary databases and common persistent test types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, PersistentObject, StoragePolicy, persistent
+
+
+@persistent(name="tests.Part")
+class Part(PersistentObject):
+    """The running example object: a part with a name and a weight."""
+
+    def __init__(self, name: str, weight: int) -> None:
+        self.name = name
+        self.weight = weight
+
+    def reweigh(self, delta: int) -> int:
+        """Mutating method (exercises write-back through references)."""
+        self.weight += delta
+        return self.weight
+
+
+@persistent(name="tests.Doc")
+class Doc(PersistentObject):
+    """A document with free-form text."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+
+
+@persistent(name="tests.Node")
+class Node(PersistentObject):
+    """An object that references other objects (for pointer-chain tests)."""
+
+    def __init__(self, label: str, next_ref=None) -> None:
+        self.label = label
+        self.next_ref = next_ref
+
+
+@pytest.fixture
+def db(tmp_path) -> Database:
+    """A fresh full-copy database, closed after the test."""
+    database = Database(tmp_path / "db")
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def delta_db(tmp_path) -> Database:
+    """A fresh delta-storage database, closed after the test."""
+    database = Database(
+        tmp_path / "delta_db", policy=StoragePolicy(kind="delta", keyframe_interval=8)
+    )
+    yield database
+    database.close()
+
+
+@pytest.fixture(params=["full", "delta"])
+def any_db(tmp_path, request) -> Database:
+    """Parametrized over both storage policies -- behaviour must not differ."""
+    policy = StoragePolicy(kind=request.param, keyframe_interval=4)
+    database = Database(tmp_path / f"{request.param}_db", policy=policy)
+    yield database
+    database.close()

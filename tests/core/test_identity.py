@@ -1,0 +1,73 @@
+"""Unit tests for object ids and version ids."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.identity import Oid, Vid
+
+
+def test_oid_equality_and_hash():
+    assert Oid(1) == Oid(1)
+    assert Oid(1) != Oid(2)
+    assert hash(Oid(1)) == hash(Oid(1))
+    assert len({Oid(1), Oid(1), Oid(2)}) == 2
+
+
+def test_oid_ordering():
+    assert Oid(1) < Oid(2) < Oid(10)
+
+
+def test_oid_must_be_positive():
+    with pytest.raises(ValueError):
+        Oid(0)
+    with pytest.raises(ValueError):
+        Oid(-5)
+
+
+def test_oid_pack_roundtrip():
+    assert Oid.unpack(Oid(123456789).pack()) == Oid(123456789)
+
+
+def test_vid_carries_its_oid():
+    vid = Vid(Oid(7), 2)
+    assert vid.oid == Oid(7)
+    assert vid.serial == 2
+
+
+def test_vid_equality_and_hash():
+    assert Vid(Oid(1), 1) == Vid(Oid(1), 1)
+    assert Vid(Oid(1), 1) != Vid(Oid(1), 2)
+    assert Vid(Oid(1), 1) != Vid(Oid(2), 1)
+    assert len({Vid(Oid(1), 1), Vid(Oid(1), 1)}) == 1
+
+
+def test_vid_ordering_is_temporal_within_object():
+    assert Vid(Oid(1), 1) < Vid(Oid(1), 2)
+    assert Vid(Oid(1), 9) < Vid(Oid(2), 1)
+
+
+def test_vid_serial_must_be_positive():
+    with pytest.raises(ValueError):
+        Vid(Oid(1), 0)
+
+
+def test_vid_pack_roundtrip():
+    vid = Vid(Oid(2**40), 77)
+    assert Vid.unpack(vid.pack()) == vid
+
+
+def test_ids_are_immutable():
+    with pytest.raises(AttributeError):
+        Oid(1).value = 2
+    with pytest.raises(AttributeError):
+        Vid(Oid(1), 1).serial = 2
+
+
+def test_reprs_are_informative():
+    assert repr(Oid(5)) == "Oid(5)"
+    assert repr(Vid(Oid(5), 2)) == "Vid(5:2)"
+
+
+def test_oid_and_vid_never_equal():
+    assert Oid(1) != Vid(Oid(1), 1)

@@ -1,0 +1,167 @@
+"""Unit tests for ordered indexes, range queries, and query terminals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.indexes import attr_between, attr_equals
+from tests.conftest import Part
+
+
+def populate(db, n=20):
+    return [db.pnew(Part(f"p{i}", i)) for i in range(n)]
+
+
+def test_range_lookup(db):
+    refs = populate(db)
+    index = db.create_ordered_index(Part, "weight")
+    assert len(index) == 20
+    oids = index.range(5, 8)
+    assert oids == [refs[i].oid for i in range(5, 9)]
+
+
+def test_open_ended_ranges(db):
+    refs = populate(db, 10)
+    index = db.create_ordered_index(Part, "weight")
+    assert index.range(None, 2) == [r.oid for r in refs[:3]]
+    assert index.range(7, None) == [r.oid for r in refs[7:]]
+
+
+def test_min_max(db):
+    populate(db, 5)
+    index = db.create_ordered_index(Part, "weight")
+    assert index.min_value() == 0
+    assert index.max_value() == 4
+
+
+def test_duplicates_in_range(db):
+    a = db.pnew(Part("a", 5))
+    b = db.pnew(Part("b", 5))
+    index = db.create_ordered_index(Part, "weight")
+    assert set(index.range(5, 5)) == {a.oid, b.oid}
+
+
+def test_ordered_index_tracks_mutations(db):
+    ref = db.pnew(Part("p", 1))
+    index = db.create_ordered_index(Part, "weight")
+    ref.weight = 99
+    assert index.range(99, 99) == [ref.oid]
+    assert index.range(1, 1) == []
+    v2 = db.newversion(ref)
+    v2.weight = 50
+    assert index.range(50, 50) == [ref.oid]
+    db.pdelete(ref)
+    assert len(index) == 0
+
+
+def test_incomparable_values_unindexed(db):
+    db.pnew(Part("n", 1))
+    index = db.create_ordered_index(Part, "weight")
+    odd = db.pnew(Part("odd", "a string weight"))
+    assert odd.oid in index.unindexed or len(index) == 2  # str sorts alone OK
+    # Either way range queries still find the numeric one.
+    numeric = index.range(1, 1)
+    assert len(numeric) == 1
+
+
+def test_range_query_through_query_layer(db):
+    populate(db, 20)
+    db.create_ordered_index(Part, "weight")
+    found = db.query(Part).suchthat(attr_between("weight", 3, 6)).all()
+    assert sorted(p.weight for p in found) == [3, 4, 5, 6]
+
+
+def test_range_query_matches_scan(db):
+    populate(db, 25)
+    scan = {r.oid for r in db.query(Part).suchthat(attr_between("weight", 10, 15))}
+    db.create_ordered_index(Part, "weight")
+    indexed = {r.oid for r in db.query(Part).suchthat(attr_between("weight", 10, 15))}
+    assert indexed == scan
+
+
+def test_attr_range_validation():
+    with pytest.raises(ValueError):
+        attr_between("weight")
+
+
+def test_hash_and_ordered_coexist(db):
+    populate(db, 10)
+    db.create_index(Part, "name")
+    db.create_ordered_index(Part, "weight")
+    eq = db.query(Part).suchthat(attr_equals("name", "p3")).all()
+    rng = db.query(Part).suchthat(attr_between("weight", 3, 3)).all()
+    assert [r.oid for r in eq] == [r.oid for r in rng]
+
+
+def test_drop_removes_both_kinds(db):
+    populate(db, 4)
+    db.create_index(Part, "weight")
+    db.create_ordered_index(Part, "weight")
+    db.drop_index(Part, "weight")
+    assert db.index_lookup("tests.Part", "weight", 1) is None
+    assert db.index_lookup_range("tests.Part", "weight", 0, 2) is None
+
+
+def test_ordered_rebuild_after_abort(db):
+    ref = db.pnew(Part("p", 1))
+    index = db.create_ordered_index(Part, "weight")
+    try:
+        with db.transaction():
+            ref.weight = 77
+            raise RuntimeError("abort")
+    except RuntimeError:
+        pass
+    assert index.range(1, 1) == [ref.oid]
+    assert index.range(77, 77) == []
+
+
+# -- query terminals -------------------------------------------------------
+
+
+def test_order_by(db):
+    populate(db, 5)
+    ordered = db.query(Part).order_by(lambda p: -p.weight)
+    assert [p.weight for p in ordered] == [4, 3, 2, 1, 0]
+
+
+def test_order_by_reverse(db):
+    populate(db, 3)
+    ordered = db.query(Part).order_by(lambda p: p.weight, reverse=True)
+    assert [p.weight for p in ordered] == [2, 1, 0]
+
+
+def test_limit(db):
+    populate(db, 10)
+    assert len(db.query(Part).limit(3)) == 3
+    assert db.query(Part).limit(0) == []
+    assert len(db.query(Part).limit(99)) == 10
+    with pytest.raises(ValueError):
+        db.query(Part).limit(-1)
+
+
+# -- type-scoped triggers ------------------------------------------------------
+
+
+def test_type_scoped_trigger(db):
+    from tests.conftest import Doc
+
+    fired = []
+    db.triggers.register(
+        lambda e, o, v: fired.append(o), events="update", type_name="tests.Part"
+    )
+    part = db.pnew(Part("p", 1))
+    doc = db.pnew(Doc("d"))
+    part.weight = 2
+    doc.text = "changed"
+    assert fired == [part.oid]
+
+
+def test_type_scoped_trigger_skips_object_delete(db):
+    fired = []
+    db.triggers.register(
+        lambda e, o, v: fired.append(e), type_name="tests.Part"
+    )
+    part = db.pnew(Part("p", 1))
+    db.pdelete(part)
+    assert "delete_object" not in fired
+    assert "create" in fired

@@ -1,0 +1,68 @@
+"""Unit tests for the persistent-type declaration helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PersistentObject, persistent
+from repro.errors import SerializationError
+from repro.storage.serialization import registered_name
+
+
+def test_bare_decorator_registers():
+    @persistent
+    class Widget:
+        pass
+
+    assert registered_name(Widget) is not None
+
+
+def test_named_decorator_registers_stable_name():
+    @persistent(name="tests.persistent.Gadget")
+    class Gadget:
+        pass
+
+    assert registered_name(Gadget) == "tests.persistent.Gadget"
+
+
+def test_name_collision_raises():
+    @persistent(name="tests.persistent.Clash")
+    class One:
+        pass
+
+    with pytest.raises(SerializationError):
+        @persistent(name="tests.persistent.Clash")
+        class Two:
+            pass
+
+
+def test_persistent_object_kwargs_init():
+    obj = PersistentObject(a=1, b="two")
+    assert obj.a == 1
+    assert obj.b == "two"
+
+
+def test_persistent_object_structural_equality():
+    assert PersistentObject(x=1) == PersistentObject(x=1)
+    assert PersistentObject(x=1) != PersistentObject(x=2)
+
+
+def test_persistent_object_type_sensitive_equality():
+    class Sub(PersistentObject):
+        pass
+
+    assert Sub(x=1) != PersistentObject(x=1)
+
+
+def test_persistent_object_repr():
+    assert repr(PersistentObject(b=2, a=1)) == "PersistentObject(a=1, b=2)"
+
+
+def test_persistent_roundtrip_through_db(db):
+    @persistent(name="tests.persistent.Roundtrip")
+    class Roundtrip(PersistentObject):
+        def __init__(self, v):
+            self.v = v
+
+    ref = db.pnew(Roundtrip([1, 2, 3]))
+    assert ref.deref() == Roundtrip([1, 2, 3])

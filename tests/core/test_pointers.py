@@ -1,0 +1,212 @@
+"""Unit tests for Ref/VersionRef pointer semantics (the paper's VersionPtr)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.identity import Oid, Vid
+from repro.core.pointers import Ref, VersionRef, unwrap_ids, wrap_ids
+from repro.errors import DanglingReferenceError
+from tests.conftest import Node, Part
+
+
+def test_attribute_read_follows_latest(db):
+    ref = db.pnew(Part("gear", 1))
+    v2 = db.newversion(ref)
+    v2.weight = 2
+    assert ref.weight == 2  # generic: late binding
+
+
+def test_version_ref_is_pinned(db):
+    ref = db.pnew(Part("gear", 1))
+    pinned = ref.pin()
+    v2 = db.newversion(ref)
+    v2.weight = 2
+    assert pinned.weight == 1  # specific: static binding
+
+
+def test_attribute_write_through_ref(db):
+    ref = db.pnew(Part("gear", 1))
+    ref.weight = 10
+    assert ref.deref().weight == 10
+
+
+def test_attribute_write_through_version_ref(db):
+    ref = db.pnew(Part("gear", 1))
+    v2 = db.newversion(ref)
+    v2.weight = 99
+    assert v2.deref().weight == 99
+    assert db.versions(ref)[0].weight == 1
+
+
+def test_method_call_persists_mutation(db):
+    """ref.method(...) behaves like p->method(...) in O++."""
+    ref = db.pnew(Part("gear", 10))
+    result = ref.reweigh(5)
+    assert result == 15
+    assert ref.weight == 15
+
+
+def test_method_call_on_version_ref(db):
+    ref = db.pnew(Part("gear", 10))
+    old = ref.pin()
+    db.newversion(ref)
+    old.reweigh(1)
+    assert old.weight == 11
+    assert ref.weight == 10  # latest untouched
+
+
+def test_modify_context_manager(db):
+    ref = db.pnew(Part("gear", 1))
+    with ref.modify() as part:
+        part.name = "sprocket"
+        part.weight = 2
+    assert ref.name == "sprocket"
+    assert ref.weight == 2
+    assert db.version_count(ref) == 1  # in-place, no new version
+
+
+def test_missing_attribute_raises(db):
+    ref = db.pnew(Part("gear", 1))
+    with pytest.raises(AttributeError):
+        _ = ref.no_such_field
+
+
+def test_stored_oid_comes_back_as_bound_ref(db):
+    target = db.pnew(Part("inner", 1))
+    outer = db.pnew(Node("outer", next_ref=target.oid))
+    chained = outer.next_ref
+    assert isinstance(chained, Ref)
+    assert chained.name == "inner"
+
+
+def test_assigning_ref_stores_generic_reference(db):
+    """The address-book property: chains read the LATEST target version."""
+    target = db.pnew(Part("inner", 1))
+    outer = db.pnew(Node("outer"))
+    outer.next_ref = target  # assign a live Ref
+    v2 = db.newversion(target)
+    v2.weight = 2
+    assert outer.next_ref.weight == 2  # late binding through the chain
+
+
+def test_assigning_version_ref_stores_specific_reference(db):
+    target = db.pnew(Part("inner", 1))
+    pinned = target.pin()
+    outer = db.pnew(Node("outer"))
+    outer.next_ref = pinned
+    v2 = db.newversion(target)
+    v2.weight = 2
+    assert isinstance(outer.next_ref, VersionRef)
+    assert outer.next_ref.weight == 1  # static binding through the chain
+
+
+def test_pointer_chain_multiple_hops(db):
+    a = db.pnew(Node("a"))
+    b = db.pnew(Node("b"))
+    c = db.pnew(Part("end", 7))
+    a.next_ref = b
+    b.next_ref = c
+    assert a.next_ref.next_ref.weight == 7
+
+
+def test_refs_inside_containers(db):
+    p1 = db.pnew(Part("one", 1))
+    p2 = db.pnew(Part("two", 2))
+    holder = db.pnew(Node("holder"))
+    holder.next_ref = [p1, {"second": p2}]
+    loaded = holder.next_ref
+    assert loaded[0].weight == 1
+    assert loaded[1]["second"].weight == 2
+
+
+def test_ref_equality_by_oid(db):
+    ref = db.pnew(Part("gear", 1))
+    other = db.deref(ref.oid)
+    assert ref == other
+    assert hash(ref) == hash(other)
+    different = db.pnew(Part("other", 2))
+    assert ref != different
+
+
+def test_version_ref_equality_by_vid(db):
+    ref = db.pnew(Part("gear", 1))
+    a = ref.pin()
+    b = ref.pin()
+    assert a == b
+    v2 = db.newversion(ref)
+    assert a != v2
+    assert a != ref  # a VersionRef never equals a Ref
+
+
+def test_dangling_ref_after_pdelete(db):
+    ref = db.pnew(Part("gear", 1))
+    db.pdelete(ref)
+    assert not ref.is_alive()
+    with pytest.raises(DanglingReferenceError):
+        ref.deref()
+
+
+def test_dangling_version_ref_after_version_delete(db):
+    ref = db.pnew(Part("gear", 1))
+    v2 = db.newversion(ref)
+    db.pdelete(v2)
+    assert not v2.is_alive()
+    with pytest.raises(DanglingReferenceError):
+        _ = v2.weight
+    assert ref.is_alive()
+
+
+def test_is_latest(db):
+    ref = db.pnew(Part("gear", 1))
+    v1 = ref.pin()
+    assert v1.is_latest()
+    v2 = db.newversion(ref)
+    assert not v1.is_latest()
+    assert v2.is_latest()
+
+
+def test_version_ref_to_generic_ref(db):
+    ref = db.pnew(Part("gear", 1))
+    v2 = db.newversion(ref)
+    assert v2.ref() == ref
+    v3 = db.newversion(ref)
+    v3.weight = 3
+    assert v2.ref().weight == 3  # .ref() tracks latest
+
+
+def test_type_name_through_ref(db):
+    ref = db.pnew(Part("gear", 1))
+    assert ref.type_name() == "tests.Part"
+    assert ref.pin().type_name() == "tests.Part"
+
+
+def test_unwrap_ids_recurses():
+    class FakeStore:
+        pass
+
+    store = FakeStore()
+    ref = Ref(store, Oid(1))
+    vref = VersionRef(store, Vid(Oid(2), 3))
+    value = {"a": [ref, (vref,)], "b": {ref}}
+    out = unwrap_ids(value)
+    assert out == {"a": [Oid(1), (Vid(Oid(2), 3),)], "b": {Oid(1)}}
+
+
+def test_wrap_ids_recurses():
+    class FakeStore:
+        pass
+
+    store = FakeStore()
+    value = [Oid(1), {"k": Vid(Oid(2), 3)}]
+    out = wrap_ids(store, value)
+    assert isinstance(out[0], Ref)
+    assert isinstance(out[1]["k"], VersionRef)
+    assert out[0].oid == Oid(1)
+
+
+def test_repr_forms(db):
+    ref = db.pnew(Part("gear", 1))
+    assert repr(ref) == f"Ref({ref.oid.value})"
+    pinned = ref.pin()
+    assert repr(pinned) == f"VersionRef({ref.oid.value}:1)"

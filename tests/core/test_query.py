@@ -1,0 +1,105 @@
+"""Unit tests for the suchthat-style query layer."""
+
+from __future__ import annotations
+
+from tests.conftest import Doc, Part
+
+
+def populate(db, n=10):
+    return [db.pnew(Part(f"part{i}", i)) for i in range(n)]
+
+
+def test_cluster_iteration(db):
+    refs = populate(db, 5)
+    assert {r.oid for r in db.query(Part)} == {r.oid for r in refs}
+
+
+def test_suchthat_filters(db):
+    populate(db, 10)
+    heavy = db.query(Part).suchthat(lambda p: p.weight >= 7).all()
+    assert sorted(p.weight for p in heavy) == [7, 8, 9]
+
+
+def test_suchthat_conjunction(db):
+    populate(db, 10)
+    result = (
+        db.query(Part)
+        .suchthat(lambda p: p.weight >= 3)
+        .suchthat(lambda p: p.weight < 5)
+        .all()
+    )
+    assert sorted(p.weight for p in result) == [3, 4]
+
+
+def test_queries_are_immutable(db):
+    populate(db, 10)
+    base = db.query(Part)
+    narrowed = base.suchthat(lambda p: p.weight == 1)
+    assert base.count() == 10
+    assert narrowed.count() == 1
+
+
+def test_query_reads_latest_versions(db):
+    refs = populate(db, 3)
+    v = db.newversion(refs[0])
+    v.weight = 100
+    found = db.query(Part).suchthat(lambda p: p.weight == 100).all()
+    assert [r.oid for r in found] == [refs[0].oid]
+
+
+def test_over_versions_reaches_history(db):
+    ref = db.pnew(Part("historied", 1))
+    v2 = db.newversion(ref)
+    v2.weight = 2
+    v3 = db.newversion(ref)
+    v3.weight = 3
+    db.pnew(Part("other", 99))
+    old_states = (
+        db.query(Part).over_versions().suchthat(lambda v: v.weight < 3).all()
+    )
+    weights = sorted(v.weight for v in old_states)
+    assert weights == [1, 2]
+
+
+def test_first_and_exists(db):
+    populate(db, 4)
+    assert db.query(Part).suchthat(lambda p: p.weight == 2).exists()
+    assert not db.query(Part).suchthat(lambda p: p.weight == 77).exists()
+    first = db.query(Part).suchthat(lambda p: p.weight > 1).first()
+    assert first is not None and first.weight > 1
+    assert db.query(Part).suchthat(lambda p: False).first() is None
+
+
+def test_count(db):
+    populate(db, 6)
+    assert db.query(Part).count() == 6
+    assert db.query(Part).suchthat(lambda p: p.weight % 2 == 0).count() == 3
+
+
+def test_select_projection(db):
+    populate(db, 3)
+    names = sorted(db.query(Part).select(lambda p: p.name))
+    assert names == ["part0", "part1", "part2"]
+
+
+def test_clusters_are_per_type(db):
+    populate(db, 2)
+    db.pnew(Doc("text"))
+    assert db.query(Part).count() == 2
+    assert db.query(Doc).count() == 1
+
+
+def test_query_by_type_name_string(db):
+    populate(db, 2)
+    assert db.query("tests.Part").count() == 2
+
+
+def test_deleted_objects_leave_query_domain(db):
+    refs = populate(db, 3)
+    db.pdelete(refs[0])
+    assert db.query(Part).count() == 2
+
+
+def test_empty_cluster(db):
+    assert db.query(Part).count() == 0
+    assert db.query(Part).all() == []

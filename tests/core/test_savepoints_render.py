@@ -1,0 +1,176 @@
+"""Unit tests for transaction savepoints and the graph renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransactionStateError
+from repro.tools.render import ascii_tree, describe_object, to_dot
+from tests.conftest import Part
+
+
+# -- savepoints ---------------------------------------------------------------
+
+
+def test_rollback_to_savepoint_keeps_earlier_work(db):
+    with db.transaction():
+        ref = db.pnew(Part("kept", 1))
+        sp = db.savepoint()
+        doomed = db.pnew(Part("doomed", 2))
+        undone = db.rollback_to(sp)
+        assert undone > 0
+        assert not doomed.is_alive()
+    assert ref.is_alive()
+    assert ref.weight == 1
+
+
+def test_rollback_to_savepoint_undoes_updates(db):
+    ref = db.pnew(Part("p", 1))
+    with db.transaction():
+        ref.weight = 2
+        sp = db.savepoint()
+        ref.weight = 3
+        db.rollback_to(sp)
+        assert ref.weight == 2
+    assert ref.weight == 2
+
+
+def test_rollback_to_savepoint_undoes_versions(db):
+    ref = db.pnew(Part("p", 1))
+    with db.transaction():
+        sp = db.savepoint()
+        db.newversion(ref)
+        db.newversion(ref)
+        db.rollback_to(sp)
+        assert db.version_count(ref) == 1
+    assert db.version_count(ref) == 1
+
+
+def test_nested_savepoints(db):
+    ref = db.pnew(Part("p", 0))
+    with db.transaction():
+        ref.weight = 1
+        sp1 = db.savepoint()
+        ref.weight = 2
+        sp2 = db.savepoint()
+        ref.weight = 3
+        db.rollback_to(sp2)
+        assert ref.weight == 2
+        db.rollback_to(sp1)
+        assert ref.weight == 1
+    assert ref.weight == 1
+
+
+def test_txn_continues_after_rollback_and_commits(db):
+    with db.transaction():
+        sp = db.savepoint()
+        db.pnew(Part("temp", 1))
+        db.rollback_to(sp)
+        keeper = db.pnew(Part("keeper", 2))
+    assert keeper.is_alive()
+    assert db.query(Part).count() == 1
+
+
+def test_savepoint_survives_crash_consistently(tmp_path):
+    """Compensations are logged: recovery agrees with the partial rollback."""
+    from repro import Database
+
+    path = tmp_path / "sp"
+    db = Database(path)
+    with db.transaction():
+        kept = db.pnew(Part("kept", 1))
+        sp = db.savepoint()
+        db.pnew(Part("rolled", 2))
+        db.rollback_to(sp)
+    kept_oid = kept.oid
+    del db  # crash after commit
+    with Database(path) as recovered:
+        assert recovered.deref(kept_oid).weight == 1
+        assert recovered.query(Part).count() == 1
+
+
+def test_savepoint_requires_transaction(db):
+    with pytest.raises(TransactionStateError):
+        db.savepoint()
+    with pytest.raises(TransactionStateError):
+        db.rollback_to(0)
+
+
+def test_invalid_savepoint_rejected(db):
+    with db.transaction() as txn:
+        with pytest.raises(TransactionStateError):
+            txn.rollback_to(999)
+        with pytest.raises(TransactionStateError):
+            txn.rollback_to(-1)
+
+
+def test_abort_after_partial_rollback(db):
+    ref = db.pnew(Part("p", 1))
+    try:
+        with db.transaction():
+            ref.weight = 2
+            sp = db.savepoint()
+            ref.weight = 3
+            db.rollback_to(sp)
+            raise RuntimeError("abort the rest")
+    except RuntimeError:
+        pass
+    assert ref.weight == 1
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def paper_graph(db):
+    ref = db.pnew(Part("alu", 0))
+    v0 = ref.pin()
+    v1 = db.newversion(ref)
+    v2 = db.newversion(v0)
+    v3 = db.newversion(v1)
+    return ref
+
+
+def test_ascii_tree_shape(db):
+    ref = paper_graph(db)
+    text = ascii_tree(db.graph(ref))
+    lines = text.splitlines()
+    assert lines[0].startswith("v1 [t0]")
+    assert any("v4" in line and "*latest*" in line for line in lines)
+    assert any(line.strip().startswith("├──") or line.strip().startswith("└──") for line in lines)
+
+
+def test_ascii_tree_with_labeler(db):
+    ref = paper_graph(db)
+    from repro.core.identity import Vid
+
+    text = ascii_tree(
+        db.graph(ref), labeler=lambda s: f"w={db.deref(Vid(ref.oid, s)).weight}"
+    )
+    assert "w=0" in text
+
+
+def test_ascii_tree_forest_after_root_delete(db):
+    ref = paper_graph(db)
+    db.pdelete(db.versions(ref)[0])  # delete the root: forest of 2 roots
+    text = ascii_tree(db.graph(ref))
+    assert text.splitlines()[0].startswith("v2")
+    assert any(line.startswith("v3") for line in text.splitlines())
+
+
+def test_to_dot_structure(db):
+    ref = paper_graph(db)
+    dot = to_dot(db.graph(ref))
+    assert dot.startswith("digraph versions {")
+    assert "v2 -> v1;" in dot  # derivation edge
+    assert "v4 -> v2;" in dot
+    assert "style=dashed" in dot  # temporal edges
+    assert "doublecircle" in dot  # latest marker
+    assert dot.rstrip().endswith("}")
+
+
+def test_describe_object(db):
+    ref = paper_graph(db)
+    report = describe_object(db, ref, field="weight")
+    assert "4 versions" in report
+    assert "2 alternative(s)" in report
+    assert "weight=0" in report

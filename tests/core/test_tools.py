@@ -1,0 +1,200 @@
+"""Unit tests for the operational tools (inspect, check, vacuum)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, StoragePolicy
+from repro.core.identity import Vid
+from repro.storage.heap import Rid
+from repro.tools import check_database, inspect_database, vacuum
+from repro.workloads.synthetic import make_random_tree
+from tests.conftest import Doc, Part
+
+
+# -- inspect -----------------------------------------------------------------
+
+
+def test_inspect_empty_database(db):
+    summary = inspect_database(db)
+    assert summary.objects == 0
+    assert summary.versions == 0
+    assert summary.clusters == []
+    assert "objects: 0" in summary.render()
+
+
+def test_inspect_counts(db):
+    refs = [db.pnew(Part(f"p{i}", i)) for i in range(4)]
+    db.newversion(refs[0])
+    db.newversion(refs[0])
+    db.pnew(Doc("d"))
+    summary = inspect_database(db)
+    assert summary.objects == 5
+    assert summary.versions == 7
+    by_name = {c.type_name: c for c in summary.clusters}
+    assert by_name["tests.Part"].objects == 4
+    assert by_name["tests.Part"].versions == 6
+    assert by_name["tests.Part"].max_history == 3
+    assert by_name["tests.Doc"].objects == 1
+
+
+def test_inspect_detects_branching(db):
+    ref = db.pnew(Part("b", 1))
+    base = ref.pin()
+    db.newversion(base)
+    db.newversion(base)
+    summary = inspect_database(db)
+    cluster = next(c for c in summary.clusters if c.type_name == "tests.Part")
+    assert cluster.branched_objects == 1
+
+
+def test_inspect_cli(tmp_path, capsys):
+    from repro.tools.inspect import main
+
+    with Database(tmp_path / "cli") as db:
+        db.pnew(Part("x", 1))
+    assert main([str(tmp_path / "cli")]) == 0
+    out = capsys.readouterr().out
+    assert "objects: 1" in out
+
+
+def test_inspect_cli_usage(capsys):
+    from repro.tools.inspect import main
+
+    assert main([]) == 2
+
+
+# -- check (fsck) -----------------------------------------------------------------
+
+
+def test_check_clean_database(db):
+    refs = [db.pnew(Part(f"p{i}", i)) for i in range(5)]
+    for ref in refs[:2]:
+        v = db.newversion(ref)
+        v.weight = 100
+    report = check_database(db)
+    assert report.ok, report.render()
+    assert report.objects_checked == 5
+    assert report.versions_checked == 7
+
+
+def test_check_after_heavy_mixed_use(db):
+    make_random_tree(db, 30, seed=5)
+    ref = db.pnew(Doc("x" * 20000))
+    db.newversion(ref)
+    db.pdelete(db.versions(ref)[0])
+    report = check_database(db)
+    assert report.ok, report.render()
+
+
+def test_check_detects_orphan_payload(db):
+    db.pnew(Part("p", 1))
+    # Sneak an unreferenced record into the versions heap.
+    versions_heap = db.catalog.ensure_heap("ode.versions")
+    versions_heap.insert(b"orphan bytes")
+    report = check_database(db)
+    assert not report.ok
+    assert any("orphan" in p for p in report.problems)
+
+
+def test_check_detects_missing_cluster_record(db):
+    ref = db.pnew(Part("p", 1))
+    clusters_heap = db.catalog.ensure_heap("ode.clusters")
+    rid = db.store._table[ref.oid].cluster_rid
+    clusters_heap.delete(rid)
+    report = check_database(db)
+    assert not report.ok
+    assert any("missing from clusters" in p for p in report.problems)
+
+
+def test_check_detects_corrupt_payload(delta_db):
+    db = delta_db
+    ref = db.pnew(Doc("base " * 200))
+    v2 = db.newversion(ref)
+    v2.text = "changed " * 200
+    # Corrupt v2's stored delta behind the store's back.
+    node = db.store.graph(ref.oid).node(2)
+    _kind, page_id, slot = node.data
+    db.catalog.ensure_heap("ode.versions").update(Rid(page_id, slot), b"garbage")
+    db.store._bytes_cache.clear()
+    report = check_database(db)
+    assert not report.ok
+
+
+def test_check_render(db):
+    db.pnew(Part("p", 1))
+    assert "OK" in check_database(db).render()
+
+
+# -- vacuum ----------------------------------------------------------------------
+
+
+def test_vacuum_preserves_everything(tmp_path, db):
+    refs = [db.pnew(Part(f"p{i}", i)) for i in range(5)]
+    base = refs[0].pin()
+    v2 = db.newversion(refs[0])
+    v2.weight = 50
+    variant = db.newversion(base)
+    variant.weight = 60
+    ids = {
+        "oid": refs[0].oid,
+        "base": base.vid,
+        "v2": v2.vid,
+        "variant": variant.vid,
+    }
+    report = vacuum(db, tmp_path / "vacuumed")
+
+    assert report.objects_copied == 5
+    assert report.versions_copied == 7
+    with Database(tmp_path / "vacuumed") as clean:
+        ref = clean.deref(ids["oid"])
+        assert ref.weight == 60  # variant is latest
+        assert clean.deref(ids["base"]).weight == 0
+        assert clean.deref(ids["v2"]).weight == 50
+        assert clean.dprevious(clean.deref(ids["variant"])).vid == ids["base"]
+        assert check_database(clean).ok
+        # Oid counter carried forward: new objects get fresh ids.
+        fresh = clean.pnew(Part("fresh", 1))
+        assert fresh.oid.value > max(r.oid.value for r in refs)
+
+
+def test_vacuum_reclaims_space(tmp_path, db):
+    ref = db.pnew(Doc("x" * 3000))
+    doomed = []
+    for i in range(40):
+        v = db.newversion(ref)
+        v.text = f"{i}" + "y" * 3000
+        doomed.append(v)
+    for v in doomed[:-1]:
+        db.pdelete(v)
+    db.checkpoint()
+    report = vacuum(db, tmp_path / "compact")
+    assert report.pages_saved > 0
+    with Database(tmp_path / "compact") as clean:
+        assert clean.version_count(clean.deref(ref.oid)) == 2
+
+
+def test_vacuum_can_migrate_policy(tmp_path, db):
+    ref = db.pnew(Doc("base " * 500))
+    for i in range(10):
+        v = db.newversion(ref)
+        v.text = v.text + f" rev{i}"
+    report = vacuum(
+        db,
+        tmp_path / "as_delta",
+        policy=StoragePolicy(kind="delta", keyframe_interval=8),
+    )
+    assert report.versions_copied == 11
+    with Database(
+        tmp_path / "as_delta", policy=StoragePolicy(kind="delta", keyframe_interval=8)
+    ) as clean:
+        migrated = clean.deref(ref.oid)
+        assert migrated.text.endswith("rev9")
+        assert check_database(clean).ok
+
+
+def test_vacuum_empty_database(tmp_path, db):
+    report = vacuum(db, tmp_path / "empty_target")
+    assert report.objects_copied == 0
+    with Database(tmp_path / "empty_target") as clean:
+        assert clean.object_count() == 0

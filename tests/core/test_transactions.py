@@ -1,0 +1,258 @@
+"""Unit tests for transactions and locking."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    LockTimeoutError,
+    TransactionAborted,
+    TransactionStateError,
+)
+from repro.core.transactions import EXCLUSIVE, SHARED, LockManager
+from tests.conftest import Part
+
+
+# -- lock manager -----------------------------------------------------------
+
+
+def test_shared_locks_compatible():
+    locks = LockManager(timeout=0.2)
+    locks.acquire(1, "r", SHARED)
+    locks.acquire(2, "r", SHARED)
+    assert locks.held(1) == {"r": SHARED}
+    assert locks.held(2) == {"r": SHARED}
+
+
+def test_exclusive_blocks_shared():
+    locks = LockManager(timeout=0.1)
+    locks.acquire(1, "r", EXCLUSIVE)
+    with pytest.raises(LockTimeoutError):
+        locks.acquire(2, "r", SHARED)
+
+
+def test_shared_blocks_exclusive():
+    locks = LockManager(timeout=0.1)
+    locks.acquire(1, "r", SHARED)
+    with pytest.raises(LockTimeoutError):
+        locks.acquire(2, "r", EXCLUSIVE)
+
+
+def test_reacquire_is_noop():
+    locks = LockManager(timeout=0.1)
+    locks.acquire(1, "r", EXCLUSIVE)
+    locks.acquire(1, "r", EXCLUSIVE)
+    locks.acquire(1, "r", SHARED)  # downgrade request absorbed by X
+    assert locks.held(1) == {"r": EXCLUSIVE}
+
+
+def test_upgrade_when_sole_holder():
+    locks = LockManager(timeout=0.1)
+    locks.acquire(1, "r", SHARED)
+    locks.acquire(1, "r", EXCLUSIVE)
+    assert locks.held(1) == {"r": EXCLUSIVE}
+
+
+def test_upgrade_blocked_by_other_sharer():
+    locks = LockManager(timeout=0.1)
+    locks.acquire(1, "r", SHARED)
+    locks.acquire(2, "r", SHARED)
+    with pytest.raises(LockTimeoutError):
+        locks.acquire(1, "r", EXCLUSIVE)
+
+
+def test_release_all_wakes_waiters():
+    locks = LockManager(timeout=2.0)
+    locks.acquire(1, "r", EXCLUSIVE)
+    acquired = threading.Event()
+
+    def waiter():
+        locks.acquire(2, "r", EXCLUSIVE)
+        acquired.set()
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    locks.release_all(1)
+    assert acquired.wait(2.0)
+    thread.join()
+
+
+def test_locks_on_distinct_resources_independent():
+    locks = LockManager(timeout=0.1)
+    locks.acquire(1, "a", EXCLUSIVE)
+    locks.acquire(2, "b", EXCLUSIVE)  # no conflict
+
+
+def test_invalid_mode_rejected():
+    locks = LockManager()
+    with pytest.raises(ValueError):
+        locks.acquire(1, "r", "banana")
+
+
+# -- transactions over the database -------------------------------------------
+
+
+def test_commit_makes_changes_visible(db):
+    with db.transaction():
+        ref = db.pnew(Part("txn", 1))
+    assert ref.weight == 1
+
+
+def test_abort_rolls_back_pnew(db):
+    before = db.object_count()
+    try:
+        with db.transaction():
+            db.pnew(Part("doomed", 1))
+            raise RuntimeError("force abort")
+    except RuntimeError:
+        pass
+    assert db.object_count() == before
+
+
+def test_abort_rolls_back_newversion(db):
+    ref = db.pnew(Part("stable", 1))
+    try:
+        with db.transaction():
+            v = db.newversion(ref)
+            v.weight = 99
+            raise RuntimeError("force abort")
+    except RuntimeError:
+        pass
+    assert db.version_count(ref) == 1
+    assert ref.weight == 1
+
+
+def test_abort_rolls_back_update(db):
+    ref = db.pnew(Part("stable", 1))
+    try:
+        with db.transaction():
+            ref.weight = 42
+            raise RuntimeError("force abort")
+    except RuntimeError:
+        pass
+    assert ref.weight == 1
+
+
+def test_abort_rolls_back_pdelete(db):
+    ref = db.pnew(Part("phoenix", 7))
+    v2 = db.newversion(ref)
+    v2.weight = 8
+    try:
+        with db.transaction():
+            db.pdelete(ref)
+            raise RuntimeError("force abort")
+    except RuntimeError:
+        pass
+    assert ref.is_alive()
+    assert ref.weight == 8
+    assert db.version_count(ref) == 2
+
+
+def test_multi_op_transaction_is_atomic(db):
+    ref = db.pnew(Part("acct", 100))
+    other = db.pnew(Part("acct2", 0))
+    try:
+        with db.transaction():
+            ref.weight = 0
+            other.weight = 100
+            raise RuntimeError("crash between the two logically paired writes")
+    except RuntimeError:
+        pass
+    assert ref.weight == 100
+    assert other.weight == 0
+
+
+def test_explicit_begin_commit(db):
+    txn = db.begin()
+    ref = db.pnew(Part("manual", 1))
+    assert txn.op_count > 0
+    txn.commit()
+    assert ref.weight == 1
+    assert db.current_transaction() is None
+
+
+def test_nested_begin_rejected(db):
+    db.begin()
+    with pytest.raises(TransactionStateError):
+        db.begin()
+    db.current_transaction().abort()
+
+
+def test_ops_after_commit_rejected(db):
+    txn = db.begin()
+    txn.commit()
+    with pytest.raises(TransactionStateError):
+        txn.commit()
+    with pytest.raises(TransactionStateError):
+        txn.abort()
+
+
+def test_transaction_context_commits_by_default(db):
+    with db.transaction() as txn:
+        db.pnew(Part("ctx", 1))
+    assert txn.state == "committed"
+
+
+def test_concurrent_writers_serialize(db):
+    """Two threads incrementing through transactions lose no updates."""
+    ref = db.pnew(Part("counter", 0))
+    errors = []
+
+    def worker():
+        for _ in range(10):
+            try:
+                with db.transaction():
+                    ref.weight = ref.weight + 1
+            except (LockTimeoutError, TransactionAborted) as exc:
+                errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # All increments that did not time out are reflected exactly once.
+    assert ref.weight == 20 - len(errors)
+
+
+def test_deadlock_resolved_by_timeout(tmp_path):
+    from repro import Database
+
+    db = Database(tmp_path / "dl", lock_timeout=0.3)
+    a = db.pnew(Part("a", 1))
+    b = db.pnew(Part("b", 1))
+    outcome = []
+    barrier = threading.Barrier(2)
+
+    def t1():
+        try:
+            with db.transaction():
+                a.weight = 10
+                barrier.wait()
+                b.weight = 10
+            outcome.append("t1-commit")
+        except Exception:
+            outcome.append("t1-abort")
+
+    def t2():
+        try:
+            with db.transaction():
+                b.weight = 20
+                barrier.wait()
+                a.weight = 20
+            outcome.append("t2-commit")
+        except Exception:
+            outcome.append("t2-abort")
+
+    threads = [threading.Thread(target=t1), threading.Thread(target=t2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # At least one side must have aborted; the database stays consistent.
+    assert "t1-abort" in outcome or "t2-abort" in outcome
+    assert a.weight in (1, 10, 20)
+    assert b.weight in (1, 10, 20)
+    db.close()

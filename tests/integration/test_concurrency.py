@@ -1,0 +1,146 @@
+"""Concurrency stress tests: threads × transactions × the kernel."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import Database
+from repro.errors import LockTimeoutError, TransactionError
+from repro.tools import check_database
+from tests.conftest import Part
+
+
+@pytest.fixture
+def cdb(tmp_path):
+    database = Database(tmp_path / "conc", lock_timeout=5.0)
+    yield database
+    database.close()
+
+
+def run_threads(workers, count):
+    threads = [threading.Thread(target=workers, args=(i,)) for i in range(count)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+def test_parallel_pnew_no_id_collisions(cdb):
+    created: list = []
+    lock = threading.Lock()
+
+    def worker(worker_id):
+        mine = [cdb.pnew(Part(f"w{worker_id}_{i}", i)) for i in range(25)]
+        with lock:
+            created.extend(mine)
+
+    run_threads(worker, 4)
+    oids = [r.oid for r in created]
+    assert len(set(oids)) == 100
+    assert cdb.object_count() == 100
+
+
+def test_parallel_newversion_on_distinct_objects(cdb):
+    refs = [cdb.pnew(Part(f"p{i}", 0)) for i in range(4)]
+
+    def worker(worker_id):
+        ref = refs[worker_id]
+        for i in range(20):
+            with cdb.transaction():
+                v = cdb.newversion(ref)
+                v.weight = i + 1
+
+    run_threads(worker, 4)
+    for ref in refs:
+        assert cdb.version_count(ref) == 21
+        assert ref.weight == 20
+        cdb.graph(ref).validate()
+
+
+def test_contended_increments_lose_nothing(cdb):
+    ref = cdb.pnew(Part("shared", 0))
+    failures = []
+
+    def worker(worker_id):
+        for _ in range(15):
+            try:
+                with cdb.transaction():
+                    ref.weight = ref.weight + 1
+            except (LockTimeoutError, TransactionError) as exc:
+                failures.append(exc)
+
+    run_threads(worker, 3)
+    assert ref.weight == 45 - len(failures)
+    assert cdb.version_count(ref) == 1
+
+
+def test_mixed_workload_integrity(cdb):
+    """Creates, versions, updates, deletes racing; fsck must pass after."""
+    seed_refs = [cdb.pnew(Part(f"seed{i}", i)) for i in range(8)]
+    errors: list = []
+
+    def worker(worker_id):
+        try:
+            for i in range(15):
+                op = (worker_id + i) % 4
+                ref = seed_refs[(worker_id * 3 + i) % len(seed_refs)]
+                if op == 0:
+                    cdb.pnew(Part(f"new_{worker_id}_{i}", i))
+                elif op == 1:
+                    with cdb.transaction():
+                        cdb.newversion(ref)
+                elif op == 2:
+                    with cdb.transaction():
+                        ref.weight = ref.weight + 1
+                else:
+                    with cdb.transaction():
+                        versions = cdb.versions(ref)
+                        if len(versions) > 2:
+                            cdb.pdelete(versions[1])
+        except (LockTimeoutError, TransactionError) as exc:
+            errors.append(exc)
+
+    run_threads(worker, 4)
+    report = check_database(cdb)
+    assert report.ok, report.render()
+    for ref in seed_refs:
+        cdb.graph(ref).validate()
+
+
+def test_readers_never_block_each_other(cdb):
+    ref = cdb.pnew(Part("hot", 42))
+    results: list[int] = []
+    lock = threading.Lock()
+
+    def reader(worker_id):
+        values = [ref.weight for _ in range(50)]
+        with lock:
+            results.extend(values)
+
+    run_threads(reader, 6)
+    assert len(results) == 300
+    assert set(results) == {42}
+
+
+def test_commit_durability_under_concurrency(tmp_path):
+    """Crash after concurrent commits: every acknowledged commit survives."""
+    path = tmp_path / "crashy"
+    db = Database(path, lock_timeout=5.0)
+    acknowledged: list = []
+    lock = threading.Lock()
+
+    def worker(worker_id):
+        for i in range(10):
+            ref = db.pnew(Part(f"w{worker_id}_{i}", worker_id * 100 + i))
+            with lock:
+                acknowledged.append((ref.oid, worker_id * 100 + i))
+
+    run_threads(worker, 3)
+    del db  # crash: no close
+
+    with Database(path) as recovered:
+        for oid, weight in acknowledged:
+            assert recovered.deref(oid).weight == weight
+        assert check_database(recovered).ok

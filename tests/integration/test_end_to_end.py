@@ -1,0 +1,150 @@
+"""Cross-module integration tests: triggers x versions x transactions x
+policies working together, plus whole-database consistency audits."""
+
+from __future__ import annotations
+
+from repro import Database, StoragePolicy
+from repro.policies.configuration import Configuration, freeze, resolve
+from repro.policies.notification import ChangeNotifier
+from repro.policies.percolation import CompositeRegistry, percolate
+from repro.workloads.cad import DesignEvolution, build_alu_design
+from tests.conftest import Node, Part
+
+
+def test_triggers_fire_inside_transactions_only_on_commit_path(db):
+    """Triggers fire synchronously; an abort rolls the trigger's own writes
+    back along with everything else."""
+    audit = db.pnew(Part("audit", 0))
+
+    def count(event, oid, vid):
+        if oid != audit.oid:
+            with audit.modify() as a:
+                a.weight += 1
+
+    db.triggers.register(count, events="newversion")
+    ref = db.pnew(Part("w", 1))
+    try:
+        with db.transaction():
+            db.newversion(ref)
+            assert audit.weight == 1  # visible inside the transaction
+            raise RuntimeError("abort")
+    except RuntimeError:
+        pass
+    assert audit.weight == 0  # trigger effect rolled back with the txn
+    assert db.version_count(ref) == 1
+
+
+def test_notification_and_percolation_compose(db):
+    notifier = ChangeNotifier(db)
+    leaf = db.pnew(Part("leaf", 1))
+    parent = db.pnew(Node("parent", next_ref=leaf.oid))
+    registry = CompositeRegistry()
+    registry.link(parent, leaf)
+    sub = notifier.subscribe(parent.oid)
+    result = percolate(db, db.newversion(leaf), registry=registry)
+    assert result.fan_out == 1
+    # The percolated parent version produced a notification.
+    assert any(n.event == "newversion" for n in sub.drain())
+
+
+def test_full_design_cycle_with_reopen(tmp_path):
+    """Build the ALU, evolve it, release, reopen, verify everything."""
+    path = tmp_path / "cycle"
+    with Database(path) as db:
+        design = build_alu_design(db)
+        evolution = DesignEvolution(db, design, seed=13)
+        log = evolution.run(60)
+        release = freeze(db, design.timing_rep)
+        ids = {
+            "schematic": design.schematic_data.oid,
+            "timing_rep": design.timing_rep.oid,
+            "release": release.vid,
+            "chip": design.chip.oid,
+        }
+        expected_versions = db.version_count(design.schematic_data)
+        released_cells = resolve(db, release, "schematic").cells
+
+    with Database(path) as db:
+        schematic = db.deref(ids["schematic"])
+        assert db.version_count(schematic) == expected_versions
+        db.graph(schematic).validate()
+        release = db.deref(ids["release"])
+        assert resolve(db, release, "schematic").cells == released_cells
+        chip = db.deref(ids["chip"])
+        assert chip.representations["timing"].oid == ids["timing_rep"]
+        assert log.revisions + log.variants > 0
+
+
+def test_query_versions_triggers_interplay(db):
+    hits = []
+    db.triggers.register(lambda e, o, v: hits.append(o), events="update")
+    parts = [db.pnew(Part(f"p{i}", i)) for i in range(6)]
+    for ref in db.query(Part).suchthat(lambda p: p.weight % 2 == 0):
+        ref.weight = ref.weight + 100
+    heavy = db.query(Part).suchthat(lambda p: p.weight >= 100)
+    assert heavy.count() == 3
+    assert len(hits) == 3
+    assert all(db.version_count(p) == 1 for p in parts)  # updates, not versions
+
+
+def test_mixed_policy_databases_coexist(tmp_path):
+    """A full-copy and a delta database side by side see identical logic."""
+    full = Database(tmp_path / "full", policy=StoragePolicy(kind="full"))
+    delta = Database(
+        tmp_path / "delta", policy=StoragePolicy(kind="delta", keyframe_interval=4)
+    )
+    for db in (full, delta):
+        ref = db.pnew(Part("same", 0))
+        for i in range(9):
+            v = db.newversion(ref)
+            v.weight = i + 1
+        assert [v.weight for v in db.versions(ref)] == list(range(10))
+        db.graph(ref).validate()
+    full.close()
+    delta.close()
+
+
+def test_object_graph_with_cross_references_survives_everything(tmp_path):
+    path = tmp_path / "graphy"
+    with Database(path) as db:
+        a = db.pnew(Node("a"))
+        b = db.pnew(Node("b"))
+        c = db.pnew(Node("c"))
+        a.next_ref = b
+        b.next_ref = c
+        c.next_ref = a  # a cycle of generic references
+        v2 = db.newversion(b)
+        v2.label = "b-prime"
+        oid_a = a.oid
+    with Database(path) as db:
+        a = db.deref(oid_a)
+        assert a.next_ref.label == "b-prime"  # latest b
+        assert a.next_ref.next_ref.label == "c"
+        assert a.next_ref.next_ref.next_ref.label == "a"  # back around
+
+
+def test_checkpoint_between_operations_changes_nothing(db):
+    ref = db.pnew(Part("steady", 1))
+    db.checkpoint()
+    v2 = db.newversion(ref)
+    db.checkpoint()
+    v2.weight = 2
+    db.checkpoint()
+    assert ref.weight == 2
+    assert db.version_count(ref) == 2
+
+
+def test_store_wide_audit_after_heavy_mixed_use(db):
+    """Every object's graph is valid and every version materializes."""
+    from repro.workloads.synthetic import make_chain, make_random_tree, make_star
+
+    make_chain(db, 12)
+    make_star(db, 8)
+    make_random_tree(db, 20, seed=3)
+    design = build_alu_design(db)
+    DesignEvolution(db, design, seed=21).run(30)
+    for ref in db.store.all_objects():
+        graph = db.graph(ref)
+        graph.validate()
+        for version in db.versions(ref):
+            assert version.deref() is not None

@@ -1,0 +1,31 @@
+"""Smoke tests: every shipped example must run clean end to end."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3  # deliverable: at least three runnable examples
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()  # examples narrate what they do

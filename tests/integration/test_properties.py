@@ -1,0 +1,162 @@
+"""Stateful property test: the whole versioned store vs. a Python model.
+
+Hypothesis drives random sequences of kernel operations (pnew, newversion
+from latest, newversion from an arbitrary version, in-place update,
+pdelete of a version, pdelete of an object) against a real database and an
+in-memory model, checking after every step that:
+
+* every live object's latest version has the model's latest contents,
+* every live version materializes to the model's contents for it,
+* the derivation parent of every version matches the model,
+* version graphs validate structurally.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro import Database, StoragePolicy, persistent
+
+
+@persistent(name="props.Cell")
+class Cell:
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+
+class StoreMachine(RuleBasedStateMachine):
+    """Model-based test of the version store."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._dir = tempfile.mkdtemp(prefix="ode-props-")
+        self.db = Database(
+            self._dir, policy=StoragePolicy(kind="delta", keyframe_interval=3)
+        )
+        # model: oid -> {serial: (value, dprev_serial|None)}
+        self.model: dict = {}
+        self.refs: dict = {}
+        self.counter = 0
+
+    @initialize()
+    def start(self) -> None:
+        pass
+
+    # -- helpers ---------------------------------------------------------
+
+    def _live_oids(self):
+        return sorted(self.model, key=lambda o: o.value)
+
+    def _pick_oid(self, index: int):
+        oids = self._live_oids()
+        return oids[index % len(oids)]
+
+    def _pick_vid(self, oid, index: int):
+        serials = sorted(self.model[oid])
+        return serials[index % len(serials)]
+
+    # -- rules ------------------------------------------------------------
+
+    @rule(value=st.integers(-100, 100))
+    def pnew(self, value: int) -> None:
+        ref = self.db.pnew(Cell(value))
+        self.model[ref.oid] = {1: (value, None)}
+        self.refs[ref.oid] = ref
+
+    @precondition(lambda self: self.model)
+    @rule(index=st.integers(0, 10**6), value=st.integers(-100, 100))
+    def newversion_from_latest(self, index: int, value: int) -> None:
+        oid = self._pick_oid(index)
+        latest = max(self.model[oid])
+        vref = self.db.newversion(self.refs[oid])
+        vref.value = value
+        self.model[oid][vref.vid.serial] = (value, latest)
+
+    @precondition(lambda self: self.model)
+    @rule(index=st.integers(0, 10**6), pick=st.integers(0, 10**6), value=st.integers(-100, 100))
+    def newversion_from_any(self, index: int, pick: int, value: int) -> None:
+        oid = self._pick_oid(index)
+        base_serial = self._pick_vid(oid, pick)
+        from repro.core.identity import Vid
+
+        vref = self.db.newversion(Vid(oid, base_serial))
+        vref.value = value
+        self.model[oid][vref.vid.serial] = (value, base_serial)
+
+    @precondition(lambda self: self.model)
+    @rule(index=st.integers(0, 10**6), pick=st.integers(0, 10**6), value=st.integers(-100, 100))
+    def update_in_place(self, index: int, pick: int, value: int) -> None:
+        oid = self._pick_oid(index)
+        serial = self._pick_vid(oid, pick)
+        from repro.core.identity import Vid
+
+        self.db.deref(Vid(oid, serial)).value = value
+        old = self.model[oid][serial]
+        self.model[oid][serial] = (value, old[1])
+
+    @precondition(lambda self: self.model)
+    @rule(index=st.integers(0, 10**6), pick=st.integers(0, 10**6))
+    def pdelete_version(self, index: int, pick: int) -> None:
+        oid = self._pick_oid(index)
+        serial = self._pick_vid(oid, pick)
+        from repro.core.identity import Vid
+
+        self.db.pdelete(Vid(oid, serial))
+        victims = self.model[oid]
+        dead_parent = victims[serial][1]
+        del victims[serial]
+        if not victims:
+            del self.model[oid]
+            del self.refs[oid]
+            return
+        for s, (value, dprev) in list(victims.items()):
+            if dprev == serial:
+                victims[s] = (value, dead_parent)
+
+    @precondition(lambda self: self.model)
+    @rule(index=st.integers(0, 10**6))
+    def pdelete_object(self, index: int) -> None:
+        oid = self._pick_oid(index)
+        self.db.pdelete(self.refs[oid])
+        del self.model[oid]
+        del self.refs[oid]
+
+    # -- invariants ----------------------------------------------------------
+
+    @invariant()
+    def contents_match_model(self) -> None:
+        from repro.core.identity import Vid
+
+        assert self.db.object_count() == len(self.model)
+        for oid, versions in self.model.items():
+            graph = self.db.graph(self.refs[oid])
+            graph.validate()
+            assert sorted(versions) == graph.serials()
+            latest = max(versions)
+            assert self.refs[oid].value == versions[latest][0]
+            for serial, (value, dprev) in versions.items():
+                vref = self.db.deref(Vid(oid, serial))
+                assert vref.value == value
+                parent = self.db.dprevious(vref)
+                assert (parent.vid.serial if parent else None) == dprev
+
+    def teardown(self) -> None:
+        self.db.close()
+        shutil.rmtree(self._dir, ignore_errors=True)
+
+
+TestStoreMachine = StoreMachine.TestCase
+TestStoreMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,161 @@
+"""Unit tests for the ORION-on-Ode checkout policy (paper §7's claim)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CheckoutError
+from repro.policies.checkout import OrionOnOde, RELEASED, TRANSIENT, WORKING
+from tests.conftest import Part
+
+
+@pytest.fixture
+def model(db):
+    return OrionOnOde(db)
+
+
+def test_create_starts_transient_in_private(db, model):
+    first = model.create(Part("chip", 1))
+    assert model.status(first) == TRANSIENT
+    assert model.database_of(first) == "private"
+
+
+def test_checkin_moves_to_project(db, model):
+    first = model.create(Part("chip", 1))
+    model.checkin(first)
+    assert model.status(first) == WORKING
+    assert model.database_of(first) == "project"
+
+
+def test_promote_moves_to_public(db, model):
+    first = model.create(Part("chip", 1))
+    model.checkin(first)
+    model.promote(first)
+    assert model.status(first) == RELEASED
+    assert model.database_of(first) == "public"
+
+
+def test_full_edit_cycle(db, model):
+    first = model.create(Part("chip", 1))
+    model.checkin(first)
+    edit = model.checkout(first.oid)
+    assert model.status(edit) == TRANSIENT
+    model.update(edit, weight=2)
+    # The generic default still reads the checked-in version mid-edit.
+    assert model.deref_generic(first.oid).weight == 1
+    model.checkin(edit)
+    assert model.deref_generic(first.oid).weight == 2
+
+
+def test_working_versions_are_immutable(db, model):
+    first = model.create(Part("chip", 1))
+    model.checkin(first)
+    with pytest.raises(CheckoutError):
+        model.update(first, weight=9)
+
+
+def test_released_versions_are_immutable(db, model):
+    first = model.create(Part("chip", 1))
+    model.checkin(first)
+    model.promote(first)
+    with pytest.raises(CheckoutError):
+        model.update(first, weight=9)
+
+
+def test_checkout_of_transient_rejected(db, model):
+    first = model.create(Part("chip", 1))
+    with pytest.raises(CheckoutError):
+        model.checkout(first.oid, first)
+
+
+def test_checkin_requires_transient(db, model):
+    first = model.create(Part("chip", 1))
+    model.checkin(first)
+    with pytest.raises(CheckoutError):
+        model.checkin(first)
+
+
+def test_promote_requires_working(db, model):
+    first = model.create(Part("chip", 1))
+    with pytest.raises(CheckoutError):
+        model.promote(first)
+
+
+def test_checkout_derives_in_kernel_graph(db, model):
+    """The policy's checkout IS the kernel's newversion: derivation recorded."""
+    first = model.create(Part("chip", 1))
+    model.checkin(first)
+    edit = model.checkout(first.oid)
+    assert db.dprevious(edit).vid == first.vid
+
+
+def test_derivation_from_released_base(db, model):
+    first = model.create(Part("chip", 1))
+    model.checkin(first)
+    model.promote(first)
+    derived = model.checkout(first.oid, first)
+    assert model.status(derived) == TRANSIENT
+    assert db.dprevious(derived).vid == first.vid
+
+
+def test_set_default_pins_generic_reads(db, model):
+    first = model.create(Part("chip", 1))
+    model.checkin(first)
+    edit = model.checkout(first.oid)
+    model.update(edit, weight=2)
+    model.checkin(edit)
+    model.set_default(first)
+    assert model.deref_generic(first.oid).weight == 1
+
+
+def test_set_default_rejects_transient(db, model):
+    first = model.create(Part("chip", 1))
+    model.checkin(first)
+    edit = model.checkout(first.oid)
+    with pytest.raises(CheckoutError):
+        model.set_default(edit)
+
+
+def test_versions_by_tier(db, model):
+    first = model.create(Part("chip", 1))
+    model.checkin(first)
+    model.promote(first)
+    edit = model.checkout(first.oid)
+    tiers = model.versions_by_tier(first.oid)
+    assert [v.vid for v in tiers["public"]] == [first.vid]
+    assert [v.vid for v in tiers["private"]] == [edit.vid]
+    assert tiers["project"] == []
+
+
+def test_policy_uses_zero_kernel_extensions(db, model):
+    """The whole model is policy state: two ordinary persistent objects."""
+    first = model.create(Part("chip", 1))
+    model.checkin(first)
+    # Everything the policy knows lives in persistent objects the kernel
+    # treats like any other -- they are versionable, queryable, durable.
+    from repro.policies.checkout import CheckoutControl
+    from repro.policies.environments import VersionEnvironment
+
+    assert db.query(CheckoutControl).count() == 1
+    assert db.query(VersionEnvironment).count() == 1
+
+
+def test_model_state_survives_reopen(tmp_path):
+    from repro import Database
+
+    path = tmp_path / "orionode"
+    with Database(path) as db:
+        model = OrionOnOde(db)
+        first = model.create(Part("chip", 1))
+        model.checkin(first)
+        env_oid = model._env.oid
+        ctl_oid = model._control.oid
+        vid = first.vid
+    with Database(path) as db:
+        # Rebind the policy to its persistent state.
+        model = OrionOnOde.__new__(OrionOnOde)
+        model._db = db
+        model._env = db.deref(env_oid)
+        model._control = db.deref(ctl_oid)
+        assert model.status(db.deref(vid)) == WORKING
+        assert model.deref_generic(vid.oid).weight == 1

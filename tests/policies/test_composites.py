@@ -1,0 +1,157 @@
+"""Unit tests for the composite-object (owned local objects) policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policies.composites import CompositeManager
+from tests.conftest import Node, Part
+
+
+@pytest.fixture
+def manager(db):
+    return CompositeManager(db)
+
+
+def test_deleting_composite_deletes_local_objects(db, manager):
+    car = db.pnew(Node("car"))
+    engine = db.pnew(Part("engine", 100))
+    wheel = db.pnew(Part("wheel", 10))
+    manager.own(car, engine)
+    manager.own(car, wheel)
+    db.pdelete(car)
+    assert not engine.is_alive()
+    assert not wheel.is_alive()
+
+
+def test_transitive_cascade(db, manager):
+    car = db.pnew(Node("car"))
+    engine = db.pnew(Node("engine"))
+    piston = db.pnew(Part("piston", 1))
+    manager.own(car, engine)
+    manager.own(engine, piston)
+    db.pdelete(car)
+    assert not engine.is_alive()
+    assert not piston.is_alive()
+
+
+def test_unowned_objects_unaffected(db, manager):
+    car = db.pnew(Node("car"))
+    engine = db.pnew(Part("engine", 100))
+    bystander = db.pnew(Part("bystander", 1))
+    manager.own(car, engine)
+    db.pdelete(car)
+    assert bystander.is_alive()
+
+
+def test_deleting_component_does_not_delete_owner(db, manager):
+    car = db.pnew(Node("car"))
+    engine = db.pnew(Part("engine", 100))
+    manager.own(car, engine)
+    db.pdelete(engine)
+    assert car.is_alive()
+    assert manager.components_of(car) == []
+
+
+def test_single_owner_enforced(db, manager):
+    a = db.pnew(Node("a"))
+    b = db.pnew(Node("b"))
+    shared = db.pnew(Part("shared", 1))
+    manager.own(a, shared)
+    with pytest.raises(PolicyError):
+        manager.own(b, shared)
+
+
+def test_self_ownership_rejected(db, manager):
+    a = db.pnew(Node("a"))
+    with pytest.raises(PolicyError):
+        manager.own(a, a)
+
+
+def test_cycle_rejected(db, manager):
+    a = db.pnew(Node("a"))
+    b = db.pnew(Node("b"))
+    c = db.pnew(Node("c"))
+    manager.own(a, b)
+    manager.own(b, c)
+    with pytest.raises(PolicyError):
+        manager.own(c, a)
+
+
+def test_disown_stops_cascade(db, manager):
+    car = db.pnew(Node("car"))
+    engine = db.pnew(Part("engine", 100))
+    manager.own(car, engine)
+    manager.disown(engine)
+    db.pdelete(car)
+    assert engine.is_alive()
+
+
+def test_owner_and_components_queries(db, manager):
+    car = db.pnew(Node("car"))
+    engine = db.pnew(Part("engine", 1))
+    wheel = db.pnew(Part("wheel", 1))
+    manager.own(car, engine)
+    manager.own(car, wheel)
+    assert manager.owner(engine) == car.oid
+    assert manager.owner(car) is None
+    assert manager.components_of(car) == sorted([engine.oid, wheel.oid])
+
+
+def test_cascade_report(db, manager):
+    car = db.pnew(Node("car"))
+    engine = db.pnew(Node("engine"))
+    piston = db.pnew(Part("piston", 1))
+    manager.own(car, engine)
+    manager.own(engine, piston)
+    db.pdelete(car)
+    assert manager.last_cascade is not None
+    assert manager.last_cascade.root == car.oid
+    assert set(manager.last_cascade.deleted) == {engine.oid, piston.oid}
+
+
+def test_versioned_components_fully_removed(db, manager):
+    car = db.pnew(Node("car"))
+    engine = db.pnew(Part("engine", 1))
+    v2 = db.newversion(engine)
+    manager.own(car, engine)
+    db.pdelete(car)
+    assert not engine.is_alive()
+    assert not v2.is_alive()
+
+
+def test_registry_survives_reopen(tmp_path):
+    from repro import Database
+
+    path = tmp_path / "compdb"
+    with Database(path) as db:
+        manager = CompositeManager(db)
+        car = db.pnew(Node("car"))
+        engine = db.pnew(Part("engine", 1))
+        manager.own(car, engine)
+        ids = (manager.registry_oid, car.oid, engine.oid)
+    with Database(path) as db:
+        manager = CompositeManager(db, registry_oid=ids[0])
+        car = db.deref(ids[1])
+        engine = db.deref(ids[2])
+        assert manager.owner(engine) == car.oid
+        db.pdelete(car)
+        assert not engine.is_alive()
+
+
+def test_cascade_inside_transaction_rolls_back(db, manager):
+    car = db.pnew(Node("car"))
+    engine = db.pnew(Part("engine", 1))
+    manager.own(car, engine)
+    try:
+        with db.transaction():
+            db.pdelete(car)
+            assert not engine.is_alive()
+            raise RuntimeError("abort")
+    except RuntimeError:
+        pass
+    assert car.is_alive()
+    assert engine.is_alive()
+    # The ownership link also rolled back with the registry object.
+    assert manager.owner(engine) == car.oid

@@ -1,0 +1,171 @@
+"""Unit tests for configurations and contexts (paper §5 policies)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.policies.configuration import (
+    Configuration,
+    Context,
+    DYNAMIC,
+    STATIC,
+    freeze,
+    materialize,
+    resolve,
+    resolve_in_context,
+)
+from tests.conftest import Part
+
+
+def test_dynamic_binding_tracks_latest(db):
+    part = db.pnew(Part("comp", 1))
+    cfg = db.pnew(Configuration("main"))
+    cfg.bind_dynamic("comp", part)
+    v2 = db.newversion(part)
+    v2.weight = 2
+    assert resolve(db, cfg, "comp").weight == 2
+
+
+def test_static_binding_is_pinned(db):
+    part = db.pnew(Part("comp", 1))
+    cfg = db.pnew(Configuration("main"))
+    cfg.bind_static("comp", part.pin())
+    v2 = db.newversion(part)
+    v2.weight = 2
+    assert resolve(db, cfg, "comp").weight == 1
+
+
+def test_binding_kinds_reported(db):
+    a = db.pnew(Part("a", 1))
+    b = db.pnew(Part("b", 1))
+    cfg = db.pnew(Configuration("main"))
+    cfg.bind_dynamic("a", a)
+    cfg.bind_static("b", b.pin())
+    assert cfg.binding_kind("a") == DYNAMIC
+    assert cfg.binding_kind("b") == STATIC
+
+
+def test_bind_dynamic_accepts_version_ref_downgrade(db):
+    """Binding a version dynamically means: track that version's object."""
+    part = db.pnew(Part("c", 1))
+    cfg = db.pnew(Configuration("main"))
+    cfg.bind_dynamic("c", part.pin())
+    v2 = db.newversion(part)
+    v2.weight = 2
+    assert resolve(db, cfg, "c").weight == 2
+
+
+def test_bind_static_requires_version(db):
+    part = db.pnew(Part("c", 1))
+    cfg = db.pnew(Configuration("main"))
+    with pytest.raises(ConfigurationError):
+        cfg.bind_static("c", part)  # generic ref is not a pinnable version
+
+
+def test_missing_binding_raises(db):
+    cfg = db.pnew(Configuration("main"))
+    with pytest.raises(ConfigurationError):
+        resolve(db, cfg, "ghost")
+
+
+def test_unbind(db):
+    part = db.pnew(Part("c", 1))
+    cfg = db.pnew(Configuration("main"))
+    cfg.bind_dynamic("c", part)
+    cfg.unbind("c")
+    assert cfg.components() == []
+    with pytest.raises(ConfigurationError):
+        cfg.unbind("c")
+
+
+def test_materialize_returns_objects(db):
+    a = db.pnew(Part("a", 1))
+    b = db.pnew(Part("b", 2))
+    cfg = db.pnew(Configuration("main"))
+    cfg.bind_dynamic("a", a)
+    cfg.bind_static("b", b.pin())
+    view = materialize(db, cfg)
+    assert view["a"].weight == 1
+    assert view["b"].weight == 2
+
+
+def test_freeze_pins_release_and_keeps_dev_dynamic(db):
+    part = db.pnew(Part("comp", 1))
+    cfg = db.pnew(Configuration("rep"))
+    cfg.bind_dynamic("comp", part)
+    release = freeze(db, cfg)
+    v2 = db.newversion(part)
+    v2.weight = 2
+    # Release pinned at weight 1; dev head still tracks latest.
+    assert resolve(db, release, "comp").weight == 1
+    assert resolve(db, cfg, "comp").weight == 2
+    assert release.binding_kind("comp") == STATIC
+    assert cfg.binding_kind("comp") == DYNAMIC
+
+
+def test_freeze_creates_version_history_of_releases(db):
+    part = db.pnew(Part("comp", 1))
+    cfg = db.pnew(Configuration("rep"))
+    cfg.bind_dynamic("comp", part)
+    r1 = freeze(db, cfg)
+    v2 = db.newversion(part)
+    v2.weight = 2
+    r2 = freeze(db, cfg)
+    assert resolve(db, r1, "comp").weight == 1
+    assert resolve(db, r2, "comp").weight == 2
+    # Releases live in the configuration's own version graph.
+    serials = {v.vid.serial for v in db.versions(cfg)}
+    assert r1.vid.serial in serials and r2.vid.serial in serials
+
+
+def test_configurations_are_ordinary_objects(db):
+    """The §5 point: configurations need no special kernel support."""
+    cfg = db.pnew(Configuration("plain"))
+    assert db.version_count(cfg) == 1
+    v2 = db.newversion(cfg)  # they can even be versioned directly
+    assert v2.name == "plain"
+
+
+def test_context_defaults(db):
+    part = db.pnew(Part("c", 1))
+    v1 = part.pin()
+    v2 = db.newversion(part)
+    v2.weight = 2
+    ctx = db.pnew(Context("validated"))
+    ctx.set_default(v1)
+    assert resolve_in_context(db, ctx, part).weight == 1
+    ctx.clear_default(part.oid)
+    assert resolve_in_context(db, ctx, part).weight == 2
+
+
+def test_context_fallback_to_latest(db):
+    part = db.pnew(Part("c", 7))
+    ctx = db.pnew(Context("empty"))
+    assert resolve_in_context(db, ctx, part).weight == 7
+
+
+def test_context_requires_specific_version(db):
+    part = db.pnew(Part("c", 1))
+    ctx = db.pnew(Context("strict"))
+    with pytest.raises(ConfigurationError):
+        ctx.set_default(part)  # generic ref rejected
+
+
+def test_configuration_persists_across_reopen(tmp_path):
+    from repro import Database
+
+    path = tmp_path / "cfgdb"
+    with Database(path) as db:
+        part = db.pnew(Part("c", 1))
+        cfg = db.pnew(Configuration("rep"))
+        cfg.bind_dynamic("comp", part)
+        release = freeze(db, cfg)
+        cfg_oid, release_vid = cfg.oid, release.vid
+        v2 = db.newversion(part)
+        v2.weight = 2
+    with Database(path) as db:
+        cfg = db.deref(cfg_oid)
+        release = db.deref(release_vid)
+        assert resolve(db, cfg, "comp").weight == 2
+        assert resolve(db, release, "comp").weight == 1

@@ -1,0 +1,179 @@
+"""Unit tests for the version-environments policy ([24], paper §7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policies.environments import (
+    VersionEnvironment,
+    alternatives_in_state,
+    effective_version,
+    latest_in_state,
+    partition,
+    promote_pipeline,
+    sweep_dead_assignments,
+    versions_in_state,
+)
+from tests.conftest import Part
+
+
+@pytest.fixture
+def env(db):
+    return db.pnew(VersionEnvironment("review"))
+
+
+def test_new_versions_start_in_initial_state(db, env):
+    ref = db.pnew(Part("p", 1))
+    v2 = db.newversion(ref)
+    assert env.state_of(v2.vid) == "in-progress"
+
+
+def test_allowed_transition(db, env):
+    ref = db.pnew(Part("p", 1))
+    v = ref.pin()
+    env.set_state(v, "valid")
+    assert env.state_of(v.vid) == "valid"
+
+
+def test_disallowed_transition_rejected(db, env):
+    ref = db.pnew(Part("p", 1))
+    v = ref.pin()
+    with pytest.raises(PolicyError):
+        env.set_state(v, "effective")  # must pass through 'valid'
+
+
+def test_unknown_state_rejected(db, env):
+    ref = db.pnew(Part("p", 1))
+    with pytest.raises(PolicyError):
+        env.set_state(ref.pin(), "nirvana")
+
+
+def test_self_transition_is_noop(db, env):
+    ref = db.pnew(Part("p", 1))
+    v = ref.pin()
+    env.set_state(v, "in-progress")  # already there; no transition check
+    assert env.state_of(v.vid) == "in-progress"
+
+
+def test_partition_covers_all_versions(db, env):
+    ref = db.pnew(Part("p", 1))
+    v1 = ref.pin()
+    v2 = db.newversion(ref)
+    v3 = db.newversion(ref)
+    env.set_state(v1, "valid")
+    env.set_state(v2, "invalid")
+    parts = partition(db, env, ref)
+    assert [v.vid for v in parts["valid"]] == [v1.vid]
+    assert [v.vid for v in parts["invalid"]] == [v2.vid]
+    assert [v.vid for v in parts["in-progress"]] == [v3.vid]
+    total = sum(len(v) for v in parts.values())
+    assert total == 3
+
+
+def test_effective_version_latest_wins(db, env):
+    ref = db.pnew(Part("p", 1))
+    v1 = ref.pin()
+    v2 = db.newversion(ref)
+    promote_pipeline(db, env, v1, ["valid", "effective"])
+    promote_pipeline(db, env, v2, ["valid", "effective"])
+    assert effective_version(db, env, ref).vid == v2.vid
+
+
+def test_effective_version_none(db, env):
+    ref = db.pnew(Part("p", 1))
+    assert effective_version(db, env, ref) is None
+
+
+def test_latest_in_state(db, env):
+    ref = db.pnew(Part("p", 1))
+    v1 = ref.pin()
+    v2 = db.newversion(ref)
+    env.set_state(v1, "valid")
+    env.set_state(v2, "valid")
+    assert latest_in_state(db, env, ref, "valid").vid == v2.vid
+    assert latest_in_state(db, env, ref, "invalid") is None
+
+
+def test_alternatives_in_state(db, env):
+    ref = db.pnew(Part("p", 1))
+    base = ref.pin()
+    alt1 = db.newversion(base)
+    alt2 = db.newversion(base)
+    env.set_state(alt1, "valid")
+    # Only alt1 is a 'valid' leaf; alt2 remains in-progress.
+    valid_leaves = alternatives_in_state(db, env, ref, "valid")
+    assert [v.vid for v in valid_leaves] == [alt1.vid]
+    wip_leaves = alternatives_in_state(db, env, ref, "in-progress")
+    assert [v.vid for v in wip_leaves] == [alt2.vid]
+
+
+def test_versions_in_state_temporal_order(db, env):
+    ref = db.pnew(Part("p", 1))
+    versions = [ref.pin()] + [db.newversion(ref) for _ in range(3)]
+    for v in versions:
+        env.set_state(v, "valid")
+    listed = versions_in_state(db, env, ref, "valid")
+    assert [v.vid for v in listed] == [v.vid for v in versions]
+
+
+def test_sweep_dead_assignments(db, env):
+    ref = db.pnew(Part("p", 1))
+    v2 = db.newversion(ref)
+    env.set_state(v2, "valid")
+    db.pdelete(v2)
+    assert sweep_dead_assignments(db, env) == 1
+    assert sweep_dead_assignments(db, env) == 0
+
+
+def test_custom_state_machine(db):
+    env = db.pnew(
+        VersionEnvironment(
+            "simple",
+            states=("draft", "final"),
+            transitions={"draft": ("final",), "final": ()},
+        )
+    )
+    ref = db.pnew(Part("p", 1))
+    v = ref.pin()
+    env.set_state(v, "final")
+    with pytest.raises(PolicyError):
+        env.set_state(v, "draft")  # final is terminal
+
+
+def test_environment_persists(tmp_path):
+    from repro import Database
+
+    path = tmp_path / "envdb"
+    with Database(path) as db:
+        env = db.pnew(VersionEnvironment("review"))
+        ref = db.pnew(Part("p", 1))
+        v = ref.pin()
+        env.set_state(v, "valid")
+        ids = (env.oid, v.vid)
+    with Database(path) as db:
+        env = db.deref(ids[0])
+        assert env.state_of(ids[1]) == "valid"
+
+
+def test_environment_is_versionable_itself(db, env):
+    """Environments are ordinary objects: snapshot the review state.
+
+    Pin the current environment version, continue work on a new one --
+    the pinned snapshot keeps the old assignments forever.
+    """
+    ref = db.pnew(Part("p", 1))
+    v = ref.pin()
+    env.set_state(v, "valid")
+    snapshot = env.pin()
+    db.newversion(env)  # work continues on the (latest) new version
+    env.set_state(v, "invalid")
+    assert env.state_of(v.vid) == "invalid"
+    assert snapshot.state_of(v.vid) == "valid"
+
+
+def test_invalid_environment_construction():
+    with pytest.raises(PolicyError):
+        VersionEnvironment("x", states=())
+    with pytest.raises(PolicyError):
+        VersionEnvironment("x", states=("a",), initial="b")

@@ -1,0 +1,107 @@
+"""Unit tests for the change-notification policy (built on triggers)."""
+
+from __future__ import annotations
+
+from repro.policies.notification import ChangeNotifier
+from tests.conftest import Part
+
+
+def test_deferred_subscription_accumulates(db):
+    notifier = ChangeNotifier(db)
+    ref = db.pnew(Part("watched", 1))
+    sub = notifier.subscribe(ref)
+    ref.weight = 2
+    db.newversion(ref)
+    assert sub.pending() == 2
+    notes = sub.drain()
+    assert [n.event for n in notes] == ["update", "newversion"]
+    assert sub.pending() == 0
+
+
+def test_subscription_scoped_to_object(db):
+    notifier = ChangeNotifier(db)
+    a = db.pnew(Part("a", 1))
+    b = db.pnew(Part("b", 1))
+    sub = notifier.subscribe(a)
+    b.weight = 2
+    assert sub.pending() == 0
+    a.weight = 2
+    assert sub.pending() == 1
+
+
+def test_global_subscription(db):
+    notifier = ChangeNotifier(db)
+    sub = notifier.subscribe()  # every object
+    a = db.pnew(Part("a", 1))
+    b = db.pnew(Part("b", 1))
+    a.weight = 2
+    b.weight = 2
+    assert sub.pending() == 2
+
+
+def test_create_not_a_change_event(db):
+    notifier = ChangeNotifier(db)
+    sub = notifier.subscribe()
+    db.pnew(Part("new", 1))
+    assert sub.pending() == 0
+
+
+def test_delete_events_delivered(db):
+    notifier = ChangeNotifier(db)
+    ref = db.pnew(Part("gone", 1))
+    v2 = db.newversion(ref)
+    sub = notifier.subscribe(ref)
+    db.pdelete(v2)
+    db.pdelete(ref)
+    events = [n.event for n in sub.drain()]
+    assert events == ["delete_version", "delete_object"]
+
+
+def test_cancel_stops_delivery(db):
+    notifier = ChangeNotifier(db)
+    ref = db.pnew(Part("w", 1))
+    sub = notifier.subscribe(ref)
+    sub.cancel()
+    ref.weight = 2
+    assert sub.pending() == 0
+
+
+def test_immediate_callback(db):
+    notifier = ChangeNotifier(db)
+    ref = db.pnew(Part("w", 1))
+    seen = []
+    notifier.on_change(lambda note: seen.append(note), target=ref)
+    ref.weight = 2
+    assert len(seen) == 1
+    assert seen[0].event == "update"
+    assert seen[0].oid == ref.oid
+
+
+def test_custom_event_filter(db):
+    notifier = ChangeNotifier(db)
+    ref = db.pnew(Part("w", 1))
+    sub = notifier.subscribe(ref, events=("newversion",))
+    ref.weight = 2  # update: filtered out
+    db.newversion(ref)
+    assert [n.event for n in sub.drain()] == ["newversion"]
+
+
+def test_notification_carries_vid(db):
+    notifier = ChangeNotifier(db)
+    ref = db.pnew(Part("w", 1))
+    sub = notifier.subscribe(ref)
+    v2 = db.newversion(ref)
+    note = sub.drain()[0]
+    assert note.vid == v2.vid
+
+
+def test_two_subscribers_independent(db):
+    notifier = ChangeNotifier(db)
+    ref = db.pnew(Part("w", 1))
+    s1 = notifier.subscribe(ref)
+    s2 = notifier.subscribe(ref)
+    ref.weight = 2
+    assert s1.pending() == 1
+    assert s2.pending() == 1
+    s1.drain()
+    assert s2.pending() == 1

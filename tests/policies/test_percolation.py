@@ -1,0 +1,131 @@
+"""Unit tests for the version-percolation policy."""
+
+from __future__ import annotations
+
+from repro.policies.percolation import (
+    CompositeRegistry,
+    find_referencers,
+    ids_in_state,
+    percolate,
+)
+from tests.conftest import Node, Part
+
+
+def build_composite(db, depth):
+    """A linear composite: parent(depth-1) -> ... -> parent0 -> leaf."""
+    leaf = db.pnew(Part("leaf", 1))
+    registry = CompositeRegistry()
+    current = leaf
+    parents = []
+    for i in range(depth):
+        parent = db.pnew(Node(f"level{i}", next_ref=current.oid))
+        registry.link(parent, current)
+        parents.append(parent)
+        current = parent
+    return leaf, parents, registry
+
+
+def test_kernel_default_no_percolation(db):
+    """Paper §3: newversion alone never touches other objects."""
+    leaf, parents, _ = build_composite(db, 3)
+    before = [db.version_count(p) for p in parents]
+    db.newversion(leaf)
+    assert [db.version_count(p) for p in parents] == before
+
+
+def test_percolate_linear_composite(db):
+    leaf, parents, registry = build_composite(db, 3)
+    new_leaf = db.newversion(leaf)
+    result = percolate(db, new_leaf, registry=registry)
+    assert result.fan_out == 3
+    assert all(db.version_count(p) == 2 for p in parents)
+
+
+def test_percolate_max_depth_bounds_propagation(db):
+    leaf, parents, registry = build_composite(db, 4)
+    new_leaf = db.newversion(leaf)
+    result = percolate(db, new_leaf, registry=registry, max_depth=2)
+    assert result.fan_out == 2
+    assert db.version_count(parents[0]) == 2
+    assert db.version_count(parents[1]) == 2
+    assert db.version_count(parents[2]) == 1
+
+
+def test_percolate_fan_shaped_composite(db):
+    leaf = db.pnew(Part("shared", 1))
+    registry = CompositeRegistry()
+    parents = []
+    for i in range(4):
+        parent = db.pnew(Node(f"user{i}", next_ref=leaf.oid))
+        registry.link(parent, leaf)
+        parents.append(parent)
+    result = percolate(db, db.newversion(leaf), registry=registry)
+    assert result.fan_out == 4
+
+
+def test_percolate_rewrites_specific_pins(db):
+    leaf = db.pnew(Part("pinned", 1))
+    pin = leaf.pin()
+    parent = db.pnew(Node("parent", next_ref=pin))  # SPECIFIC reference
+    registry = CompositeRegistry()
+    registry.link(parent, leaf)
+    new_leaf = db.newversion(leaf)
+    new_leaf.weight = 2
+    result = percolate(db, new_leaf, registry=registry)
+    assert result.rewritten_pins == 1
+    # The new parent version points at the new leaf version...
+    assert parent.next_ref.weight == 2
+    # ...while the old parent version still pins the old leaf version.
+    old_parent = db.versions(parent)[0]
+    assert old_parent.next_ref.weight == 1
+
+
+def test_percolate_generic_references_need_no_rewrite(db):
+    leaf = db.pnew(Part("generic", 1))
+    parent = db.pnew(Node("parent", next_ref=leaf.oid))
+    registry = CompositeRegistry()
+    registry.link(parent, leaf)
+    result = percolate(db, db.newversion(leaf), registry=registry)
+    assert result.rewritten_pins == 0
+
+
+def test_percolate_by_scan_matches_registry(db):
+    leaf, parents, registry = build_composite(db, 2)
+    found = find_referencers(db, leaf.oid)
+    assert found == [parents[0].oid]
+    result = percolate(db, db.newversion(leaf))  # no registry: scan
+    assert result.fan_out == 2
+
+
+def test_percolate_cycle_terminates(db):
+    a = db.pnew(Node("a"))
+    b = db.pnew(Node("b", next_ref=a.oid))
+    a.next_ref = b.oid  # reference cycle
+    registry = CompositeRegistry()
+    registry.link(b, a)
+    registry.link(a, b)
+    result = percolate(db, db.newversion(a), registry=registry)
+    assert result.fan_out == 1  # b percolated once; a not revisited
+
+
+def test_ids_in_state_walks_everything(db):
+    from repro.core.identity import Oid, Vid
+
+    state = {
+        "plain": 5,
+        "oid": Oid(1),
+        "nested": [Vid(Oid(2), 3), {"deep": Oid(4)}],
+    }
+    ids = ids_in_state(state)
+    assert ids == {Oid(1), Vid(Oid(2), 3), Oid(4)}
+
+
+def test_registry_unlink(db):
+    leaf = db.pnew(Part("l", 1))
+    parent = db.pnew(Node("p", next_ref=leaf.oid))
+    registry = CompositeRegistry()
+    registry.link(parent, leaf)
+    registry.unlink(parent, leaf)
+    assert registry.parents_of(leaf.oid) == []
+    result = percolate(db, db.newversion(leaf), registry=registry)
+    assert result.fan_out == 0

@@ -1,0 +1,151 @@
+"""Unit and property tests for the delta codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DeltaError
+from repro.storage.delta import (
+    apply_delta,
+    compute_delta,
+    delta_stats,
+    materialize_chain,
+)
+from repro.workloads.synthetic import mutate_payload, random_payload
+
+
+def test_identical_payload_tiny_delta():
+    base = random_payload(4096, seed=1)
+    delta = compute_delta(base, base)
+    assert apply_delta(base, delta) == base
+    assert len(delta) < 64  # a couple of COPY ops at most
+
+
+def test_small_edit_small_delta():
+    base = random_payload(8192, seed=2)
+    target = mutate_payload(base, 0.02, seed=3)
+    delta = compute_delta(base, target)
+    assert apply_delta(base, delta) == target
+    assert len(delta) < len(target) // 2
+
+
+def test_unrelated_payload_delta_still_correct():
+    base = random_payload(1024, seed=4)
+    target = random_payload(1024, seed=5)
+    delta = compute_delta(base, target)
+    assert apply_delta(base, delta) == target
+
+
+def test_empty_base():
+    delta = compute_delta(b"", b"target bytes")
+    assert apply_delta(b"", delta) == b"target bytes"
+
+
+def test_empty_target():
+    base = b"some base"
+    delta = compute_delta(base, b"")
+    assert apply_delta(base, delta) == b""
+
+
+def test_both_empty():
+    delta = compute_delta(b"", b"")
+    assert apply_delta(b"", delta) == b""
+
+
+def test_target_smaller_than_block():
+    base = random_payload(500, seed=6)
+    delta = compute_delta(base, b"tiny")
+    assert apply_delta(base, delta) == b"tiny"
+
+
+def test_append_only_edit():
+    base = random_payload(2048, seed=7)
+    target = base + b"appended tail data"
+    delta = compute_delta(base, target)
+    assert apply_delta(base, delta) == target
+    assert len(delta) < 128
+
+
+def test_prepend_edit():
+    base = random_payload(2048, seed=8)
+    target = b"prefix" + base
+    delta = compute_delta(base, target)
+    assert apply_delta(base, delta) == target
+    assert len(delta) < 256
+
+
+def test_wrong_base_length_rejected():
+    base = random_payload(512, seed=9)
+    delta = compute_delta(base, mutate_payload(base, 0.1, seed=10))
+    with pytest.raises(DeltaError):
+        apply_delta(base + b"x", delta)
+
+
+def test_garbage_delta_rejected():
+    with pytest.raises(DeltaError):
+        apply_delta(b"base", b"\x00\x01garbage")
+
+
+def test_truncated_delta_rejected():
+    base = random_payload(512, seed=11)
+    delta = compute_delta(base, mutate_payload(base, 0.5, seed=12))
+    with pytest.raises(DeltaError):
+        apply_delta(base, delta[: len(delta) // 2])
+
+
+def test_block_size_validation():
+    with pytest.raises(DeltaError):
+        compute_delta(b"a", b"b", block_size=4)
+
+
+def test_stats_account_for_everything():
+    base = random_payload(4096, seed=13)
+    target = mutate_payload(base, 0.1, seed=14)
+    delta = compute_delta(base, target)
+    stats = delta_stats(base, target, delta)
+    assert stats.copy_bytes + stats.add_bytes == len(target)
+    assert stats.delta_len == len(delta)
+    assert stats.ratio < 1.0
+
+
+def test_stats_ratio_for_identical():
+    base = random_payload(1024, seed=15)
+    delta = compute_delta(base, base)
+    stats = delta_stats(base, base, delta)
+    assert stats.ratio < 0.05
+
+
+def test_chain_materialization():
+    current = random_payload(2048, seed=16)
+    root = current
+    deltas = []
+    for i in range(10):
+        nxt = mutate_payload(current, 0.05, seed=100 + i)
+        deltas.append(compute_delta(current, nxt))
+        current = nxt
+    assert materialize_chain(root, deltas) == current
+
+
+def test_chain_empty():
+    assert materialize_chain(b"root", []) == b"root"
+
+
+@settings(max_examples=80)
+@given(st.binary(max_size=2000), st.binary(max_size=2000))
+def test_property_delta_roundtrip(base, target):
+    delta = compute_delta(base, target)
+    assert apply_delta(base, delta) == target
+
+
+@settings(max_examples=40)
+@given(
+    st.binary(min_size=200, max_size=2000),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_property_mutated_roundtrip(base, ratio, seed):
+    target = mutate_payload(base, ratio, seed=seed)
+    delta = compute_delta(base, target)
+    assert apply_delta(base, delta) == target

@@ -1,0 +1,128 @@
+"""Unit tests for the disk manager."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import DiskError
+from repro.storage.disk import DiskManager
+from repro.storage.pages import PAGE_SIZE
+
+
+@pytest.fixture
+def disk(tmp_path):
+    manager = DiskManager(tmp_path / "data.odb")
+    yield manager
+    manager.close()
+
+
+def test_fresh_file_has_meta_page(disk):
+    assert disk.num_pages == 1
+
+
+def test_allocate_returns_sequential_ids(disk):
+    assert disk.allocate_page() == 1
+    assert disk.allocate_page() == 2
+    assert disk.num_pages == 3
+
+
+def test_allocated_page_is_zeroed(disk):
+    page_id = disk.allocate_page()
+    assert disk.read_page(page_id) == bytearray(PAGE_SIZE)
+
+
+def test_write_read_roundtrip(disk):
+    page_id = disk.allocate_page()
+    data = bytes(range(256)) * (PAGE_SIZE // 256)
+    disk.write_page(page_id, data)
+    assert bytes(disk.read_page(page_id)) == data
+
+
+def test_write_wrong_size_rejected(disk):
+    page_id = disk.allocate_page()
+    with pytest.raises(DiskError):
+        disk.write_page(page_id, b"short")
+
+
+def test_page_zero_is_protected(disk):
+    with pytest.raises(DiskError):
+        disk.read_page(0)
+    with pytest.raises(DiskError):
+        disk.write_page(0, bytes(PAGE_SIZE))
+
+
+def test_out_of_range_page_rejected(disk):
+    with pytest.raises(DiskError):
+        disk.read_page(99)
+
+
+def test_free_page_is_recycled(disk):
+    a = disk.allocate_page()
+    disk.allocate_page()
+    disk.free_page(a)
+    assert disk.allocate_page() == a
+    # Recycled page comes back zeroed.
+    assert disk.read_page(a) == bytearray(PAGE_SIZE)
+
+
+def test_free_list_lifo(disk):
+    a = disk.allocate_page()
+    b = disk.allocate_page()
+    disk.free_page(a)
+    disk.free_page(b)
+    assert disk.allocate_page() == b
+    assert disk.allocate_page() == a
+
+
+def test_persistence_across_reopen(tmp_path):
+    path = tmp_path / "data.odb"
+    with DiskManager(path) as disk:
+        page_id = disk.allocate_page()
+        disk.write_page(page_id, b"\xab" * PAGE_SIZE)
+    with DiskManager(path) as disk:
+        assert disk.num_pages == 2
+        assert bytes(disk.read_page(page_id)) == b"\xab" * PAGE_SIZE
+
+
+def test_free_list_survives_reopen(tmp_path):
+    path = tmp_path / "data.odb"
+    with DiskManager(path) as disk:
+        a = disk.allocate_page()
+        disk.allocate_page()
+        disk.free_page(a)
+    with DiskManager(path) as disk:
+        assert disk.allocate_page() == a
+
+
+def test_reopen_rejects_wrong_magic(tmp_path):
+    path = tmp_path / "bogus.odb"
+    path.write_bytes(b"NOTADB!!" + bytes(PAGE_SIZE - 8))
+    with pytest.raises(DiskError):
+        DiskManager(path)
+
+
+def test_ensure_allocated_extends_file(disk):
+    disk.ensure_allocated(5)
+    assert disk.num_pages == 6
+    assert disk.read_page(5) == bytearray(PAGE_SIZE)
+    assert os.path.getsize(disk.path) == 6 * PAGE_SIZE
+
+
+def test_ensure_allocated_noop_for_existing(disk):
+    page_id = disk.allocate_page()
+    disk.write_page(page_id, b"\x01" * PAGE_SIZE)
+    disk.ensure_allocated(page_id)
+    assert bytes(disk.read_page(page_id)) == b"\x01" * PAGE_SIZE
+
+
+def test_ensure_allocated_rejects_meta_page(disk):
+    with pytest.raises(DiskError):
+        disk.ensure_allocated(0)
+
+
+def test_close_is_idempotent(tmp_path):
+    disk = DiskManager(tmp_path / "d.odb")
+    disk.close()
+    disk.close()

@@ -1,0 +1,284 @@
+"""Unit and property tests for the stable binary codec."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.identity import Oid, Vid
+from repro.errors import SerializationError
+from repro.storage.serialization import (
+    decode,
+    encode,
+    read_uvarint,
+    register_type,
+    registered_name,
+    write_uvarint,
+)
+
+
+def roundtrip(value):
+    return decode(encode(value))
+
+
+# -- scalars ----------------------------------------------------------------
+
+
+def test_none():
+    assert roundtrip(None) is None
+
+
+def test_booleans():
+    assert roundtrip(True) is True
+    assert roundtrip(False) is False
+
+
+@pytest.mark.parametrize("value", [0, 1, -1, 127, -128, 2**40, -(2**40), 2**63 - 1, -(2**63)])
+def test_int64_range(value):
+    assert roundtrip(value) == value
+
+
+@pytest.mark.parametrize("value", [2**63, -(2**63) - 1, 2**200, -(2**200)])
+def test_bigints(value):
+    assert roundtrip(value) == value
+
+
+def test_bool_not_confused_with_int():
+    assert roundtrip(1) == 1 and roundtrip(1) is not True
+    assert roundtrip(True) is True
+
+
+@pytest.mark.parametrize("value", [0.0, -0.0, 1.5, -2.25, 1e300, float("inf")])
+def test_floats(value):
+    assert roundtrip(value) == value
+
+
+def test_float_nan():
+    assert math.isnan(roundtrip(float("nan")))
+
+
+def test_strings():
+    assert roundtrip("") == ""
+    assert roundtrip("héllo wörld 世界") == "héllo wörld 世界"
+
+
+def test_bytes():
+    assert roundtrip(b"") == b""
+    assert roundtrip(bytes(range(256))) == bytes(range(256))
+
+
+# -- containers ------------------------------------------------------------
+
+
+def test_lists_and_tuples_distinct():
+    assert roundtrip([1, 2]) == [1, 2]
+    assert roundtrip((1, 2)) == (1, 2)
+    assert type(roundtrip((1,))) is tuple
+    assert type(roundtrip([1])) is list
+
+
+def test_nested_containers():
+    value = {"a": [1, (2, 3)], "b": {"c": {4, 5}}}
+    assert roundtrip(value) == value
+
+
+def test_dict_preserves_insertion_order():
+    value = {"z": 1, "a": 2, "m": 3}
+    assert list(roundtrip(value)) == ["z", "a", "m"]
+
+
+def test_sets_and_frozensets():
+    assert roundtrip({1, 2, 3}) == {1, 2, 3}
+    fs = frozenset(["x", "y"])
+    out = roundtrip(fs)
+    assert out == fs and type(out) is frozenset
+
+
+def test_equal_sets_encode_identically():
+    a = encode({3, 1, 2})
+    b = encode({2, 3, 1})
+    assert a == b
+
+
+# -- identity types -----------------------------------------------------------
+
+
+def test_oid_roundtrip():
+    assert roundtrip(Oid(42)) == Oid(42)
+
+
+def test_vid_roundtrip():
+    vid = Vid(Oid(7), 3)
+    assert roundtrip(vid) == vid
+
+
+def test_ids_nested_in_state():
+    value = {"owner": Oid(1), "pins": [Vid(Oid(1), 2), Vid(Oid(3), 1)]}
+    assert roundtrip(value) == value
+
+
+# -- registered types -------------------------------------------------------------
+
+
+@register_type
+class Point:
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+
+    def __eq__(self, other):
+        return isinstance(other, Point) and (self.x, self.y) == (other.x, other.y)
+
+
+def test_registered_object_roundtrip():
+    assert roundtrip(Point(1, 2)) == Point(1, 2)
+
+
+def test_registered_object_constructor_not_called_on_load():
+    calls = []
+
+    @register_type
+    class Probe:
+        def __init__(self):
+            calls.append(1)
+            self.v = 1
+
+    raw = encode(Probe())
+    assert len(calls) == 1
+    out = decode(raw)
+    assert out.v == 1
+    assert len(calls) == 1  # decode used __new__, not __init__
+
+
+def test_registered_name_lookup():
+    assert registered_name(Point) is not None
+    assert registered_name(int) is None
+
+
+def test_name_collision_rejected():
+    class A:
+        pass
+
+    class B:
+        pass
+
+    register_type(A, "tests.collision")
+    with pytest.raises(SerializationError):
+        register_type(B, "tests.collision")
+
+
+def test_reregister_same_class_ok():
+    class C:
+        pass
+
+    register_type(C, "tests.rereg")
+    register_type(C, "tests.rereg")
+
+
+def test_unregistered_type_rejected():
+    class Anon:
+        pass
+
+    with pytest.raises(SerializationError):
+        encode(Anon())
+
+
+def test_decode_unknown_type_rejected():
+    @register_type
+    class Temp:
+        pass
+
+    raw = encode(Temp())
+    # Forge a payload naming a type that was never registered.
+    from repro.storage import serialization
+
+    name = registered_name(Temp)
+    forged = raw.replace(name.encode(), b"x" * len(name.encode()))
+    with pytest.raises(SerializationError):
+        serialization.decode(forged)
+
+
+# -- malformed input ------------------------------------------------------------
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(SerializationError):
+        decode(encode(1) + b"\x00")
+
+
+def test_truncated_input_rejected():
+    raw = encode("hello world")
+    with pytest.raises(SerializationError):
+        decode(raw[:-3])
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(SerializationError):
+        decode(b"\xff")
+
+
+def test_empty_input_rejected():
+    with pytest.raises(SerializationError):
+        decode(b"")
+
+
+# -- varints -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**63])
+def test_uvarint_roundtrip(value):
+    buf = bytearray()
+    write_uvarint(buf, value)
+    out, pos = read_uvarint(bytes(buf), 0)
+    assert out == value
+    assert pos == len(buf)
+
+
+def test_uvarint_rejects_negative():
+    with pytest.raises(SerializationError):
+        write_uvarint(bytearray(), -1)
+
+
+def test_uvarint_truncated():
+    buf = bytearray()
+    write_uvarint(buf, 300)
+    with pytest.raises(SerializationError):
+        read_uvarint(bytes(buf[:-1]), 0)
+
+
+# -- properties -----------------------------------------------------------------
+
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats(allow_nan=False)
+    | st.text(max_size=30)
+    | st.binary(max_size=30),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=8), children, max_size=5),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=200)
+@given(json_like)
+def test_property_roundtrip(value):
+    assert roundtrip(value) == value
+
+
+@settings(max_examples=100)
+@given(json_like)
+def test_property_encoding_is_deterministic(value):
+    assert encode(value) == encode(value)
+
+
+@settings(max_examples=100)
+@given(st.integers(), st.integers())
+def test_property_distinct_ints_encode_distinct(a, b):
+    if a != b:
+        assert encode(a) != encode(b)

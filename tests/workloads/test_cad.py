@@ -1,0 +1,117 @@
+"""Unit tests for the DMS CAD workload (paper §5 scenario)."""
+
+from __future__ import annotations
+
+from repro.policies.configuration import resolve
+from repro.workloads.cad import (
+    DesignEvolution,
+    build_alu_design,
+    release_representation,
+    representation_view,
+    revise_schematic,
+)
+
+
+def test_initial_design_state(db):
+    design = build_alu_design(db)
+    # Three representations, per the paper.
+    assert set(design.representations()) == {"schematic", "fault", "timing"}
+    # The schematic representation only consists of the schematic data.
+    assert design.schematic_rep.components() == ["schematic"]
+    # Fault: schematic + vectors + commands.
+    assert design.fault_rep.components() == ["commands", "schematic", "vectors"]
+    # Timing: schematic + the SAME vectors + timing commands.
+    assert design.timing_rep.components() == ["commands", "schematic", "vectors"]
+
+
+def test_representations_share_data_objects(db):
+    """Timing shares the schematic's data and the fault's vectors (§5)."""
+    design = build_alu_design(db)
+    timing_schematic = resolve(db, design.timing_rep, "schematic")
+    schematic_schematic = resolve(db, design.schematic_rep, "schematic")
+    assert timing_schematic.oid == schematic_schematic.oid
+    timing_vectors = resolve(db, design.timing_rep, "vectors")
+    fault_vectors = resolve(db, design.fault_rep, "vectors")
+    assert timing_vectors.oid == fault_vectors.oid
+
+
+def test_chip_references_representations(db):
+    design = build_alu_design(db)
+    reps = design.chip.representations
+    assert reps["timing"].oid == design.timing_rep.oid  # Oid came back as Ref
+
+
+def test_revision_visible_through_dynamic_bindings(db):
+    design = build_alu_design(db)
+    revise_schematic(db, design, "rev1")
+    for rep in design.representations().values():
+        if "schematic" in rep.components():
+            cells = resolve(db, rep, "schematic").cells
+            assert "patch_rev1" in cells
+
+
+def test_release_pins_all_components(db):
+    design = build_alu_design(db)
+    release = release_representation(db, design.timing_rep)
+    revise_schematic(db, design, "after-release")
+    design.vectors.add_pattern("1100")
+    frozen = representation_view(db, release)
+    assert "patch_after-release" not in frozen["schematic"].cells
+    assert "1100" not in frozen["vectors"].patterns
+    live = representation_view(db, design.timing_rep)
+    assert "patch_after-release" in live["schematic"].cells
+    assert "1100" in live["vectors"].patterns
+
+
+def test_two_releases_capture_different_states(db):
+    design = build_alu_design(db)
+    r1 = release_representation(db, design.schematic_rep)
+    revise_schematic(db, design, "between")
+    r2 = release_representation(db, design.schematic_rep)
+    assert "patch_between" not in representation_view(db, r1)["schematic"].cells
+    assert "patch_between" in representation_view(db, r2)["schematic"].cells
+
+
+def test_schematic_history_accumulates(db):
+    design = build_alu_design(db)
+    for i in range(3):
+        revise_schematic(db, design, f"r{i}")
+    assert db.version_count(design.schematic_data) == 4
+    notes = [v.revision_note for v in db.versions(design.schematic_data)]
+    assert notes == ["initial", "r0", "r1", "r2"]
+
+
+def test_evolution_is_deterministic(db, tmp_path):
+    from repro import Database
+
+    design = build_alu_design(db)
+    log1 = DesignEvolution(db, design, seed=7).run(30)
+
+    other = Database(tmp_path / "second")
+    design2 = build_alu_design(other)
+    log2 = DesignEvolution(other, design2, seed=7).run(30)
+    assert (log1.revisions, log1.variants, log1.releases, log1.vector_updates) == (
+        log2.revisions,
+        log2.variants,
+        log2.releases,
+        log2.vector_updates,
+    )
+    other.close()
+
+
+def test_evolution_preserves_graph_invariants(db):
+    design = build_alu_design(db)
+    evolution = DesignEvolution(db, design, seed=3)
+    evolution.run(40)
+    for ref in design.data_objects():
+        db.graph(ref).validate()
+    for rep in design.representations().values():
+        db.graph(rep).validate()
+
+
+def test_evolution_creates_variants(db):
+    design = build_alu_design(db)
+    log = DesignEvolution(db, design, seed=1).run(50)
+    assert log.variants > 0
+    # Variants appear as multiple leaves in the schematic's graph.
+    assert len(db.leaves(design.schematic_data)) > 1

@@ -1,0 +1,91 @@
+"""Unit tests for the historical-database workloads."""
+
+from __future__ import annotations
+
+from repro.workloads.history import (
+    Person,
+    address_as_of,
+    address_history,
+    audit_trail,
+    balance_as_of,
+    build_address_book,
+    build_ledger,
+    current_addresses,
+    move_person,
+    post,
+)
+
+
+def test_book_reads_latest_addresses(db):
+    """Paper §3's address-book example: generic refs give latest addresses."""
+    scenario = build_address_book(db, n_people=4, moves_per_person=0)
+    person = scenario.people[0]
+    move_person(db, person, "99 New Rd")
+    addrs = current_addresses(db, scenario.book)
+    assert addrs["person0"] == "99 New Rd"
+
+
+def test_past_addresses_remain_reachable(db):
+    scenario = build_address_book(db, n_people=1, moves_per_person=0)
+    person = scenario.people[0]
+    move_person(db, person, "A")
+    move_person(db, person, "B")
+    assert address_history(db, person) == ["0 First St", "A", "B"]
+    assert address_as_of(db, person, 0) == "0 First St"
+    assert address_as_of(db, person, 1) == "A"
+
+
+def test_builder_move_counts(db):
+    scenario = build_address_book(db, n_people=3, moves_per_person=4)
+    for person in scenario.people:
+        assert len(address_history(db, person)) == 5
+
+
+def test_book_entries_are_generic(db):
+    scenario = build_address_book(db, n_people=2, moves_per_person=1)
+    from repro.core.pointers import Ref
+
+    for entry in scenario.book.entries:
+        assert isinstance(entry, Ref)
+
+
+def test_ledger_running_balance(db):
+    scenario = build_ledger(db, n_accounts=1, n_postings=0)
+    account = scenario.accounts[0]
+    post(db, account, +100, "deposit")
+    post(db, account, -30, "withdrawal")
+    assert account.balance == 1070
+    assert balance_as_of(db, account, 0) == 1000
+    assert balance_as_of(db, account, 1) == 1100
+    assert balance_as_of(db, account, 2) == 1070
+
+
+def test_ledger_audit_trail(db):
+    scenario = build_ledger(db, n_accounts=1, n_postings=0)
+    account = scenario.accounts[0]
+    post(db, account, 5, "a")
+    post(db, account, 7, "b")
+    assert audit_trail(db, account) == [("open", 1000), ("a", 1005), ("b", 1012)]
+
+
+def test_ledger_balances_consistent(db):
+    """Sum of deltas along the chain equals final balance."""
+    scenario = build_ledger(db, n_accounts=3, n_postings=40, seed=5)
+    for account in scenario.accounts:
+        trail = audit_trail(db, account)
+        deltas = [b2 - b1 for (_, b1), (_, b2) in zip(trail, trail[1:])]
+        assert trail[0][1] + sum(deltas) == account.balance
+
+
+def test_ledger_builder_distributes_postings(db):
+    scenario = build_ledger(db, n_accounts=4, n_postings=60, seed=2)
+    counts = [len(audit_trail(db, a)) - 1 for a in scenario.accounts]
+    assert sum(counts) == 60
+    assert all(c > 0 for c in counts)
+
+
+def test_person_is_ordinary_versioned_object(db):
+    ref = db.pnew(Person("solo", "Here"))
+    move_person(db, ref, "There")
+    history = db.history(db.versions(ref)[-1])
+    assert len(history) == 2
