@@ -256,8 +256,10 @@ class VersionStore:
         content = self._read_record(graph.node(root).data)
         for step in chain[1:]:
             content = apply_delta(content, self._read_record(graph.node(step).data))
-        if len(self._bytes_cache) > 4096:
-            self._bytes_cache.clear()
+        while len(self._bytes_cache) >= 4096:
+            # Evict the oldest entry only; clearing wholesale would throw
+            # away the entire hot set on every overflow.
+            self._bytes_cache.pop(next(iter(self._bytes_cache)))
         self._bytes_cache[vid] = content
         return content
 
