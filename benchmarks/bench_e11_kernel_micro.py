@@ -7,9 +7,13 @@ function of log length, and the checkpoint's effect on it.
 
 from __future__ import annotations
 
+import threading
+import time
+
 import pytest
 
 from repro import Database, persistent
+from repro.core.identity import Vid
 from repro.storage.wal import recover
 
 
@@ -17,6 +21,15 @@ from repro.storage.wal import recover
 class E11Obj:
     def __init__(self, n: int = 0) -> None:
         self.n = n
+
+
+@persistent(name="bench.E11Fat")
+class E11Fat:
+    """A payload big enough that delta-chain replay dominates decode."""
+
+    def __init__(self, n: int = 0) -> None:
+        self.n = n
+        self.blob = "x" * 4096
 
 
 def test_e11_pnew(db, benchmark):
@@ -134,6 +147,150 @@ def test_e11_checkpoint_resets_recovery(tmp_path, benchmark):
     if report is not None:
         assert report.ops_replayed < 50  # only the post-checkpoint tail
         benchmark.extra_info["ops_replayed"] = report.ops_replayed
+
+
+def test_e11_deep_chain_materialize_cache(delta_db, benchmark):
+    """Repeated materialize of a deep delta chain: cache vs replay-per-read.
+
+    The bytes cache (plus chain-prefix memoization) must make a warm read
+    of a chain-tail version at least 3x faster than the cold read that
+    replays the whole delta chain.
+    """
+    db = delta_db
+    store = db.store
+    ref = db.pnew(E11Fat(0))
+    with db.transaction():
+        for i in range(200):
+            vref = db.newversion(ref)
+            vref.n = i
+
+    # Find the version with the deepest delta chain (just before a keyframe).
+    graph = store.graph(ref.oid)
+    depths: dict[int, int] = {}
+    deepest_serial, deepest = None, -1
+    for node in graph.walk_temporal():
+        depth = 0 if node.data[0] == "F" else depths.get(node.dprev, 0) + 1
+        depths[node.serial] = depth
+        if depth > deepest:
+            deepest, deepest_serial = depth, node.serial
+    vid = Vid(ref.oid, deepest_serial)
+    assert deepest >= 10
+
+    rounds = 40
+    cold = 0.0
+    for _ in range(rounds):
+        store._bytes_cache.clear()
+        store._decoded_cache.clear()
+        t0 = time.perf_counter()
+        store.materialize(vid)
+        cold += time.perf_counter() - t0
+    store.materialize(vid)  # prime
+    warm = 0.0
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        store.materialize(vid)
+        warm += time.perf_counter() - t0
+    speedup = cold / max(warm, 1e-9)
+    stats = db.stats()
+    assert stats["bytes_hits"] >= rounds
+    assert stats["deltas_applied"] > 0
+    assert speedup >= 3.0, f"warm materialize only {speedup:.1f}x faster"
+    benchmark.extra_info["chain_depth"] = deepest
+    benchmark.extra_info["warm_speedup"] = round(speedup, 2)
+    benchmark.extra_info["bytes_hits"] = stats["bytes_hits"]
+    benchmark.extra_info["deltas_applied"] = stats["deltas_applied"]
+    benchmark(lambda: store.materialize(vid))
+
+
+def test_e11_generic_ref_attr_fast_path(db, benchmark):
+    """Generic-ref attribute loops through the shared decoded cache.
+
+    ``ref.n`` must beat the old materialize-per-access path
+    (``ref.deref().n``) by at least 2x, and the counters must show the
+    decoded cache and latest-vid memo doing the work.
+    """
+    ref = db.pnew(E11Fat(7))
+    assert ref.n == 7  # prime caches
+    loops = 300
+
+    t0 = time.perf_counter()
+    for _ in range(loops):
+        ref.deref().n  # old path: fresh materialize per access
+    slow = time.perf_counter() - t0
+
+    base = db.stats()
+    t0 = time.perf_counter()
+    for _ in range(loops):
+        ref.n  # fast path: shared decode + latest-vid memo
+    fast = time.perf_counter() - t0
+    stats = db.stats()
+
+    speedup = slow / max(fast, 1e-9)
+    assert stats["decoded_hits"] - base["decoded_hits"] >= loops
+    assert stats["latest_hits"] - base["latest_hits"] >= loops
+    assert speedup >= 2.0, f"attr fast path only {speedup:.1f}x faster"
+    benchmark.extra_info["attr_speedup"] = round(speedup, 2)
+    benchmark.extra_info["decoded_hits"] = stats["decoded_hits"]
+    benchmark.extra_info["latest_hits"] = stats["latest_hits"]
+    value = benchmark(lambda: ref.n)
+    assert value == 7
+
+
+def _commit_storm(db, threads: int, txns_per_thread: int) -> tuple[int, int]:
+    """Run a concurrent commit storm; returns (fsyncs, piggybacks) used."""
+    refs = [db.pnew(E11Obj(i)) for i in range(threads)]
+    db.checkpoint()
+    start_flushes = db.stats()["wal_flushes"]
+    barrier = threading.Barrier(threads)
+
+    def work(i: int) -> None:
+        barrier.wait()
+        for j in range(txns_per_thread):
+            with db.transaction():
+                refs[i].n = j
+
+    workers = [threading.Thread(target=work, args=(i,)) for i in range(threads)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    stats = db.stats()
+    return stats["wal_flushes"] - start_flushes, stats["wal_group_piggybacks"]
+
+
+def test_e11_group_commit_flush_reduction(tmp_path, benchmark):
+    """~100 concurrent transactions: group commit shares fsyncs.
+
+    With a linger window, concurrent committers piggyback on one fsync;
+    the WAL flush count for the batch must drop versus the
+    fsync-per-commit configuration (durability is unchanged -- COMMIT is
+    still only acknowledged after an fsync covering it; the recovery
+    tests exercise that).
+    """
+    from benchmarks.conftest import make_db
+
+    plain = make_db(tmp_path, "e11_gc_plain")
+    try:
+        plain_flushes, _ = _commit_storm(plain, threads=8, txns_per_thread=13)
+    finally:
+        plain.close()
+
+    grouped = make_db(tmp_path, "e11_gc_grouped", group_commit_window=0.002)
+    try:
+        grouped_flushes, piggybacks = _commit_storm(
+            grouped, threads=8, txns_per_thread=13
+        )
+    finally:
+        grouped.close()
+
+    assert piggybacks > 0
+    assert grouped_flushes < plain_flushes, (
+        f"group commit used {grouped_flushes} fsyncs vs {plain_flushes} plain"
+    )
+    benchmark.extra_info["plain_flushes"] = plain_flushes
+    benchmark.extra_info["grouped_flushes"] = grouped_flushes
+    benchmark.extra_info["group_piggybacks"] = piggybacks
+    benchmark(lambda: None)
 
 
 def test_e11_buffer_pool_hit_ratio(tmp_path, benchmark):

@@ -33,6 +33,7 @@ from contextlib import contextmanager
 from typing import Any, Iterator
 
 from repro.errors import TransactionStateError
+from repro.core.cache import DEFAULT_BYTES_BUDGET
 from repro.core.identity import Oid, Vid
 from repro.core.indexes import HashIndex, IndexManager, OrderedIndex
 from repro.core.pointers import Ref, VersionRef
@@ -72,6 +73,12 @@ class Database:
     checkpoint_threshold:
         WAL bytes after which a commit triggers an automatic checkpoint
         (0 disables automatic checkpoints).
+    cache_budget:
+        Byte budget for the version store's materialized-bytes cache.
+    group_commit_window:
+        Seconds a committing transaction lingers before fsyncing the WAL
+        so concurrent commits can share one fsync (0 disables lingering;
+        piggybacking on an in-flight fsync still happens).
     """
 
     def __init__(
@@ -81,17 +88,21 @@ class Database:
         pool_size: int = 256,
         lock_timeout: float = 2.0,
         checkpoint_threshold: int = DEFAULT_CHECKPOINT_THRESHOLD,
+        cache_budget: int = DEFAULT_BYTES_BUDGET,
+        group_commit_window: float = 0.0,
     ) -> None:
         self._path = os.fspath(path)
         os.makedirs(self._path, exist_ok=True)
         self._disk = DiskManager(os.path.join(self._path, _DATA_FILE))
-        self._log = LogManager(os.path.join(self._path, _WAL_FILE))
+        self._log = LogManager(
+            os.path.join(self._path, _WAL_FILE), group_window=group_commit_window
+        )
         self._pool = BufferPool(self._disk, pool_size)
         self._pool.before_write = self._log.flush  # write-ahead rule
         self.last_recovery: RecoveryReport | None = None
         self._recover_if_needed()
         self._catalog = Catalog(self._disk, self._pool)
-        self._store = VersionStore(self._catalog, policy)
+        self._store = VersionStore(self._catalog, policy, cache_budget=cache_budget)
         self._locks = LockManager(lock_timeout)
         self._triggers = TriggerManager(type_resolver=self._store.type_name)
         self._store.add_observer(self._triggers.dispatch)
@@ -211,9 +222,16 @@ class Database:
         if getattr(self._tlocal, "txn", None) is txn:
             self._tlocal.txn = None
         if txn.state == "aborted":
-            # WAL undo restored the heaps; rebuild the in-memory caches.
+            # WAL undo restored the heaps; rebuild the in-memory table and
+            # invalidate only the caches of objects the transaction touched
+            # (a full cache clear would punish every other hot object).  A
+            # tainted touch set -- an op failed partway -- forces the
+            # conservative full reload.
             self._catalog.reload()
-            self._store.reload()
+            if txn.cache_taint:
+                self._store.reload()
+            else:
+                self._store.reload(touched=txn.touched_oids)
             self._indexes.rebuild()
         elif (
             self._checkpoint_threshold
@@ -246,9 +264,14 @@ class Database:
         undone = txn.rollback_to(savepoint)
         if undone:
             # The heaps were rewound; bring the derived caches in line.
+            # touched_oids is a superset of the objects behind the undone
+            # ops, so precise invalidation stays safe here too.
             with self._storage_mutex:
                 self._catalog.reload()
-                self._store.reload()
+                if txn.cache_taint:
+                    self._store.reload()
+                else:
+                    self._store.reload(touched=txn.touched_oids)
                 self._indexes.rebuild()
         return undone
 
@@ -272,15 +295,22 @@ class Database:
         if txn is not None:
             if lock_oid is not None:
                 txn.lock(lock_oid, EXCLUSIVE)
-            with self._storage_mutex:
-                return op(txn.log_op)
+                txn.touched_oids.add(lock_oid)
+            try:
+                with self._storage_mutex:
+                    return op(txn.log_op)
+            except BaseException:
+                txn.cache_taint = True
+                raise
         txn = self.begin()
         try:
             if lock_oid is not None:
                 txn.lock(lock_oid, EXCLUSIVE)
+                txn.touched_oids.add(lock_oid)
             with self._storage_mutex:
                 result = op(txn.log_op)
         except BaseException:
+            txn.cache_taint = True
             txn.abort()
             raise
         txn.commit()
@@ -291,6 +321,11 @@ class Database:
     def pnew(self, obj: Any) -> Ref:
         """Create a persistent object; returns its generic reference."""
         ref = self._mutate(None, lambda log_op: self._store.pnew(obj, log_op))
+        txn = self.current_transaction()
+        if txn is not None:
+            # An abort undoes the oid-counter bump, so this oid may be
+            # handed out again -- its cache entries must die with the txn.
+            txn.touched_oids.add(ref.oid)
         return Ref(self, ref.oid)
 
     def newversion(self, target: Ref | VersionRef | Oid | Vid) -> VersionRef:
@@ -347,6 +382,21 @@ class Database:
             txn.lock(vid.oid, SHARED)
         with self._storage_mutex:
             return self._store.materialize(vid)
+
+    def read_attr(self, vid: Vid, name: str) -> Any:
+        """Read one attribute through the store's shared decoded cache.
+
+        The fast path behind generic-reference attribute access: returns
+        the attribute value when it can safely be served from a shared
+        cached instance, or :data:`repro.core.store.READ_MISS` when the
+        caller must fall back to :meth:`materialize`.  Locking mirrors
+        :meth:`materialize` (SHARED inside explicit transactions).
+        """
+        txn = self.current_transaction()
+        if txn is not None:
+            txn.lock(vid.oid, SHARED)
+        with self._storage_mutex:
+            return self._store.read_attr(vid, name)
 
     def latest_vid(self, oid: Oid) -> Vid:
         """The version id an object id currently denotes (S-locked in txns)."""
@@ -482,13 +532,17 @@ class Database:
         return self._store.object_count()
 
     def stats(self) -> dict[str, int]:
-        """Operational counters (pool behaviour, WAL flushes, sizes)."""
-        return {
+        """Operational counters (pool, WAL, store caches, sizes)."""
+        stats = {
             "objects": self._store.object_count(),
             "pool_hits": self._pool.hits,
             "pool_misses": self._pool.misses,
             "pool_evictions": self._pool.evictions,
+            "pool_promotions": self._pool.promotions,
             "wal_bytes": self._log.size(),
             "wal_flushes": self._log.flush_count,
+            "wal_group_piggybacks": self._log.group_piggybacks,
             "data_pages": self._disk.num_pages,
         }
+        stats.update(self._store.stats())
+        return stats

@@ -35,6 +35,7 @@ import inspect
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from repro.core.cache import READ_MISS
 from repro.core.identity import Oid, Vid
 from repro.storage import serialization
 
@@ -116,7 +117,17 @@ class _BaseRef:
         if name.startswith("__") and name.endswith("__"):
             raise AttributeError(name)
         store = object.__getattribute__(self, "_store")
-        obj = store.materialize(self._target_vid())
+        vid = self._target_vid()
+        # Fast path: serve immutable attribute values from the store's
+        # shared decoded cache instead of materializing a private copy per
+        # access.  READ_MISS means the value cannot be shared safely
+        # (methods need a private receiver for write-back) -- fall through.
+        read_attr = getattr(store, "read_attr", None)
+        if read_attr is not None:
+            value = read_attr(vid, name)
+            if value is not READ_MISS:
+                return wrap_ids(store, value)
+        obj = store.materialize(vid)
         value = getattr(obj, name)
         if inspect.ismethod(value) and value.__self__ is obj:
             return _WritebackMethod(self, obj, value)

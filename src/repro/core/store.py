@@ -30,6 +30,7 @@ inherited from the heap layer through the ``log_op`` callback.
 
 from __future__ import annotations
 
+import inspect
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
@@ -39,6 +40,13 @@ from repro.errors import (
     UnknownObjectError,
     UnknownVersionError,
     VersionError,
+)
+from repro.core.cache import (
+    DEFAULT_BYTES_BUDGET,
+    DEFAULT_DECODED_ENTRIES,
+    READ_MISS,
+    BudgetedLRU,
+    CacheStats,
 )
 from repro.core.identity import Oid, Vid
 from repro.core.pointers import Ref, VersionRef, unwrap_ids
@@ -66,6 +74,32 @@ EV_DELETE_OBJECT = "delete_object"
 
 Observer = Callable[[str, Oid, Vid | None], None]
 
+# READ_MISS (re-exported from repro.core.cache) is the sentinel
+# :meth:`VersionStore.read_attr` returns when the fast path cannot serve
+# the attribute and the caller must materialize a fresh copy.
+
+#: Value types that may be returned straight from a shared cached decode:
+#: immutable scalars, plus ids (the pointer layer re-wraps them into fresh
+#: Ref/VersionRef objects) and containers the pointer layer copies anyway.
+_SHAREABLE_TYPES = frozenset(
+    {type(None), bool, int, float, str, bytes, Oid, Vid}
+)
+
+
+def _is_shareable(value: Any) -> bool:
+    """True when handing ``value`` out cannot let the caller mutate the
+    cached decoded object it came from (see :meth:`VersionStore.read_attr`)."""
+    if type(value) in _SHAREABLE_TYPES:
+        return True
+    t = type(value)
+    if t in (list, tuple, set, frozenset):
+        return all(_is_shareable(v) for v in value)
+    if t is dict:
+        return all(
+            _is_shareable(k) and _is_shareable(v) for k, v in value.items()
+        )
+    return False
+
 
 @dataclass(frozen=True)
 class StoragePolicy:
@@ -90,7 +124,7 @@ class StoragePolicy:
 class _Entry:
     """In-memory object-table entry for one persistent object."""
 
-    __slots__ = ("oid", "type_name", "graph", "rid", "cluster_rid")
+    __slots__ = ("oid", "type_name", "graph", "rid", "cluster_rid", "latest_vid")
 
     def __init__(
         self,
@@ -105,6 +139,9 @@ class _Entry:
         self.graph = graph
         self.rid = rid
         self.cluster_rid = cluster_rid
+        #: Memoized Vid of the temporally latest version (generic-reference
+        #: fast path); None = recompute.  Invalidated by newversion/pdelete.
+        self.latest_vid: Vid | None = None
 
 
 class VersionStore:
@@ -116,7 +153,13 @@ class VersionStore:
     ``ode.clusters``.
     """
 
-    def __init__(self, catalog: Catalog, policy: StoragePolicy | None = None) -> None:
+    def __init__(
+        self,
+        catalog: Catalog,
+        policy: StoragePolicy | None = None,
+        cache_budget: int = DEFAULT_BYTES_BUDGET,
+        decoded_entries: int = DEFAULT_DECODED_ENTRIES,
+    ) -> None:
         self._catalog = catalog
         self._policy = policy or StoragePolicy()
         self._objects: HeapFile = catalog.ensure_heap(OBJECTS_HEAP)
@@ -124,7 +167,18 @@ class VersionStore:
         self._clusters: HeapFile = catalog.ensure_heap(CLUSTERS_HEAP)
         self._table: dict[Oid, _Entry] = {}
         self._by_type: dict[str, set[Oid]] = {}
-        self._bytes_cache: dict[Vid, bytes] = {}
+        #: Materialized payload bytes, LRU-bounded by a byte budget with a
+        #: per-object group index for precise invalidation.
+        self._bytes_cache = BudgetedLRU(
+            cache_budget, len, group_of=lambda vid: vid.oid
+        )
+        #: Decoded objects backing the attribute-read fast path.  Entries
+        #: are *shared* instances: they are never handed out directly (see
+        #: read_attr) and never mutated by the store.
+        self._decoded_cache = BudgetedLRU(
+            decoded_entries, lambda _obj: 1, group_of=lambda vid: vid.oid
+        )
+        self._stats = CacheStats()
         self._observers: list[Observer] = []
         self._load()
 
@@ -141,9 +195,13 @@ class VersionStore:
     # -- loading / reloading -------------------------------------------------
 
     def _load(self) -> None:
+        self._bytes_cache.clear()
+        self._decoded_cache.clear()
+        self._load_table()
+
+    def _load_table(self) -> None:
         self._table.clear()
         self._by_type.clear()
-        self._bytes_cache.clear()
         cluster_rids: dict[Oid, Rid] = {}
         for rid, payload in self._clusters.scan():
             type_name, oid = serialization.decode(payload)
@@ -155,13 +213,55 @@ class VersionStore:
             self._table[oid] = entry
             self._by_type.setdefault(type_name, set()).add(oid)
 
-    def reload(self) -> None:
+    def reload(self, touched: "set[Oid] | None" = None) -> None:
         """Rebuild all in-memory state from the heaps.
 
-        Called after a transaction abort: the WAL undo restored the heap
-        records, and this brings the caches back in line.
+        Called after a transaction abort or partial rollback: the WAL undo
+        restored the heap records, and this brings the caches back in line.
+
+        ``touched`` (when known) is the set of object ids the rolled-back
+        transaction mutated or created; only their cached payloads are
+        invalidated, so the rest of the hot set survives the rollback.
+        With ``touched=None`` every cache entry is dropped (conservative).
         """
-        self._load()
+        if touched is None:
+            self._load()
+            return
+        self._load_table()
+        for oid in touched:
+            self._invalidate_object(oid)
+
+    # -- cache bookkeeping ----------------------------------------------------
+
+    def _cache_bytes(self, vid: Vid, content: bytes) -> None:
+        self._bytes_cache.put(vid, content)
+
+    def _invalidate_version(self, vid: Vid) -> None:
+        """Drop all cached state for one version (payload changed or gone)."""
+        if self._bytes_cache.pop(vid) is not None:
+            self._stats.bytes_invalidations += 1
+        self._decoded_cache.pop(vid)
+
+    def _invalidate_object(self, oid: Oid) -> None:
+        """Drop all cached state for every version of one object."""
+        self._stats.bytes_invalidations += self._bytes_cache.pop_group(oid)
+        self._decoded_cache.pop_group(oid)
+
+    def stats(self) -> dict[str, int]:
+        """Cache/materialization counters (hits, misses, deltas applied...)."""
+        out = self._stats.as_dict()
+        out["bytes_evictions"] = self._bytes_cache.evictions
+        out["bytes_cache_entries"] = len(self._bytes_cache)
+        out["bytes_cache_used"] = self._bytes_cache.used
+        out["bytes_cache_budget"] = self._bytes_cache.budget
+        out["decoded_evictions"] = self._decoded_cache.evictions
+        out["decoded_cache_entries"] = len(self._decoded_cache)
+        return out
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """The live counter block (mutable; benchmarks may reset fields)."""
+        return self._stats
 
     # -- observers (trigger facility hooks in here) ---------------------------
 
@@ -234,33 +334,45 @@ class VersionStore:
         raise VersionError(f"delta chain of {entry.oid!r} has no full-copy root")
 
     def _version_bytes(self, entry: _Entry, serial: int) -> bytes:
-        """Materialized payload bytes for one version (cached)."""
-        vid = Vid(entry.oid, serial)
-        cached = self._bytes_cache.get(vid)
+        """Materialized payload bytes for one version (cached).
+
+        On a miss, the delta chain is walked back only to the *nearest
+        cached ancestor* (chain-prefix memoization) rather than always to
+        the keyframe, and every intermediate step is cached so the next
+        read along the chain starts even closer.
+        """
+        oid = entry.oid
+        cached = self._bytes_cache.get(Vid(oid, serial))
         if cached is not None:
+            self._stats.bytes_hits += 1
             return cached
+        self._stats.bytes_misses += 1
         graph = entry.graph
-        # Walk back to the nearest full copy, then apply deltas forward.
-        chain: list[int] = []
+        # Walk back until a full copy or a cached ancestor supplies a base.
+        chain: list[int] = []  # serials needing delta application, newest first
+        content: bytes | None = None
         current: int | None = serial
         while True:
             if current is None:
                 raise VersionError(f"delta chain of {entry.oid!r} has no full-copy root")
+            if current != serial:
+                ancestor = self._bytes_cache.get(Vid(oid, current))
+                if ancestor is not None:
+                    content = ancestor
+                    self._stats.chain_prefix_hits += 1
+                    break
             node = graph.node(current)
-            chain.append(current)
             if node.data[0] == _FULL:
+                content = self._read_record(node.data)
+                self._cache_bytes(Vid(oid, current), content)
                 break
+            chain.append(current)
             current = node.dprev
-        chain.reverse()
-        root = chain[0]
-        content = self._read_record(graph.node(root).data)
-        for step in chain[1:]:
-            content = apply_delta(content, self._read_record(graph.node(step).data))
-        while len(self._bytes_cache) >= 4096:
-            # Evict the oldest entry only; clearing wholesale would throw
-            # away the entire hot set on every overflow.
-            self._bytes_cache.pop(next(iter(self._bytes_cache)))
-        self._bytes_cache[vid] = content
+        for step in reversed(chain):
+            content = apply_delta(
+                content, self._read_record(graph.node(step).data), self._stats
+            )
+            self._cache_bytes(Vid(oid, step), content)
         return content
 
     def _read_record(self, data: tuple) -> bytes:
@@ -297,7 +409,10 @@ class VersionStore:
         else:
             stored = content
         self._versions.update(Rid(page_id, slot), stored, log_op)
-        self._bytes_cache[Vid(entry.oid, serial)] = content
+        # The version's *content* changed: its decoded copy is stale, and
+        # the bytes cache takes the new payload.
+        self._decoded_cache.pop(Vid(entry.oid, serial))
+        self._cache_bytes(Vid(entry.oid, serial), content)
         for child, child_content in child_contents.items():
             child_node = graph.node(child)
             _ckind, cpage, cslot = child_node.data
@@ -307,7 +422,9 @@ class VersionStore:
                 self._versions.update(Rid(cpage, cslot), child_content, log_op)
             else:
                 self._versions.update(Rid(cpage, cslot), new_delta, log_op)
-            self._bytes_cache[Vid(entry.oid, child)] = child_content
+            # Children keep their content (only the encoding changed), so
+            # their decoded copies stay valid.
+            self._cache_bytes(Vid(entry.oid, child), child_content)
 
     # -- public kernel operations ---------------------------------------------
 
@@ -345,7 +462,8 @@ class VersionStore:
         entry.cluster_rid = self._clusters.insert(cluster_payload, log_op)
         self._table[oid] = entry
         self._by_type.setdefault(type_name, set()).add(oid)
-        self._bytes_cache[Vid(oid, serial)] = content
+        self._cache_bytes(Vid(oid, serial), content)
+        entry.latest_vid = Vid(oid, serial)
         self._notify(EV_CREATE, oid, Vid(oid, serial))
         return Ref(self, oid)
 
@@ -368,7 +486,8 @@ class VersionStore:
         graph.create(serial, base_serial, time.time(), data)
         self._save_entry(entry, log_op)
         vid = Vid(entry.oid, serial)
-        self._bytes_cache[vid] = content
+        self._cache_bytes(vid, content)
+        entry.latest_vid = vid  # the new version is the temporally latest
         self._notify(EV_NEWVERSION, entry.oid, vid)
         return VersionRef(self, vid)
 
@@ -386,7 +505,7 @@ class VersionStore:
         for node in list(entry.graph.walk_temporal()):
             _kind, page_id, slot = node.data
             self._versions.delete(Rid(page_id, slot), log_op)
-            self._bytes_cache.pop(Vid(oid, node.serial), None)
+        self._invalidate_object(oid)
         if entry.rid is not None:
             self._objects.delete(entry.rid, log_op)
         if entry.cluster_rid is not None:
@@ -414,9 +533,10 @@ class VersionStore:
             child: self._version_bytes(entry, child) for child in delta_children
         }
         removed = graph.remove(vid.serial)
+        entry.latest_vid = None  # deleting the latest moves the denotation
         _kind, page_id, slot = removed.data
         self._versions.delete(Rid(page_id, slot), log_op)
-        self._bytes_cache.pop(vid, None)
+        self._invalidate_version(vid)
         for child, child_content in child_contents.items():
             child_node = graph.node(child)
             _ckind, cpage, cslot = child_node.data
@@ -432,7 +552,7 @@ class VersionStore:
                     self._versions.update(Rid(cpage, cslot), child_content, log_op)
                 else:
                     self._versions.update(Rid(cpage, cslot), new_delta, log_op)
-            self._bytes_cache[Vid(entry.oid, child)] = child_content
+            self._cache_bytes(Vid(entry.oid, child), child_content)
         self._save_entry(entry, log_op)
         self._notify(EV_DELETE_VERSION, vid.oid, vid)
 
@@ -450,13 +570,25 @@ class VersionStore:
         raise TypeError(f"expected a reference or id, got {type(target).__qualname__}")
 
     def latest_vid(self, oid: Oid) -> Vid:
-        """The version id an object id currently denotes (paper §4.3)."""
+        """The version id an object id currently denotes (paper §4.3).
+
+        Memoized per object-table entry so generic-reference pointer
+        transparency does not recompute the denotation on every attribute
+        access; ``newversion``/``pdelete`` invalidate the memo.
+        """
         entry = self._table.get(oid)
         if entry is None:
             raise DanglingReferenceError(f"object {oid!r} no longer exists")
+        vid = entry.latest_vid
+        if vid is not None:
+            self._stats.latest_hits += 1
+            return vid
+        self._stats.latest_misses += 1
         serial = entry.graph.latest()
         assert serial is not None  # empty graphs are deleted eagerly
-        return Vid(oid, serial)
+        vid = Vid(oid, serial)
+        entry.latest_vid = vid
+        return vid
 
     def materialize(self, vid: Vid) -> Any:
         """Decode and return a fresh copy of the version's object."""
@@ -465,7 +597,41 @@ class VersionStore:
             raise DanglingReferenceError(f"object {vid.oid!r} no longer exists")
         if vid.serial not in entry.graph:
             raise DanglingReferenceError(f"version {vid!r} no longer exists")
-        return serialization.decode(self._version_bytes(entry, vid.serial))
+        content = self._version_bytes(entry, vid.serial)
+        self._stats.bytes_decoded += len(content)
+        return serialization.decode(content)
+
+    def read_attr(self, vid: Vid, name: str) -> Any:
+        """Attribute-read fast path over a *shared* cached decode.
+
+        Pointer transparency (``ref.field``) decodes a whole payload to
+        read one attribute; this caches the decoded object and serves
+        reads from it when the value cannot alias mutable cached state
+        (immutable scalars, ids, containers the pointer layer copies).
+        Returns :data:`READ_MISS` when the caller must fall back to a
+        fresh :meth:`materialize` (methods need a private receiver for
+        write-back; unknown types could leak shared mutable state).
+        """
+        entry = self._table.get(vid.oid)
+        if entry is None:
+            raise DanglingReferenceError(f"object {vid.oid!r} no longer exists")
+        if vid.serial not in entry.graph:
+            raise DanglingReferenceError(f"version {vid!r} no longer exists")
+        obj = self._decoded_cache.get(vid)
+        if obj is None:
+            content = self._version_bytes(entry, vid.serial)
+            self._stats.bytes_decoded += len(content)
+            self._stats.decoded_misses += 1
+            obj = serialization.decode(content)
+            self._decoded_cache.put(vid, obj)
+        else:
+            self._stats.decoded_hits += 1
+        value = getattr(obj, name)  # AttributeError propagates as usual
+        if inspect.ismethod(value) and value.__self__ is obj:
+            return READ_MISS
+        if _is_shareable(value):
+            return value
+        return READ_MISS
 
     def write_version(self, vid: Vid, obj: Any, log_op: LogOp | None = None) -> None:
         """Update a version's contents **in place** (no new version).
@@ -555,14 +721,8 @@ class VersionStore:
         not a logical one.)
         """
         oid = target.oid if isinstance(target, Ref) else target
-        graph = self._entry(oid).graph
-        best: int | None = None
-        for node in graph.walk_temporal():
-            if node.ctime <= timestamp:
-                best = node.serial
-            else:
-                break
-        return None if best is None else VersionRef(self, Vid(oid, best))
+        serial = self._entry(oid).graph.latest_at(timestamp)
+        return None if serial is None else VersionRef(self, Vid(oid, serial))
 
     def versions(self, target: Ref | Oid) -> list[VersionRef]:
         """All live versions of an object, temporal order (oldest first)."""

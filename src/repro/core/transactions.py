@@ -137,6 +137,13 @@ class Transaction:
     ) -> None:
         self.txid = txid
         self.state = ACTIVE
+        #: Object ids this transaction may have mutated (X-locked targets
+        #: plus objects it created).  On abort the database facade uses the
+        #: set to invalidate caches precisely instead of clearing them.
+        self.touched_oids: set = set()
+        #: Set when an operation failed partway through -- the touched set
+        #: can no longer be trusted, so abort falls back to a full reload.
+        self.cache_taint = False
         self._log = log
         self._locks = lock_manager
         self._heap_resolver = heap_resolver

@@ -30,7 +30,7 @@ location; the graph itself never interprets it.
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
+from bisect import bisect_left, bisect_right, insort
 from typing import Any, Iterator
 
 from repro.errors import GraphInvariantError, UnknownVersionError
@@ -64,6 +64,7 @@ class VersionGraph:
     def __init__(self) -> None:
         self._nodes: dict[int, VersionNode] = {}
         self._order: list[int] = []  # live serials, ascending == temporal
+        self._ctimes: list[float] = []  # creation times, parallel to _order
         self._max_serial = 0  # high-water mark; never reused
 
     # -- basic queries -----------------------------------------------------
@@ -123,6 +124,7 @@ class VersionGraph:
         node = VersionNode(serial, dprev, ctime, data)
         self._nodes[serial] = node
         self._order.append(serial)
+        self._ctimes.append(ctime)
         self._max_serial = serial
         return node
 
@@ -146,6 +148,7 @@ class VersionGraph:
         del self._nodes[serial]
         idx = bisect_left(self._order, serial)
         del self._order[idx]
+        del self._ctimes[idx]
         return node
 
     # -- traversal (paper §4: Dprevious / Tprevious and duals) -----------------
@@ -157,6 +160,18 @@ class VersionGraph:
     def dnext(self, serial: int) -> list[int]:
         """Versions derived from ``serial`` (its revisions/variants), oldest first."""
         return sorted(self.node(serial).children)
+
+    def latest_at(self, timestamp: float) -> int | None:
+        """Serial of the newest version created at or before ``timestamp``.
+
+        Binary search over creation times: the temporal chain is totally
+        ordered (serials are assigned monotonically, paper §3), so the
+        ctime list is sorted in parallel with ``_order``.  Among versions
+        sharing a ctime the temporally latest wins, matching a linear
+        scan.  Returns None when every live version is newer.
+        """
+        idx = bisect_right(self._ctimes, timestamp)
+        return self._order[idx - 1] if idx > 0 else None
 
     def tprevious(self, serial: int) -> int | None:
         """The temporally preceding live version, or None for the oldest."""
@@ -228,6 +243,8 @@ class VersionGraph:
         """
         if sorted(self._nodes) != self._order:
             raise GraphInvariantError("temporal chain out of sync with node set")
+        if self._ctimes != [self._nodes[s].ctime for s in self._order]:
+            raise GraphInvariantError("ctime index out of sync with temporal chain")
         if self._order and self._order[-1] > self._max_serial:
             raise GraphInvariantError("high-water mark below a live serial")
         for serial, node in self._nodes.items():
@@ -277,6 +294,7 @@ class VersionGraph:
         for node in graph._nodes.values():
             if node.dprev is not None:
                 graph._nodes[node.dprev].children.append(node.serial)
+        graph._ctimes = [graph._nodes[s].ctime for s in graph._order]
         graph._max_serial = max_serial
         graph.validate()
         return graph

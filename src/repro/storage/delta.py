@@ -168,12 +168,17 @@ def _emit_copy(out: bytearray, offset: int, length: int) -> None:
     write_uvarint(out, length)
 
 
-def apply_delta(base: bytes, delta: bytes) -> bytes:
+def apply_delta(base: bytes, delta: bytes, counters: object | None = None) -> bytes:
     """Reconstruct the target from ``base`` and a delta.
 
     Raises :class:`DeltaError` if the delta is malformed, was computed
     against a base of a different length, or reconstructs the wrong number
     of bytes.
+
+    ``counters`` (optional) is any object with a ``deltas_applied``
+    attribute -- e.g. :class:`repro.core.cache.CacheStats` -- incremented
+    once per successful application, so callers can measure how much
+    chain-replay work their cache layer did *not* absorb.
     """
     if delta[:2] != _MAGIC:
         raise DeltaError("not a delta (bad magic)")
@@ -207,6 +212,8 @@ def apply_delta(base: bytes, delta: bytes) -> bytes:
         raise DeltaError(
             f"delta reconstructed {len(out)} bytes, expected {target_len}"
         )
+    if counters is not None:
+        counters.deltas_applied += 1
     return bytes(out)
 
 
@@ -242,9 +249,11 @@ def delta_stats(base: bytes, target: bytes, delta: bytes) -> DeltaStats:
     )
 
 
-def materialize_chain(root: bytes, deltas: list[bytes]) -> bytes:
+def materialize_chain(
+    root: bytes, deltas: list[bytes], counters: object | None = None
+) -> bytes:
     """Apply a derivation chain of deltas in order starting from ``root``."""
     current = root
     for delta in deltas:
-        current = apply_delta(current, delta)
+        current = apply_delta(current, delta, counters)
     return current

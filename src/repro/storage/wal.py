@@ -93,14 +93,27 @@ class LogRecord:
 
 
 class LogManager:
-    """Append-only WAL over one file, with buffered appends and group flush.
+    """Append-only WAL over one file, with buffered appends and group commit.
 
     ``append`` buffers in memory; ``flush`` writes and fsyncs.  The commit
     path appends its ``COMMIT`` record and then calls ``flush`` -- nothing is
-    acknowledged before that fsync returns.
+    acknowledged before an fsync covering that record returns.
+
+    Group commit: every append gets a sequence number, and ``flush``
+    remembers the highest sequence an fsync has covered.  A flusher that
+    arrives while another thread's fsync is in flight waits; if that fsync
+    (which snapshots the shared buffer) covered its records, it returns
+    without issuing its own fsync -- one disk barrier acknowledges the
+    whole group.  With ``group_window > 0`` the flusher additionally
+    lingers that many seconds before snapshotting, letting concurrent
+    committers join the group even when their flushes would not otherwise
+    overlap.  A flush that did not wait behind another always fsyncs, so
+    an idle ``flush()`` still hits the disk (checkpoints rely on that).
     """
 
-    def __init__(self, path: str | os.PathLike[str]) -> None:
+    def __init__(
+        self, path: str | os.PathLike[str], group_window: float = 0.0
+    ) -> None:
         self._path = os.fspath(path)
         if not os.path.exists(self._path):
             with open(self._path, "wb"):
@@ -108,9 +121,15 @@ class LogManager:
         self._file = open(self._path, "r+b", buffering=0)
         self._file.seek(0, os.SEEK_END)
         self._buffer = bytearray()
-        self._lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._group_window = group_window
+        self._seq = 0  # sequence of the newest appended record
+        self._flushed_seq = 0  # highest sequence covered by a completed fsync
+        self._flushing = False  # an fsync is in flight (I/O happens unlocked)
         #: Count of fsyncs, for the E11 micro-benchmarks.
         self.flush_count = 0
+        #: Flush calls satisfied by another thread's fsync (group commit).
+        self.group_piggybacks = 0
 
     @property
     def path(self) -> str:
@@ -121,23 +140,58 @@ class LogManager:
         """Buffer one record.  Call :meth:`flush` to make it durable."""
         body = record.to_bytes()
         frame = _FRAME.pack(len(body), zlib.crc32(body)) + body
-        with self._lock:
+        with self._cond:
             self._buffer.extend(frame)
+            self._seq += 1
 
     def flush(self) -> None:
-        """Write buffered records and fsync the log file."""
-        with self._lock:
-            if self._buffer:
-                self._file.write(self._buffer)
-                self._buffer.clear()
+        """Make every record appended so far durable (one fsync per group)."""
+        with self._cond:
+            target = self._seq
+            waited = False
+            while self._flushing:
+                waited = True
+                self._cond.wait()
+            if waited and self._flushed_seq >= target:
+                # The fsync we waited behind snapshotted our records; its
+                # completion already made them durable.
+                self.group_piggybacks += 1
+                return
+            self._flushing = True
+            if self._group_window > 0.0:
+                # Linger with the lock released so concurrent committers
+                # can append and join this group's single fsync.
+                self._cond.wait(self._group_window)
+            buf = bytes(self._buffer)
+            self._buffer.clear()
+            covered = self._seq
+        ok = False
+        try:
+            # I/O happens outside the lock so that piggybacking flushers can
+            # register and appends are never blocked behind the disk.
+            if buf:
+                self._file.write(buf)
             self._file.flush()
             os.fsync(self._file.fileno())
-            self.flush_count += 1
+            ok = True
+        finally:
+            with self._cond:
+                self._flushing = False
+                if ok:
+                    self._flushed_seq = max(self._flushed_seq, covered)
+                    self.flush_count += 1
+                else:
+                    # Keep the unwritten records so a retry can flush them.
+                    self._buffer[:0] = buf
+                self._cond.notify_all()
 
     def truncate(self) -> None:
         """Discard the entire log (only valid at a quiescent checkpoint)."""
-        with self._lock:
+        with self._cond:
+            while self._flushing:
+                self._cond.wait()
             self._buffer.clear()
+            self._flushed_seq = self._seq
             self._file.seek(0)
             self._file.truncate(0)
             self._file.flush()
@@ -145,12 +199,14 @@ class LogManager:
 
     def size(self) -> int:
         """Durable log size in bytes (excludes the unflushed buffer)."""
-        with self._lock:
+        with self._cond:
             return os.path.getsize(self._path)
 
     def records(self) -> Iterator[LogRecord]:
         """Iterate durable records from the start; stops at a torn tail."""
-        with self._lock:
+        with self._cond:
+            while self._flushing:
+                self._cond.wait()
             self._file.seek(0)
             data = self._file.read()
             self._file.seek(0, os.SEEK_END)

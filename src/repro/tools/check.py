@@ -32,6 +32,9 @@ class CheckReport:
     objects_checked: int = 0
     versions_checked: int = 0
     problems: list[str] = field(default_factory=list)
+    #: Advisory findings (performance hazards, not integrity violations);
+    #: they do not affect :attr:`ok`.
+    warnings: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -45,7 +48,9 @@ class CheckReport:
             f"{self.versions_checked} versions: "
             + ("OK" if self.ok else f"{len(self.problems)} problem(s)")
         )
-        return "\n".join([header] + [f"  - {p}" for p in self.problems])
+        lines = [header] + [f"  - {p}" for p in self.problems]
+        lines.extend(f"  ! {w}" for w in self.warnings)
+        return "\n".join(lines)
 
 
 def check_database(db: Database) -> CheckReport:
@@ -69,6 +74,13 @@ def check_database(db: Database) -> CheckReport:
         except OdeError as exc:
             report.problems.append(f"object-table record {rid} undecodable: {exc}")
 
+    # Delta chains longer than 2x the keyframe interval mean the policy's
+    # keyframe cadence is not bounding replay cost (deep interior deletes
+    # or a migrated database) -- worth a warning, not a problem.
+    chain_warn_threshold = (
+        2 * store.policy.keyframe_interval if store.policy.kind == "delta" else 0
+    )
+
     # 1+2: graphs validate, versions materialize; collect payload refs.
     referenced: dict[Rid, Vid] = {}
     for ref in store.all_objects():
@@ -79,10 +91,15 @@ def check_database(db: Database) -> CheckReport:
         except OdeError as exc:
             report.problems.append(f"object {ref.oid!r}: graph invalid: {exc}")
             continue
+        depths: dict[int, int] = {}  # serial -> delta steps back to a keyframe
+        longest_chain = 0
         for node in graph.walk_temporal():
             report.versions_checked += 1
             vid = Vid(ref.oid, node.serial)
-            _kind, page_id, slot = node.data
+            kind, page_id, slot = node.data
+            if kind == "D" and node.dprev is not None:
+                depths[node.serial] = depth = depths.get(node.dprev, 0) + 1
+                longest_chain = max(longest_chain, depth)
             rid = Rid(page_id, slot)
             if rid in referenced:
                 report.problems.append(
@@ -94,6 +111,13 @@ def check_database(db: Database) -> CheckReport:
                 store.materialize(vid)
             except OdeError as exc:
                 report.problems.append(f"version {vid!r} unmaterializable: {exc}")
+        if chain_warn_threshold and longest_chain > chain_warn_threshold:
+            report.warnings.append(
+                f"object {ref.oid!r}: delta chain of {longest_chain} steps "
+                f"exceeds 2x keyframe interval "
+                f"({store.policy.keyframe_interval}); materialization of its "
+                f"deep versions will be slow until a keyframe is written"
+            )
 
     # 3. orphan payload records.
     for rid, _payload in versions_heap.scan():

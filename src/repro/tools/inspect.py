@@ -91,6 +91,11 @@ def inspect_database(db: Database) -> DatabaseSummary:
         )
     stats = db.stats()
     counters = {name: catalog.peek_value(name) for name in ("ode.oid",)}
+    # Operational counters (cache hits/misses, deltas applied, fsyncs,
+    # evictions...) ride along so `inspect` doubles as a perf probe.
+    counters.update(
+        (k, v) for k, v in stats.items() if k not in ("data_pages", "wal_bytes")
+    )
     return DatabaseSummary(
         path=db.path,
         objects=store.object_count(),
