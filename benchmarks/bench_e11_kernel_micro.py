@@ -293,6 +293,37 @@ def test_e11_group_commit_flush_reduction(tmp_path, benchmark):
     benchmark(lambda: None)
 
 
+def test_e11_group_commit_solo_latency(tmp_path, benchmark):
+    """A lone committer must not pay the group-commit linger window.
+
+    Regression guard: the linger wait used to run unconditionally, so
+    with a 50 ms window every solo commit took >= 50 ms.  The window is
+    now only waited out when another flusher is actually pending.
+    """
+    import time
+
+    from benchmarks.conftest import make_db
+
+    window = 0.05
+    n = 10
+    db = make_db(tmp_path, "e11_gc_solo", group_commit_window=window)
+    try:
+        ref = db.pnew(E11Obj(0))
+        start = time.monotonic()
+        for i in range(n):
+            with db.transaction():
+                ref.n = i
+        elapsed = time.monotonic() - start
+    finally:
+        db.close()
+    benchmark.extra_info["solo_commit_avg_ms"] = round(elapsed / n * 1e3, 3)
+    assert elapsed < n * window * 0.5, (
+        f"{n} solo commits took {elapsed:.3f}s with a {window}s window -- "
+        f"lone committers are paying the linger tax"
+    )
+    benchmark(lambda: None)
+
+
 def test_e11_buffer_pool_hit_ratio(tmp_path, benchmark):
     """Hot-set reads should be nearly all pool hits."""
     db = Database(tmp_path / "e11_pool", pool_size=64)

@@ -60,6 +60,7 @@ class CacheStats:
     decoded_misses: int = 0
     latest_hits: int = 0
     latest_misses: int = 0
+    writebacks_skipped: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict view for ``Database.stats()`` / inspect."""
@@ -74,6 +75,7 @@ class CacheStats:
             "decoded_misses": self.decoded_misses,
             "latest_hits": self.latest_hits,
             "latest_misses": self.latest_misses,
+            "writebacks_skipped": self.writebacks_skipped,
         }
 
 

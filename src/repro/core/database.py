@@ -42,6 +42,7 @@ from repro.core.store import StoragePolicy, VersionStore
 from repro.core.transactions import EXCLUSIVE, SHARED, LockManager, Transaction
 from repro.core.triggers import TriggerManager
 from repro.core.vgraph import VersionGraph
+from repro.storage import faults
 from repro.storage.buffer import BufferPool
 from repro.storage.catalog import Catalog
 from repro.storage.disk import DiskManager
@@ -226,13 +227,17 @@ class Database:
             # invalidate only the caches of objects the transaction touched
             # (a full cache clear would punish every other hot object).  A
             # tainted touch set -- an op failed partway -- forces the
-            # conservative full reload.
-            self._catalog.reload()
-            if txn.cache_taint:
-                self._store.reload()
-            else:
-                self._store.reload(touched=txn.touched_oids)
-            self._indexes.rebuild()
+            # conservative full reload.  The storage mutex is required:
+            # reload scans the heaps, and an unsynchronized scan racing a
+            # concurrent mutation (a table-record relocation mid-flight)
+            # rebuilds a table with other transactions' objects missing.
+            with self._storage_mutex:
+                self._catalog.reload()
+                if txn.cache_taint:
+                    self._store.reload()
+                else:
+                    self._store.reload(touched=txn.touched_oids)
+                self._indexes.rebuild()
         elif (
             self._checkpoint_threshold
             and self._log.size() > self._checkpoint_threshold
@@ -410,6 +415,27 @@ class Database:
         """Update a version in place (transactional, X-locks the object)."""
         self._mutate(vid.oid, lambda log_op: self._store.write_version(vid, obj, log_op))
 
+    def write_version_if_changed(self, vid: Vid, obj: Any) -> bool:
+        """:meth:`write_version`, skipped when ``obj`` matches the stored bytes.
+
+        The dirtiness probe runs *before* entering a transaction: a pure
+        reader method through a generic reference never pays the
+        autocommit BEGIN/COMMIT + fsync, never takes the X lock, and never
+        invalidates caches.  Returns True when a write happened.
+        """
+        txn = self.current_transaction()
+        if txn is not None:
+            # Under an explicit transaction, hold at least a read lock
+            # while probing so the compared bytes cannot move underneath.
+            txn.lock(vid.oid, SHARED)
+        with self._storage_mutex:
+            dirty = self._store.version_dirty(vid, obj)
+        if not dirty:
+            self._store.cache_stats.writebacks_skipped += 1
+            return False
+        self.write_version(vid, obj)
+        return True
+
     def object_exists(self, oid: Oid) -> bool:
         """True while the object has at least one live version."""
         return self._store.object_exists(oid)
@@ -545,4 +571,7 @@ class Database:
             "data_pages": self._disk.num_pages,
         }
         stats.update(self._store.stats())
+        # Injected-fault counters (zero outside fault-injection runs); the
+        # injector is process-global, so these are not per-database.
+        stats.update(faults.stats())
         return stats

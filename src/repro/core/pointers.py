@@ -43,6 +43,17 @@ from repro.storage import serialization
 _REF_SLOTS = frozenset({"_store", "_oid", "_vid"})
 
 
+def _store_key(ref: "_BaseRef") -> Any:
+    """The identity that decides whether two refs point into the same store.
+
+    A ref may be bound to a database facade or directly to its version
+    store; both views of one database must compare equal, so the facade
+    normalizes to its underlying store.
+    """
+    store = object.__getattribute__(ref, "_store")
+    return getattr(store, "store", store)
+
+
 def unwrap_ids(value: Any) -> Any:
     """Replace Refs/VersionRefs with their ids, recursing into containers.
 
@@ -177,7 +188,15 @@ class _WritebackMethod:
         result = self._method(*unwrap_ids(list(args)), **unwrap_ids(kwargs))
         store = object.__getattribute__(self._ref, "_store")
         vid = self._ref._writable_vid()
-        store.write_version(vid, self._obj)
+        # Pure reader methods (``ref.total()``) mutate nothing; writing the
+        # receiver back anyway would cost a WAL commit, a heap update, and
+        # cache invalidations per call.  Stores that can compare the
+        # re-encoded receiver against the stored payload skip the no-op.
+        writer = getattr(store, "write_version_if_changed", None)
+        if writer is not None:
+            writer(vid, self._obj)
+        else:
+            store.write_version(vid, self._obj)
         return wrap_ids(store, result)
 
     def __repr__(self) -> str:
@@ -225,12 +244,20 @@ class Ref(_BaseRef):
         return store.object_exists(self.oid)
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Ref) and other.oid == self.oid
+        # Oids are plain value types, so two open databases can hand out
+        # refs with equal-looking oids; store identity keeps them distinct.
+        return (
+            isinstance(other, Ref)
+            and other.oid == self.oid
+            and _store_key(other) is _store_key(self)
+        )
 
     def __ne__(self, other: object) -> bool:
         return not self.__eq__(other)
 
     def __hash__(self) -> int:
+        # Store identity is deliberately not hashed: equal refs must hash
+        # equal, and same-store refs dominate real usage.
         return hash(("Ref", self.oid))
 
     def __repr__(self) -> str:
@@ -283,7 +310,11 @@ class VersionRef(_BaseRef):
         return store.object_exists(self.vid.oid) and store.latest_vid(self.vid.oid) == self.vid
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, VersionRef) and other.vid == self.vid
+        return (
+            isinstance(other, VersionRef)
+            and other.vid == self.vid
+            and _store_key(other) is _store_key(self)
+        )
 
     def __ne__(self, other: object) -> bool:
         return not self.__eq__(other)

@@ -654,6 +654,33 @@ class VersionStore:
         # case where obj *is* a bare container of references.
         return serialization.encode(unwrap_ids(obj))
 
+    def version_dirty(self, vid: Vid, obj: Any) -> bool:
+        """True unless ``obj`` re-encodes byte-identically to the stored version.
+
+        A false positive (codec not byte-stable for some value) only costs
+        a redundant write -- the pre-skip behaviour; a false negative is
+        impossible because the comparison is on exact payload bytes.
+        """
+        entry = self._table.get(vid.oid)
+        if entry is None or vid.serial not in entry.graph:
+            return True  # let write_version raise the precise error
+        return self._encode_object(obj) != self._version_bytes(entry, vid.serial)
+
+    def write_version_if_changed(
+        self, vid: Vid, obj: Any, log_op: LogOp | None = None
+    ) -> bool:
+        """:meth:`write_version`, skipped when the payload is unchanged.
+
+        The write-back path behind ``ref.method(...)`` calls this so pure
+        reader methods stop generating WAL records, heap updates, and
+        cache invalidations.  Returns True when a write happened.
+        """
+        if not self.version_dirty(vid, obj):
+            self._stats.writebacks_skipped += 1
+            return False
+        self.write_version(vid, obj, log_op)
+        return True
+
     # -- existence & metadata ----------------------------------------------------
 
     def object_exists(self, oid: Oid) -> bool:

@@ -58,6 +58,15 @@ class LockManager:
     is the only holder.  Waits time out after ``timeout`` seconds and raise
     :class:`LockTimeoutError` -- the caller is expected to abort, which
     resolves deadlocks.
+
+    Fairness: a *waiting* EXCLUSIVE request blocks freshly arriving SHARED
+    requests on the same resource.  Without this, steady read traffic
+    starves writers -- each new reader is compatible with the current
+    SHARED holders, so the writer only ever acquires via the timeout path.
+    SHARED requests by a transaction already waiting nowhere behind the
+    writer are still granted when they already hold the lock (re-entry),
+    and upgrades get the same anti-starvation benefit since they register
+    as waiting-EXCLUSIVE too.
     """
 
     def __init__(self, timeout: float = 2.0) -> None:
@@ -65,6 +74,8 @@ class LockManager:
         self._cond = threading.Condition()
         # resource -> {txid: mode}
         self._holders: dict[object, dict[int, str]] = {}
+        # resource -> set of txids currently waiting for EXCLUSIVE
+        self._waiting_x: dict[object, set[int]] = {}
 
     def acquire(self, txid: int, resource: object, mode: str) -> None:
         """Acquire (or upgrade to) ``mode`` on ``resource`` for ``txid``."""
@@ -72,28 +83,49 @@ class LockManager:
             raise ValueError(f"unknown lock mode {mode!r}")
         deadline = time.monotonic() + self._timeout
         with self._cond:
-            while True:
-                holders = self._holders.setdefault(resource, {})
-                held = holders.get(txid)
-                if held == EXCLUSIVE or held == mode:
-                    return
-                if mode == SHARED:
-                    if all(m == SHARED for t, m in holders.items() if t != txid):
-                        holders[txid] = SHARED
+            waiting_registered = False
+            try:
+                while True:
+                    holders = self._holders.setdefault(resource, {})
+                    held = holders.get(txid)
+                    if held == EXCLUSIVE or held == mode:
                         return
-                else:  # EXCLUSIVE (fresh or upgrade)
-                    others = [t for t in holders if t != txid]
-                    if not others:
-                        holders[txid] = EXCLUSIVE
-                        return
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    if not holders:
-                        del self._holders[resource]
-                    raise LockTimeoutError(
-                        f"txn {txid} timed out waiting for {mode} on {resource!r}"
-                    )
-                self._cond.wait(remaining)
+                    if mode == SHARED:
+                        compatible = all(
+                            m == SHARED for t, m in holders.items() if t != txid
+                        )
+                        blocked_by_writer = any(
+                            t != txid for t in self._waiting_x.get(resource, ())
+                        )
+                        if compatible and not blocked_by_writer:
+                            holders[txid] = SHARED
+                            return
+                    else:  # EXCLUSIVE (fresh or upgrade)
+                        others = [t for t in holders if t != txid]
+                        if not others:
+                            holders[txid] = EXCLUSIVE
+                            return
+                        if not waiting_registered:
+                            self._waiting_x.setdefault(resource, set()).add(txid)
+                            waiting_registered = True
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        if not holders:
+                            del self._holders[resource]
+                        raise LockTimeoutError(
+                            f"txn {txid} timed out waiting for {mode} on {resource!r}"
+                        )
+                    self._cond.wait(remaining)
+            finally:
+                if waiting_registered:
+                    waiters = self._waiting_x.get(resource)
+                    if waiters is not None:
+                        waiters.discard(txid)
+                        if not waiters:
+                            del self._waiting_x[resource]
+                    # Readers held back by this writer must re-check, both
+                    # when the writer acquired and when it timed out.
+                    self._cond.notify_all()
 
     def release_all(self, txid: int) -> None:
         """Release every lock held by ``txid`` (commit/abort time)."""

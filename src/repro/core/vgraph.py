@@ -111,6 +111,11 @@ class VersionGraph:
         Serials must be fresh and strictly greater than every serial ever
         assigned, which is what keeps the temporal chain equal to serial
         order.
+
+        ``ctime`` is clamped to the newest live version's creation time
+        when the clock has run backwards (an NTP step): the temporal chain
+        is ordered by *creation*, and ``latest_at`` bisects ``_ctimes``,
+        so the list must stay sorted no matter what the wall clock does.
         """
         if serial in self._nodes:
             raise GraphInvariantError(f"serial {serial} already exists")
@@ -118,6 +123,8 @@ class VersionGraph:
             raise GraphInvariantError(
                 f"serial {serial} is not greater than high-water mark {self._max_serial}"
             )
+        if self._ctimes and ctime < self._ctimes[-1]:
+            ctime = self._ctimes[-1]
         if dprev is not None:
             parent = self.node(dprev)
             parent.children.append(serial)
@@ -245,6 +252,8 @@ class VersionGraph:
             raise GraphInvariantError("temporal chain out of sync with node set")
         if self._ctimes != [self._nodes[s].ctime for s in self._order]:
             raise GraphInvariantError("ctime index out of sync with temporal chain")
+        if any(a > b for a, b in zip(self._ctimes, self._ctimes[1:])):
+            raise GraphInvariantError("creation times not sorted along temporal chain")
         if self._order and self._order[-1] > self._max_serial:
             raise GraphInvariantError("high-water mark below a live serial")
         for serial, node in self._nodes.items():
@@ -294,7 +303,16 @@ class VersionGraph:
         for node in graph._nodes.values():
             if node.dprev is not None:
                 graph._nodes[node.dprev].children.append(node.serial)
-        graph._ctimes = [graph._nodes[s].ctime for s in graph._order]
+        # Graphs persisted before ctime clamping existed may carry a
+        # wall-clock regression; repair it the same way create() would have.
+        floor = float("-inf")
+        for serial in graph._order:
+            node = graph._nodes[serial]
+            if node.ctime < floor:
+                node.ctime = floor
+            else:
+                floor = node.ctime
+            graph._ctimes.append(node.ctime)
         graph._max_serial = max_serial
         graph.validate()
         return graph

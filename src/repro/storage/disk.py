@@ -18,6 +18,7 @@ import struct
 import threading
 
 from repro.errors import DiskError
+from repro.storage import faults
 from repro.storage.pages import PAGE_SIZE
 
 _MAGIC = b"ODEPYDB1"
@@ -66,6 +67,16 @@ class DiskManager:
         if len(raw) < _META.size:
             raise DiskError(f"{self._path}: truncated meta page")
         magic, version, free_head, num_pages = _META.unpack_from(raw, 0)
+        if magic == b"\x00" * len(_MAGIC) and version == 0 and num_pages == 0:
+            # An all-zero meta page means creation crashed between extending
+            # the file and writing the first meta page (nothing else zeroes
+            # page 0: every later meta write rewrites the magic in place).
+            # Nothing can have been stored yet -- re-initialize.
+            self._num_pages = 1
+            self._file.truncate(PAGE_SIZE)
+            self._write_meta()
+            self.sync()
+            return
         if magic != _MAGIC:
             raise DiskError(f"{self._path}: not an ode-py database file")
         if version != _FORMAT_VERSION:
@@ -81,10 +92,14 @@ class DiskManager:
             )
 
     def _write_meta(self) -> None:
+        faults.fire("disk.write_meta.pre")
         buf = bytearray(PAGE_SIZE)
         _META.pack_into(buf, 0, _MAGIC, _FORMAT_VERSION, self._free_head, self._num_pages)
         self._file.seek(0)
-        self._file.write(buf)
+        # A torn meta write is survivable by layout: the magic/version bytes
+        # are rewritten with identical values, and free_head/num_pages only
+        # ever lose an update (the file itself was already extended first).
+        faults.write("disk.write_meta.write", self._file, bytes(buf))
 
     # -- properties ------------------------------------------------------------
 
@@ -102,6 +117,7 @@ class DiskManager:
 
     def allocate_page(self) -> int:
         """Allocate a fresh zeroed page and return its page id."""
+        faults.fire("disk.allocate.pre")
         with self._lock:
             if self._free_head != _NO_PAGE:
                 page_id = self._free_head
@@ -112,13 +128,14 @@ class DiskManager:
                 self._file.seek(page_id * PAGE_SIZE)
                 self._file.write(bytes(PAGE_SIZE))
                 self._write_meta()
-                return page_id
-            page_id = self._num_pages
-            self._num_pages += 1
-            self._file.seek(page_id * PAGE_SIZE)
-            self._file.write(bytes(PAGE_SIZE))
-            self._write_meta()
-            return page_id
+            else:
+                page_id = self._num_pages
+                self._num_pages += 1
+                self._file.seek(page_id * PAGE_SIZE)
+                self._file.write(bytes(PAGE_SIZE))
+                self._write_meta()
+        faults.fire("disk.allocate.post")
+        return page_id
 
     def ensure_allocated(self, page_id: int) -> None:
         """Extend the file so ``page_id`` exists (WAL replay support).
@@ -129,6 +146,7 @@ class DiskManager:
         """
         if page_id == META_PAGE_ID:
             raise DiskError("page 0 is reserved for the disk manager")
+        faults.fire("disk.ensure_allocated")
         with self._lock:
             if page_id < self._num_pages:
                 return
@@ -139,6 +157,7 @@ class DiskManager:
     def free_page(self, page_id: int) -> None:
         """Return ``page_id`` to the free list.  The caller must not reuse it."""
         self._check_page_id(page_id)
+        faults.fire("disk.free_page")
         with self._lock:
             buf = bytearray(PAGE_SIZE)
             _FREE_LINK.pack_into(buf, 0, self._free_head)
@@ -162,9 +181,11 @@ class DiskManager:
         self._check_page_id(page_id)
         if len(data) != PAGE_SIZE:
             raise DiskError(f"page write must be {PAGE_SIZE} bytes, got {len(data)}")
+        faults.fire("disk.write_page.pre")
         with self._lock:
             self._file.seek(page_id * PAGE_SIZE)
-            self._file.write(data)
+            faults.write("disk.write_page.write", self._file, bytes(data))
+        faults.fire("disk.write_page.post")
 
     def _check_page_id(self, page_id: int) -> None:
         if page_id == META_PAGE_ID:
@@ -176,8 +197,11 @@ class DiskManager:
 
     def sync(self) -> None:
         """fsync the database file."""
+        faults.fire("disk.sync.pre")
         self._file.flush()
+        faults.fire("disk.sync.fsync")
         os.fsync(self._file.fileno())
+        faults.fire("disk.sync.post")
 
     def close(self) -> None:
         """Flush and close the file.  Idempotent."""

@@ -29,6 +29,7 @@ import struct
 from collections.abc import Iterator
 
 from repro.errors import BadSlotError, PageFullError
+from repro.storage import faults
 
 #: Size of every page in the database file, in bytes.
 PAGE_SIZE = 4096
@@ -202,7 +203,16 @@ class SlottedPage:
         length = len(payload)
         dir_end = _HEADER_SIZE + (num_slots + needed_slots) * _SLOT.size
         if free_ptr - dir_end < length:
-            raise PageFullError(f"record of {length} bytes does not fit at slot {slot}")
+            # Replay applies deletes and inserts in log first-touch order,
+            # so the free space may be fragmented even though the insert
+            # fit at runtime.  Compact before giving up, exactly like the
+            # runtime insert path does.
+            self.compact()
+            _, free_ptr, flags, _ = _HEADER.unpack_from(self._buf, 0)
+            if free_ptr - dir_end < length:
+                raise PageFullError(
+                    f"record of {length} bytes does not fit at slot {slot}"
+                )
         if slot < num_slots:
             offset, _ = self._read_slot(slot)
             if offset != _EMPTY_OFFSET:
@@ -249,6 +259,7 @@ class SlottedPage:
         # Grown (or grown-from/shrunk-to empty): release then re-place.
         # Check fitness BEFORE touching the slot -- update must be atomic:
         # on PageFullError the old record is still intact.
+        faults.fire("page.update.grow")
         num_slots, free_ptr, flags, _ = _HEADER.unpack_from(self._buf, 0)
         dir_end = _HEADER_SIZE + num_slots * _SLOT.size
         after_compact = self._compacted_gap() + length  # old copy freed too
@@ -294,6 +305,7 @@ class SlottedPage:
 
     def compact(self) -> None:
         """Slide all live records to the end of the page, removing holes."""
+        faults.fire("page.compact")
         records: list[tuple[int, bytes]] = list(self.records())
         num_slots, _free_ptr, flags, _ = _HEADER.unpack_from(self._buf, 0)
         free_ptr = PAGE_SIZE
@@ -320,6 +332,39 @@ class SlottedPage:
     def live_count(self) -> int:
         """Number of live records in the page."""
         return sum(1 for _ in self.records())
+
+    def validate(self) -> list[str]:
+        """Structural problems with this page's layout (empty == sound).
+
+        Used by the strict consistency checker after crash recovery: the
+        header must be self-consistent and every live record extent must
+        lie in the record area without overlapping any other.
+        """
+        problems: list[str] = []
+        num_slots, free_ptr, _flags, _ = _HEADER.unpack_from(self._buf, 0)
+        dir_end = _HEADER_SIZE + num_slots * _SLOT.size
+        if not dir_end <= free_ptr <= PAGE_SIZE:
+            problems.append(
+                f"free_ptr {free_ptr} outside [{dir_end}, {PAGE_SIZE}]"
+            )
+            return problems
+        extents: list[tuple[int, int, int]] = []
+        for slot in range(num_slots):
+            offset, length = _SLOT.unpack_from(self._buf, self._slot_pos(slot))
+            if offset == _EMPTY_OFFSET or length == 0:
+                continue  # empty, or a zero-length record (no extent)
+            if offset < free_ptr or offset + length > PAGE_SIZE:
+                problems.append(
+                    f"slot {slot} extent [{offset}, {offset + length}) "
+                    f"outside record area [{free_ptr}, {PAGE_SIZE})"
+                )
+                continue
+            extents.append((offset, offset + length, slot))
+        extents.sort()
+        for (_s1, e1, a), (s2, _e2, b) in zip(extents, extents[1:]):
+            if e1 > s2:
+                problems.append(f"slots {a} and {b} overlap")
+        return problems
 
     # -- raw access ---------------------------------------------------------
 

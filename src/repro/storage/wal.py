@@ -36,12 +36,13 @@ from __future__ import annotations
 import os
 import struct
 import threading
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Iterator
 
 from repro.errors import WalError
-from repro.storage import serialization
+from repro.storage import faults, serialization
 
 _FRAME = struct.Struct("<II")  # length, crc32
 
@@ -109,6 +110,11 @@ class LogManager:
     committers join the group even when their flushes would not otherwise
     overlap.  A flush that did not wait behind another always fsyncs, so
     an idle ``flush()`` still hits the disk (checkpoints rely on that).
+
+    The linger only happens when at least one *other* flusher is pending
+    (a solo commit pays fsync latency, never the window), ``append``
+    wakes a lingering flusher, and the linger ends as soon as the group
+    stops growing -- the window is a cap, not a tax.
     """
 
     def __init__(
@@ -126,6 +132,7 @@ class LogManager:
         self._seq = 0  # sequence of the newest appended record
         self._flushed_seq = 0  # highest sequence covered by a completed fsync
         self._flushing = False  # an fsync is in flight (I/O happens unlocked)
+        self._pending_flushers = 0  # threads currently inside flush()
         #: Count of fsyncs, for the E11 micro-benchmarks.
         self.flush_count = 0
         #: Flush calls satisfied by another thread's fsync (group commit).
@@ -138,14 +145,27 @@ class LogManager:
 
     def append(self, record: LogRecord) -> None:
         """Buffer one record.  Call :meth:`flush` to make it durable."""
+        faults.fire("wal.append")
         body = record.to_bytes()
         frame = _FRAME.pack(len(body), zlib.crc32(body)) + body
         with self._cond:
             self._buffer.extend(frame)
             self._seq += 1
+            if self._flushing:
+                # Wake a lingering group-commit flusher: the group grew.
+                self._cond.notify_all()
 
     def flush(self) -> None:
         """Make every record appended so far durable (one fsync per group)."""
+        with self._cond:
+            self._pending_flushers += 1
+        try:
+            self._flush()
+        finally:
+            with self._cond:
+                self._pending_flushers -= 1
+
+    def _flush(self) -> None:
         with self._cond:
             target = self._seq
             waited = False
@@ -158,23 +178,57 @@ class LogManager:
                 self.group_piggybacks += 1
                 return
             self._flushing = True
-            if self._group_window > 0.0:
-                # Linger with the lock released so concurrent committers
-                # can append and join this group's single fsync.
-                self._cond.wait(self._group_window)
+            if self._group_window > 0.0 and self._pending_flushers > 1:
+                # Linger with the lock released so concurrent committers can
+                # append and join this group's single fsync.  A solo flusher
+                # (no other thread pending) skips the linger entirely, and a
+                # group lingers only while it keeps growing: each wait is a
+                # short grace period, and a grace with no new append ends
+                # the linger.  The window bounds the total linger.
+                deadline = time.monotonic() + self._group_window
+                grace = self._group_window * 0.25
+                while True:
+                    seen = self._seq
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0:
+                        break
+                    self._cond.wait(min(remaining, grace))
+                    if self._seq == seen:
+                        break  # the group stopped growing
             buf = bytes(self._buffer)
             self._buffer.clear()
             covered = self._seq
         ok = False
+        write_start = -1
         try:
             # I/O happens outside the lock so that piggybacking flushers can
             # register and appends are never blocked behind the disk.
+            faults.fire("wal.flush.pre_write")
             if buf:
-                self._file.write(buf)
+                write_start = self._file.tell()
+                faults.write("wal.flush.write", self._file, buf)
+            faults.fire("wal.flush.post_write")
             self._file.flush()
+            faults.fire("wal.flush.pre_fsync")
+            faults.fire("wal.flush.fsync")
             os.fsync(self._file.fileno())
+            faults.fire("wal.flush.post_fsync")
             ok = True
         finally:
+            if not ok and write_start >= 0 and not faults.is_crashed():
+                # A failed write may have put a *partial* frame in the file.
+                # The retry below re-appends the whole buffer, so without a
+                # repair the log would read  <garbage prefix><good frames>
+                # and replay -- which stops at the first bad frame -- would
+                # never see the retried records even after their successful
+                # fsync.  Truncate back to the pre-write offset so a retry
+                # starts from a clean tail.  (Skipped after a simulated
+                # crash: a dead process repairs nothing.)
+                try:
+                    self._file.truncate(write_start)
+                    self._file.seek(write_start)
+                except OSError:
+                    pass  # the retry's flush will surface persistent failure
             with self._cond:
                 self._flushing = False
                 if ok:
@@ -190,12 +244,14 @@ class LogManager:
         with self._cond:
             while self._flushing:
                 self._cond.wait()
+            faults.fire("wal.truncate.pre")
             self._buffer.clear()
             self._flushed_seq = self._seq
             self._file.seek(0)
             self._file.truncate(0)
             self._file.flush()
             os.fsync(self._file.fileno())
+            faults.fire("wal.truncate.post")
 
     def size(self) -> int:
         """Durable log size in bytes (excludes the unflushed buffer)."""

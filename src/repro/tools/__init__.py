@@ -8,10 +8,22 @@ What a downstream user reaches for when a database directory looks odd:
   verification (every version materializes, every graph validates, no
   orphan payload records);
 * :func:`repro.tools.vacuum.vacuum` -- rewrite a database into a fresh
-  compact directory, dropping dead pages and fragmentation.
+  compact directory, dropping dead pages and fragmentation;
+* :func:`repro.tools.crashmatrix.run_matrix` / ``python -m
+  repro.tools.crashmatrix`` -- deterministic fault-injection crash matrix:
+  crash/torn-write/short-write/fsync-failure at every storage failpoint,
+  then recovery verification against the strict integrity check.
 """
 
 from repro.tools.check import CheckReport, check_database
+from repro.tools.crashmatrix import (
+    MatrixReport,
+    Scenario,
+    ScenarioResult,
+    enumerate_scenarios,
+    run_matrix,
+    run_scenario,
+)
 from repro.tools.dump import DumpError, dump_database, load_database
 from repro.tools.inspect import DatabaseSummary, inspect_database
 from repro.tools.migrate import (
@@ -27,6 +39,12 @@ from repro.tools.vacuum import VacuumReport, vacuum
 __all__ = [
     "CheckReport",
     "check_database",
+    "MatrixReport",
+    "Scenario",
+    "ScenarioResult",
+    "enumerate_scenarios",
+    "run_matrix",
+    "run_scenario",
     "DumpError",
     "dump_database",
     "load_database",

@@ -11,6 +11,20 @@ Checks, for an open database:
 4. cluster membership matches the object table in both directions;
 5. the object-table heap decodes record by record.
 
+With ``strict=True`` (used by the crash-matrix harness after every
+simulated crash + recovery) it additionally cross-checks the physical
+layers against each other:
+
+6. every page owned by a registered heap has a structurally sound
+   slotted layout (slot extents in bounds, no overlaps);
+7. every page in the file is either unowned (zeroed/free) or tagged with
+   a registered heap file id;
+8. the durable object table round-trips: each record rebuilds a valid
+   version graph, object ids are unique, and the result matches the
+   in-memory table (oids, types, serials, record ids);
+9. the ``ode.oid`` counter is at or above every live object id, so a
+   recovered database can never re-issue an id.
+
 Returns a :class:`CheckReport`; ``ok`` is True when no problems were
 found.  Never mutates the database.
 """
@@ -21,7 +35,9 @@ from dataclasses import dataclass, field
 
 from repro.core.database import Database
 from repro.core.identity import Vid
+from repro.core.vgraph import VersionGraph
 from repro.errors import OdeError
+from repro.storage.catalog import CATALOG_FILE_ID
 from repro.storage.heap import Rid
 
 
@@ -53,8 +69,13 @@ class CheckReport:
         return "\n".join(lines)
 
 
-def check_database(db: Database) -> CheckReport:
-    """Run every integrity check against an open database."""
+def check_database(db: Database, strict: bool = False) -> CheckReport:
+    """Run every integrity check against an open database.
+
+    ``strict`` adds the physical cross-consistency checks (page layouts,
+    page ownership, object-table round-trip, id-counter floor) that the
+    crash-matrix harness runs after every simulated crash.
+    """
     report = CheckReport()
     store = db.store
     catalog = db.catalog
@@ -148,4 +169,82 @@ def check_database(db: Database) -> CheckReport:
         if ref.oid not in cluster_oids:
             report.problems.append(f"object {ref.oid!r} missing from clusters heap")
 
+    if strict:
+        _check_strict(db, report)
+
     return report
+
+
+def _check_strict(db: Database, report: CheckReport) -> None:
+    """Physical cross-consistency checks (crash-matrix teeth)."""
+    from repro.storage import serialization
+
+    store = db.store
+    catalog = db.catalog
+    pool = db._pool
+    disk = db._disk
+
+    # Registered heaps by file id (the catalog heap owns itself).
+    heaps = {CATALOG_FILE_ID: catalog.heap_by_id(CATALOG_FILE_ID)}
+    for name in catalog.heap_names():
+        heap = catalog.ensure_heap(name)
+        heaps[heap.file_id] = heap
+
+    # 6+7: page layout soundness and page ownership.  Pages with flags 0
+    # are unowned -- free-listed, or allocated by a loser transaction and
+    # never claimed (a benign leak, since nothing references them).
+    for page_id in range(1, disk.num_pages):
+        with pool.page(page_id) as page:
+            flags = page.flags
+            if flags == 0:
+                continue
+            if flags not in heaps:
+                report.problems.append(
+                    f"page {page_id} tagged with unknown heap file id {flags}"
+                )
+                continue
+            for problem in page.validate():
+                report.problems.append(f"page {page_id} (heap {flags}): {problem}")
+
+    # 8: durable object table round-trips and matches the in-memory table.
+    objects_heap = catalog.ensure_heap("ode.objects")
+    durable: dict = {}
+    for rid, payload in objects_heap.scan():
+        try:
+            oid, type_name, graph_state = serialization.decode(payload)
+            graph = VersionGraph.from_state(graph_state)
+        except (OdeError, ValueError, TypeError) as exc:
+            report.problems.append(
+                f"object-table record {rid} does not round-trip: {exc}"
+            )
+            continue
+        if oid in durable:
+            report.problems.append(f"object {oid!r} has duplicate table records")
+            continue
+        durable[oid] = (rid, type_name, graph)
+    live = {ref.oid: store.graph(ref.oid) for ref in store.all_objects()}
+    for oid in sorted(set(durable) ^ set(live), key=lambda o: o.value):
+        where = "durable table only" if oid in durable else "in-memory table only"
+        report.problems.append(f"object {oid!r} present in {where}")
+    for oid, (rid, type_name, graph) in durable.items():
+        if oid not in live:
+            continue
+        if type_name != store.type_name(oid):
+            report.problems.append(
+                f"object {oid!r} typed {type_name!r} on disk but "
+                f"{store.type_name(oid)!r} in memory"
+            )
+        if graph.serials() != live[oid].serials():
+            report.problems.append(
+                f"object {oid!r}: durable serials {graph.serials()} != "
+                f"live serials {live[oid].serials()}"
+            )
+
+    # 9: the id counter must never re-issue a live object id.
+    next_oid = catalog.peek_value("ode.oid")
+    for oid in live:
+        if oid.value > next_oid:
+            report.problems.append(
+                f"object {oid!r} is above the ode.oid counter ({next_oid}); "
+                f"its id could be re-issued"
+            )

@@ -1,0 +1,625 @@
+"""Crash-matrix harness: deterministic fault injection x recovery verification.
+
+For every enumerated scenario the harness runs one mixed workload
+(creates, in-place writes, ``newversion``, ``pdelete``, savepoint +
+``rollback_to``, a deliberately aborted transaction -- on two concurrent
+worker threads) against a fresh database while exactly one fault is
+armed: a crash, a torn write, a short write, or an fsync failure at a
+named failpoint (see :mod:`repro.storage.faults`).  When the fault
+fires, the simulated process is dead -- every subsequent failpoint
+raises, so not even ``abort`` handlers can touch the files.
+
+The harness then reopens the database (running WAL recovery) and
+demands three things:
+
+1. ``tools.check.check_database(db, strict=True)`` reports no problems:
+   graphs validate, payloads materialize, pages are structurally sound,
+   the durable object table round-trips, the id counter is safe;
+2. every *acknowledged* operation survived: each tracked object's
+   recovered state equals the last model its worker recorded as
+   committed -- or, if the fault hit mid-operation, the model of that
+   one in-flight operation (atomicity: nothing in between);
+3. no loser effects are visible: in-flight creates either exist
+   completely or not at all, and no untracked objects appear.
+
+Fidelity notes.  The workload runs on a real filesystem, which is the
+*kindest possible* page cache: ordinary writes are never lost, so loss
+is modelled explicitly (torn/short writes materialize the worst-case
+partial write; a "crash" freezes the files exactly as written).  Data
+pages are assumed to be written atomically at page granularity -- the
+classic ARIES assumption absent full-page logging -- so torn-write
+scenarios target the WAL (frame CRCs detect the tear) and the meta page
+(torn-safe by layout), not data pages.
+
+Run it:
+
+    PYTHONPATH=src python -m repro.tools.crashmatrix [--smoke] [-v]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import Database, PersistentObject, persistent
+from repro.core.identity import Oid
+from repro.errors import SerializationError
+from repro.storage import faults, serialization
+from repro.storage.faults import (
+    ERROR_FAILPOINTS,
+    FAILPOINTS,
+    WRITE_FAILPOINTS,
+    FaultPlan,
+    InjectedFaultError,
+    SimulatedCrash,
+)
+from repro.tools.check import check_database
+
+#: Rounds of mixed operations per worker thread.
+ROUNDS = 8
+
+#: Bytes added to the blob payload per growth step; sized so later steps
+#: exceed one page (forcing spanning records) and shrink-then-grow cycles
+#: force in-page compaction.
+BLOB_CHUNK = 1300
+
+_JOIN_TIMEOUT = 60.0
+
+
+def _workload_type(name: str):
+    """``@persistent`` that survives double execution of this module.
+
+    ``python -m repro.tools.crashmatrix`` runs this module body a second
+    time as ``__main__`` after ``repro.tools`` already imported it; reuse
+    the canonical registered class so encode/decode stay consistent.
+    """
+
+    def wrap(cls: type) -> type:
+        try:
+            return persistent(name=name)(cls)
+        except SerializationError:
+            return serialization.lookup_type(name)
+
+    return wrap
+
+
+@_workload_type("crashmatrix.Item")
+class Item(PersistentObject):
+    """Small versioned record: exercises the object table + version graphs."""
+
+    def __init__(self, tag: int = 0, val: int = 0) -> None:
+        self.tag = tag
+        self.val = val
+
+
+@_workload_type("crashmatrix.Blob")
+class Blob(PersistentObject):
+    """Growing payload: exercises page growth, compaction, and spanning."""
+
+    def __init__(self, tag: int = 0, text: str = "") -> None:
+        self.tag = tag
+        self.text = text
+
+
+# -- scenarios ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One armed fault (plus an optional second fault during recovery)."""
+
+    failpoint: str
+    action: str  # "crash" | "torn_write" | "short_write" | "fsync_error"
+    hit: int = 1
+    keep: int = 0
+    #: When set, a *second* crash is armed while recovery itself runs
+    #: (the reopen), and recovery must then succeed on a third, clean open.
+    recovery_failpoint: str | None = None
+
+    @property
+    def name(self) -> str:
+        parts = [self.failpoint, self.action, f"hit{self.hit}"]
+        if self.action in ("torn_write", "short_write"):
+            parts.append(f"keep{self.keep}")
+        if self.recovery_failpoint:
+            parts.append(f"then-{self.recovery_failpoint}")
+        return ":".join(parts)
+
+    def plan(self) -> FaultPlan:
+        plan = FaultPlan()
+        if self.action == "crash":
+            plan.crash(self.failpoint, hit=self.hit)
+        elif self.action == "torn_write":
+            plan.torn_write(self.failpoint, hit=self.hit, keep=self.keep)
+        elif self.action == "short_write":
+            plan.short_write(self.failpoint, hit=self.hit, keep=self.keep)
+        elif self.action == "fsync_error":
+            plan.fsync_error(self.failpoint, hit=self.hit)
+        else:  # pragma: no cover - enumerate_scenarios only emits the above
+            raise ValueError(f"unknown action {self.action!r}")
+        return plan
+
+
+#: hit ordinals per failpoint for plain crash scenarios.  Frequent
+#: failpoints get a second, higher ordinal so the crash also lands deep
+#: in the workload (mid-transaction, mid-rollback, mid-checkpoint).
+_CRASH_HITS: dict[str, tuple[int, ...]] = {
+    "wal.append": (1, 30),
+    "wal.flush.pre_write": (1, 8),
+    "wal.flush.post_write": (1, 8),
+    "wal.flush.pre_fsync": (1, 8),
+    "wal.flush.post_fsync": (1, 8),
+    "wal.truncate.pre": (1, 2),
+    "wal.truncate.post": (1, 2),
+    "disk.write_page.pre": (1, 6),
+    # A *crash* at the write site dies before any byte is written, which
+    # respects the page-write-atomicity assumption (torn data pages are
+    # out of scope -- see the module docstring).
+    "disk.write_page.write": (1, 6),
+    "disk.write_page.post": (1, 6),
+    # hit=1 fires while the database file is being *created* (all-zero
+    # meta page on reopen); hit=5 fires on a steady-state meta update.
+    "disk.write_meta.pre": (1, 5),
+    "disk.allocate.pre": (2, 6),
+    "disk.allocate.post": (2, 6),
+    # Not reached by this workload (no vacuum); kept so arming unreached
+    # failpoints is exercised too.
+    "disk.free_page": (1,),
+    "disk.ensure_allocated": (1,),
+    "disk.sync.pre": (1, 2),
+    "disk.sync.fsync": (1, 2),
+    "disk.sync.post": (1, 2),
+    "heap.insert.pre": (1, 20),
+    "heap.insert.post": (1, 20),
+    "heap.update.pre": (1, 15),
+    "heap.update.post": (1, 15),
+    "heap.delete.pre": (1, 4),
+    "heap.delete.post": (1, 4),
+    "heap.span.fragment": (1, 4),
+    # Fire during transaction abort / savepoint rollback in the workload
+    # (undo uses the replay helpers), i.e. a crash *mid-rollback*.
+    "heap.replay_insert": (1, 6),
+    "heap.replay_delete": (1,),
+    "page.compact": (1,),
+    "page.update.grow": (1, 5),
+}
+
+
+def enumerate_scenarios(smoke: bool = False) -> list[Scenario]:
+    """The full crash matrix (or a small smoke subset for CI)."""
+    scenarios: list[Scenario] = []
+    for failpoint, hits in _CRASH_HITS.items():
+        assert failpoint in FAILPOINTS, failpoint
+        for hit in hits:
+            scenarios.append(Scenario(failpoint, "crash", hit=hit))
+    # Torn writes: WAL frames (CRC detects the tear) and the meta page
+    # (torn-safe by layout; hit >= 2 so creation's first meta write -- the
+    # only one whose magic bytes are not a same-value overwrite -- lands).
+    for hit, keep in ((2, 7), (6, -3)):
+        scenarios.append(Scenario("wal.flush.write", "torn_write", hit=hit, keep=keep))
+    for hit, keep in ((2, 7), (4, 12)):
+        scenarios.append(
+            Scenario("disk.write_meta.write", "torn_write", hit=hit, keep=keep)
+        )
+    # Short write: the process survives, the transaction aborts, and the
+    # WAL's truncate-back repair must keep the file replayable.
+    scenarios.append(Scenario("wal.flush.write", "short_write", hit=3, keep=10))
+    # fsync failures: surfaced to the caller, transaction aborts cleanly.
+    for failpoint in sorted(ERROR_FAILPOINTS):
+        scenarios.append(Scenario(failpoint, "fsync_error", hit=1))
+    # Double crash: the first recovery is itself interrupted.
+    scenarios.append(
+        Scenario(
+            "heap.update.post", "crash", hit=10, recovery_failpoint="heap.replay_insert"
+        )
+    )
+    scenarios.append(
+        Scenario(
+            "wal.flush.post_write", "crash", hit=6, recovery_failpoint="wal.truncate.pre"
+        )
+    )
+    if smoke:
+        picked: dict[tuple[str, str], Scenario] = {}
+        for scenario in scenarios:
+            picked.setdefault((scenario.failpoint, scenario.action), scenario)
+        scenarios = list(picked.values())
+    return scenarios
+
+
+# -- workload ----------------------------------------------------------------
+
+
+@dataclass
+class _Tracked:
+    """Ledger entry for one persistent object a worker owns."""
+
+    kind: str  # "item" | "blob"
+    ref: object
+    oid_value: int
+    committed: dict
+    pending: dict | None = None
+
+
+class _Worker:
+    """One workload thread plus its operation ledger.
+
+    The ledger protocol makes verification a dict compare: before issuing
+    an operation the worker records the post-state as ``pending``; once
+    the database call returns (the commit is acknowledged) it promotes it
+    to ``committed``.  A crash can therefore leave at most one tracked
+    object with a pending model, and recovery must observe either its
+    committed or its pending state -- nothing else.
+    """
+
+    def __init__(self, wid: int) -> None:
+        self.wid = wid
+        self.item: _Tracked | None = None
+        self.blob: _Tracked | None = None
+        #: Set while a pnew is in flight (oid unknown until it returns).
+        self.creating = False
+        self.error: BaseException | None = None
+
+    def tracked(self) -> list[_Tracked]:
+        return [t for t in (self.item, self.blob) if t is not None]
+
+    # -- ledger-protocol helpers --------------------------------------------
+
+    @staticmethod
+    def _attempt(tracked: _Tracked, new_model: dict, fn) -> None:
+        tracked.pending = new_model
+        fn()
+        tracked.committed = new_model
+        tracked.pending = None
+
+    # -- the workload --------------------------------------------------------
+
+    def setup(self, db: Database) -> None:
+        """Create this worker's objects (runs on the main thread)."""
+        self.creating = True
+        ref = db.pnew(Item(tag=self.wid, val=0))
+        self.item = _Tracked(
+            "item", ref, ref.oid.value, {"val": 0, "versions": 1}
+        )
+        text = f"B{self.wid}:" + "x" * 600
+        bref = db.pnew(Blob(tag=self.wid, text=text))
+        self.blob = _Tracked(
+            "blob", bref, bref.oid.value, {"pad": len(text), "versions": 1}
+        )
+        self.creating = False
+
+    def run(self, db: Database) -> None:
+        try:
+            for j in range(ROUNDS):
+                self._step(db, j)
+            self._aborted_txn(db)
+        except (SimulatedCrash, InjectedFaultError):
+            pass  # expected: the armed fault fired on this thread
+        except BaseException as exc:  # noqa: BLE001 - recorded, re-raised by runner
+            self.error = exc
+
+    def _step(self, db: Database, j: int) -> None:
+        item, blob = self.item, self.blob
+        assert item is not None and blob is not None
+        op = j % 5
+        if op == 0:
+            # Autocommit attribute write through the generic reference.
+            val = 1000 * (self.wid + 1) + 100 + j
+            model = dict(item.committed, val=val)
+            self._attempt(item, model, lambda: setattr(item.ref, "val", val))
+        elif op == 1:
+            # Explicit transaction: newversion + write (two logged ops).
+            val = 1000 * (self.wid + 1) + 200 + j
+            model = dict(item.committed, val=val)
+            model["versions"] += 1
+
+            def txn_fn() -> None:
+                with db.transaction():
+                    db.newversion(item.ref)
+                    item.ref.val = val
+
+            self._attempt(item, model, txn_fn)
+        elif op == 2:
+            # Shrink then grow the blob: two autocommits.  The shrink
+            # leaves a hole; the regrow forces compaction / relocation /
+            # spanning once the payload outgrows a page.
+            self._attempt(
+                blob, dict(blob.committed, pad=1),
+                lambda: setattr(blob.ref, "text", "s"),
+            )
+            pad = BLOB_CHUNK * (j + 2)
+            self._attempt(
+                blob, dict(blob.committed, pad=pad),
+                lambda: setattr(blob.ref, "text", "b" * pad),
+            )
+        elif op == 3:
+            # Savepoint dance: the rolled-back write must never surface.
+            val = 1000 * (self.wid + 1) + 300 + j
+            model = dict(item.committed, val=val)
+
+            def sp_fn() -> None:
+                with db.transaction():
+                    item.ref.val = 777
+                    sp = db.savepoint()
+                    item.ref.val = 888
+                    db.rollback_to(sp)
+                    item.ref.val = val
+
+            self._attempt(item, model, sp_fn)
+        else:
+            # Prune the oldest version once history is deep enough.
+            if item.committed["versions"] > 2:
+                model = dict(item.committed)
+                model["versions"] -= 1
+
+                def prune_fn() -> None:
+                    versions = db.versions(item.ref)
+                    db.pdelete(versions[0])
+
+                self._attempt(item, model, prune_fn)
+            else:
+                val = 1000 * (self.wid + 1) + 400 + j
+                model = dict(item.committed, val=val)
+                self._attempt(item, model, lambda: setattr(item.ref, "val", val))
+
+    def _aborted_txn(self, db: Database) -> None:
+        """A transaction that aborts on purpose: undo must erase it.
+
+        The insert (``newversion``) exercises ``heap.replay_delete`` and
+        the update exercises ``heap.replay_insert`` during the abort.
+        """
+        item = self.item
+        assert item is not None
+        item.pending = dict(item.committed)  # abort changes nothing
+        try:
+            with db.transaction():
+                db.newversion(item.ref)
+                item.ref.val = 999_999
+                raise _DeliberateAbort()
+        except _DeliberateAbort:
+            pass
+        item.pending = None
+
+
+class _DeliberateAbort(Exception):
+    pass
+
+
+def _run_workload(path: Path) -> list[_Worker]:
+    """Run the mixed workload until it completes or the armed fault fires.
+
+    Always returns the workers (and their ledgers), even on a crash.
+    """
+    workers = [_Worker(0), _Worker(1)]
+    try:
+        db = Database(path, pool_size=8)
+        for worker in workers:
+            worker.setup(db)
+        db.checkpoint()
+        threads = [
+            threading.Thread(
+                target=worker.run, args=(db,), name=f"crashmatrix-w{worker.wid}"
+            )
+            for worker in workers
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=_JOIN_TIMEOUT)
+            if thread.is_alive():
+                raise RuntimeError(f"workload thread {thread.name} hung")
+        if not faults.is_crashed():
+            db.checkpoint()
+            db.close()
+    except (SimulatedCrash, InjectedFaultError):
+        pass  # the simulated machine is dead; leave the files as they lie
+    for worker in workers:
+        if worker.error is not None:
+            raise worker.error
+    return workers
+
+
+# -- verification ------------------------------------------------------------
+
+
+def _observe(db: Database, tracked: _Tracked) -> dict | None:
+    """The recovered state of one tracked object (None if absent)."""
+    oid = Oid(tracked.oid_value)
+    if not db.object_exists(oid):
+        return None
+    versions = db.versions(oid)
+    obj = db.materialize(versions[-1].vid)
+    if tracked.kind == "item":
+        return {"val": obj.val, "versions": len(versions)}
+    return {"pad": len(obj.text), "versions": len(versions)}
+
+
+def _verify(db: Database, workers: list[_Worker], problems: list[str]) -> None:
+    known_oids: set[int] = set()
+    in_flight_creates = any(w.creating for w in workers)
+    for worker in workers:
+        for tracked in worker.tracked():
+            known_oids.add(tracked.oid_value)
+            state = _observe(db, tracked)
+            allowed: list[dict | None] = [tracked.committed]
+            if tracked.pending is not None:
+                allowed.append(tracked.pending)
+            if state not in allowed:
+                problems.append(
+                    f"worker {worker.wid} {tracked.kind} "
+                    f"(oid {tracked.oid_value}): recovered {state!r}, "
+                    f"expected committed {tracked.committed!r}"
+                    + (
+                        f" or pending {tracked.pending!r}"
+                        if tracked.pending is not None
+                        else ""
+                    )
+                )
+    # Loser absence: the only admissible untracked object is a single
+    # in-flight pnew (setup is sequential), and then only whole or absent
+    # -- partial presence is caught by the strict check above.
+    unknown = [
+        ref.oid.value
+        for ref in db.store.all_objects()
+        if ref.oid.value not in known_oids
+    ]
+    budget = 1 if in_flight_creates else 0
+    if len(unknown) > budget:
+        problems.append(
+            f"{len(unknown)} untracked object(s) {sorted(unknown)} survived "
+            f"recovery (at most {budget} in-flight create admissible)"
+        )
+
+
+def _usability_probe(db: Database, problems: list[str]) -> None:
+    """The recovered database must accept new work."""
+    try:
+        ref = db.pnew(Item(tag=99, val=1))
+        db.newversion(ref)
+        ref.val = 2
+        if ref.val != 2 or db.version_count(ref) != 2:
+            problems.append("post-recovery probe object read back wrong")
+        db.pdelete(ref)
+    except Exception as exc:  # noqa: BLE001 - any failure is a finding
+        problems.append(f"post-recovery write probe failed: {exc!r}")
+
+
+# -- the matrix --------------------------------------------------------------
+
+
+@dataclass
+class ScenarioResult:
+    scenario: Scenario
+    fired: bool
+    crashed: bool
+    recovery_crashed: bool = False
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+@dataclass
+class MatrixReport:
+    results: list[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def fired_failpoints(self) -> set[str]:
+        """Failpoints whose armed fault actually triggered in some scenario."""
+        return {r.scenario.failpoint for r in self.results if r.fired}
+
+    def render(self) -> str:
+        fired = self.fired_failpoints
+        lines = [
+            f"crash matrix: {len(self.results)} scenarios, "
+            f"{len(fired)} distinct failpoints fired, "
+            + ("all OK" if self.ok else "FAILURES")
+        ]
+        for result in self.results:
+            status = "ok" if result.ok else "FAIL"
+            note = "fired" if result.fired else "not reached"
+            lines.append(f"  [{status}] {result.scenario.name} ({note})")
+            lines.extend(f"      - {p}" for p in result.problems)
+        return "\n".join(lines)
+
+
+def run_scenario(base_dir: Path, scenario: Scenario) -> ScenarioResult:
+    """Run one workload under ``scenario``'s fault, then recover and verify."""
+    path = base_dir / scenario.name.replace(":", "_").replace("-", "_")
+    injector = faults.activate(scenario.plan())
+    try:
+        workers = _run_workload(path)
+        fired = bool(injector.fired)
+        crashed = injector.crashed
+    finally:
+        faults.deactivate()
+
+    result = ScenarioResult(scenario, fired=fired, crashed=crashed)
+
+    # Optional second crash while recovery itself runs.
+    if scenario.recovery_failpoint is not None:
+        plan2 = FaultPlan().crash(scenario.recovery_failpoint, hit=1)
+        injector2 = faults.activate(plan2)
+        try:
+            db = Database(path)
+            db.close()  # recovery never reached the second failpoint
+        except SimulatedCrash:
+            result.recovery_crashed = True
+        finally:
+            faults.deactivate()
+
+    # Clean reopen: recovery must complete and the result must check out.
+    try:
+        db = Database(path)
+    except Exception as exc:  # noqa: BLE001 - unrecoverable = the finding
+        result.problems.append(f"reopen after crash failed: {exc!r}")
+        return result
+    try:
+        check = check_database(db, strict=True)
+        result.problems.extend(f"strict check: {p}" for p in check.problems)
+        _verify(db, workers, result.problems)
+        _usability_probe(db, result.problems)
+    finally:
+        db.close()
+    return result
+
+
+def run_matrix(
+    base_dir: Path | None = None,
+    scenarios: list[Scenario] | None = None,
+    verbose: bool = False,
+) -> MatrixReport:
+    """Run every scenario; each gets a fresh database directory."""
+    if scenarios is None:
+        scenarios = enumerate_scenarios()
+    report = MatrixReport()
+    tmp = None
+    if base_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="crashmatrix-")
+        base_dir = Path(tmp.name)
+    try:
+        for scenario in scenarios:
+            result = run_scenario(base_dir, scenario)
+            report.results.append(result)
+            if verbose:
+                status = "ok" if result.ok else "FAIL"
+                note = "fired" if result.fired else "not reached"
+                print(f"[{status}] {scenario.name} ({note})", flush=True)
+                for problem in result.problems:
+                    print(f"    - {problem}", flush=True)
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="crashmatrix", description="fault-injection crash matrix"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="one scenario per (failpoint, action) pair -- fast CI subset",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    parser.add_argument(
+        "--dir", type=Path, default=None,
+        help="run under this directory instead of a temp dir (kept afterwards)",
+    )
+    args = parser.parse_args(argv)
+    scenarios = enumerate_scenarios(smoke=args.smoke)
+    report = run_matrix(args.dir, scenarios, verbose=args.verbose)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

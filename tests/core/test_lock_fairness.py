@@ -1,0 +1,156 @@
+"""Writer-starvation regression tests for the lock manager.
+
+The bug: with readers arriving continuously, a waiting EXCLUSIVE request
+never saw the resource free (each new SHARED grant overlapped the last)
+and could only ever "acquire" via the timeout path.  The fix makes a
+waiting EXCLUSIVE request block *freshly arriving* SHARED requests, so
+the reader population drains and the writer acquires promptly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.transactions import EXCLUSIVE, SHARED, LockManager
+from repro.errors import LockTimeoutError
+
+
+def _async_acquire(manager: LockManager, txid: int, resource, mode):
+    """Request a lock on a thread; returns (thread, acquired_event)."""
+    acquired = threading.Event()
+
+    def work() -> None:
+        manager.acquire(txid, resource, mode)
+        acquired.set()
+
+    thread = threading.Thread(target=work, daemon=True)
+    thread.start()
+    return thread, acquired
+
+
+def test_exclusive_acquires_under_continuous_shared_traffic():
+    """The acceptance criterion: a writer gets the lock well under the
+    timeout while three reader threads request SHARED in a tight loop."""
+    manager = LockManager(timeout=30.0)
+    resource = "obj"
+    stop = threading.Event()
+    writer_done = threading.Event()
+    next_txid = iter(range(1000, 100000))
+    txid_lock = threading.Lock()
+
+    def reader() -> None:
+        while not stop.is_set():
+            with txid_lock:
+                txid = next(next_txid)
+            manager.acquire(txid, resource, SHARED)
+            time.sleep(0.001)  # hold briefly: grants always overlap
+            manager.release_all(txid)
+
+    readers = [threading.Thread(target=reader) for _ in range(3)]
+    for thread in readers:
+        thread.start()
+    time.sleep(0.05)  # let reader traffic saturate the resource
+
+    elapsed = None
+
+    def writer() -> None:
+        nonlocal elapsed
+        start = time.monotonic()
+        manager.acquire(1, resource, EXCLUSIVE)
+        elapsed = time.monotonic() - start
+        manager.release_all(1)
+        writer_done.set()
+
+    writer_thread = threading.Thread(target=writer)
+    writer_thread.start()
+    acquired = writer_done.wait(timeout=5.0)
+    stop.set()
+    writer_thread.join(timeout=5.0)
+    for thread in readers:
+        thread.join(timeout=5.0)
+    assert acquired, "writer starved behind continuous SHARED traffic"
+    assert elapsed is not None and elapsed < 2.0, (
+        f"writer took {elapsed:.2f}s -- starved until readers paused"
+    )
+
+
+def test_waiting_writer_blocks_new_shared_but_not_existing_holders():
+    manager = LockManager(timeout=10.0)
+    manager.acquire(1, "r", SHARED)
+    writer_thread, writer_acquired = _async_acquire(manager, 2, "r", EXCLUSIVE)
+    time.sleep(0.05)  # writer is now queued behind txid 1
+    assert not writer_acquired.is_set()
+
+    # A fresh reader must NOT slip in front of the queued writer...
+    reader_thread, reader_acquired = _async_acquire(manager, 3, "r", SHARED)
+    assert not reader_acquired.wait(timeout=0.2), (
+        "fresh SHARED request was granted past a waiting EXCLUSIVE"
+    )
+    # ...but an existing holder re-acquiring still succeeds immediately.
+    manager.acquire(1, "r", SHARED)
+
+    manager.release_all(1)
+    assert writer_acquired.wait(timeout=2.0), "writer not granted after drain"
+    manager.release_all(2)
+    # With the writer gone, the queued reader is admitted.
+    assert reader_acquired.wait(timeout=2.0), "reader starved after writer left"
+    manager.release_all(3)
+    writer_thread.join(timeout=2.0)
+    reader_thread.join(timeout=2.0)
+
+
+def test_timed_out_writer_deregisters_and_unblocks_readers():
+    manager = LockManager(timeout=0.1)
+    manager.acquire(1, "r", SHARED)
+    failed = threading.Event()
+
+    def writer() -> None:
+        try:
+            manager.acquire(2, "r", EXCLUSIVE)
+        except LockTimeoutError:
+            failed.set()
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    thread.join(timeout=2.0)
+    assert failed.is_set(), "writer should have timed out"
+    # The dead waiter must not leave a phantom registration that keeps
+    # blocking fresh readers forever.
+    manager.acquire(3, "r", SHARED)
+    manager.release_all(3)
+    manager.release_all(1)
+
+
+def test_upgrade_benefits_from_writer_priority():
+    """A SHARED holder upgrading to EXCLUSIVE also blocks fresh readers."""
+    manager = LockManager(timeout=10.0)
+    manager.acquire(1, "r", SHARED)
+    manager.acquire(2, "r", SHARED)
+    upgrade_thread, upgraded = _async_acquire(manager, 1, "r", EXCLUSIVE)
+    time.sleep(0.05)
+    assert not upgraded.is_set()
+
+    reader_thread, reader_acquired = _async_acquire(manager, 3, "r", SHARED)
+    assert not reader_acquired.wait(timeout=0.2), (
+        "fresh SHARED request was granted past a waiting upgrade"
+    )
+    manager.release_all(2)
+    assert upgraded.wait(timeout=2.0), "upgrade not granted after drain"
+    manager.release_all(1)
+    assert reader_acquired.wait(timeout=2.0)
+    manager.release_all(3)
+    upgrade_thread.join(timeout=2.0)
+    reader_thread.join(timeout=2.0)
+
+
+def test_shared_reacquire_is_idempotent_and_never_blocks():
+    manager = LockManager(timeout=10.0)
+    manager.acquire(1, "r", SHARED)
+    manager.acquire(1, "r", SHARED)
+    manager.release_all(1)
+    # Fully released: an EXCLUSIVE from another txn acquires immediately.
+    manager.acquire(2, "r", EXCLUSIVE)
+    manager.release_all(2)

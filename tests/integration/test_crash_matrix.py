@@ -1,0 +1,120 @@
+"""Crash-matrix integration tests: fault injection x recovery.
+
+Runs the full enumerated matrix (every failpoint, crash/torn/short/fsync
+actions, plus double-crash-during-recovery scenarios) and asserts the
+recovery contract at every point: strict integrity check clean, every
+acknowledged commit durable, no loser effects visible.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import Database
+from repro.storage import faults
+from repro.storage.faults import FaultPlan, SimulatedCrash
+from repro.tools.check import check_database
+from repro.tools.crashmatrix import (
+    Item,
+    Scenario,
+    enumerate_scenarios,
+    run_matrix,
+    run_scenario,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    yield
+    assert faults.active() is None, "a test leaked an active fault injector"
+    faults.deactivate()
+
+
+def test_full_crash_matrix(tmp_path):
+    """The acceptance gate: >= 30 distinct failpoints fire, all recover."""
+    report = run_matrix(tmp_path)
+    failures = [r for r in report.results if not r.ok]
+    detail = "\n".join(
+        f"{r.scenario.name}: {r.problems}" for r in failures
+    )
+    assert not failures, f"crash-matrix failures:\n{detail}"
+    assert len(report.fired_failpoints) >= 30, (
+        f"only {len(report.fired_failpoints)} distinct failpoints fired: "
+        f"{sorted(report.fired_failpoints)}"
+    )
+
+
+def test_matrix_enumerates_every_action():
+    scenarios = enumerate_scenarios()
+    actions = {s.action for s in scenarios}
+    assert actions == {"crash", "torn_write", "short_write", "fsync_error"}
+    assert any(s.recovery_failpoint for s in scenarios), (
+        "matrix must include double-crash-during-recovery scenarios"
+    )
+    # Smoke subset: still one scenario per (failpoint, action) pair.
+    smoke = enumerate_scenarios(smoke=True)
+    assert {(s.failpoint, s.action) for s in smoke} == {
+        (s.failpoint, s.action) for s in scenarios
+    }
+    assert len(smoke) < len(scenarios)
+
+
+def test_savepoint_rollback_then_crash_before_commit(tmp_path):
+    """rollback_to's compensation ops must win even when the transaction
+    never commits: after a crash, neither the rolled-back write (888) nor
+    the post-rollback write may survive -- the object reverts whole."""
+    path = tmp_path / "db"
+    # No context manager: after the simulated crash the database object is
+    # a dead process image and must be abandoned, not closed.
+    db = Database(path)
+    ref = db.pnew(Item(tag=1, val=5))
+    oid_value = ref.oid.value
+    db.checkpoint()
+
+    faults.activate(FaultPlan().crash("wal.flush.pre_fsync", hit=1))
+    try:
+        with pytest.raises(SimulatedCrash):
+            with db.transaction():
+                ref.val = 777
+                sp = db.savepoint()
+                ref.val = 888
+                db.rollback_to(sp)
+                # Push the compensation records to the WAL so the
+                # crash (at commit's fsync) sees them on disk.
+                db._log.flush()
+                ref.val = 42
+                # commit -> flush -> pre_fsync failpoint -> crash
+    finally:
+        faults.deactivate()
+
+    with Database(path) as db:
+        report = check_database(db, strict=True)
+        assert report.ok, report.render()
+        from repro.core.identity import Oid
+
+        vref = db.deref(Oid(oid_value))
+        assert vref.val == 5, "loser transaction effects survived the crash"
+
+
+def test_double_crash_during_recovery(tmp_path):
+    """Recovery interrupted by a second crash must still recover cleanly."""
+    scenario = Scenario(
+        "heap.update.post",
+        "crash",
+        hit=10,
+        recovery_failpoint="heap.replay_insert",
+    )
+    result = run_scenario(Path(tmp_path), scenario)
+    assert result.fired, "the workload fault never fired"
+    assert result.recovery_crashed, "recovery never reached the second fault"
+    assert result.ok, result.problems
+
+
+def test_torn_wal_tail_is_discarded_with_losers(tmp_path):
+    """A torn final WAL frame may only lose unacknowledged work."""
+    scenario = Scenario("wal.flush.write", "torn_write", hit=4, keep=-2)
+    result = run_scenario(Path(tmp_path), scenario)
+    assert result.fired
+    assert result.ok, result.problems

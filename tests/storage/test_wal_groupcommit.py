@@ -1,0 +1,125 @@
+"""Group-commit linger and failed-write regression tests for the WAL.
+
+Two bugs fixed together:
+
+* the group-commit linger window was charged to *solo* committers too --
+  a lone transaction paid the full window on every flush even though no
+  other flusher could ever arrive to share the fsync;
+* a failed frame write left a partial frame in the file while the flush
+  buffer was restored for retry, so the retried (complete) frames landed
+  *after* garbage and replay stopped at the tear -- silently losing
+  acknowledged records.  The flush path now truncates the file back to
+  the pre-write offset before restoring the buffer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.storage import faults
+from repro.storage.faults import FaultPlan, InjectedFaultError
+from repro.storage.wal import BEGIN, COMMIT, OP_INSERT, LogManager, LogRecord
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+def test_solo_commit_pays_no_linger_tax(tmp_path):
+    """A lone flusher must not wait out the group-commit window."""
+    window = 0.05
+    log = LogManager(tmp_path / "wal.log", group_window=window)
+    try:
+        n = 10
+        start = time.monotonic()
+        for i in range(1, n + 1):
+            log.append(LogRecord(BEGIN, i))
+            log.append(LogRecord(COMMIT, i))
+            log.flush()
+        elapsed = time.monotonic() - start
+        assert elapsed < n * window * 0.5, (
+            f"{n} solo commits took {elapsed:.3f}s -- the linger window "
+            f"({window}s) is being charged to lone flushers"
+        )
+    finally:
+        log.close()
+
+
+def test_concurrent_flushers_share_fsyncs(tmp_path):
+    """With many concurrent committers the window must batch fsyncs."""
+    log = LogManager(tmp_path / "wal.log", group_window=0.05)
+    try:
+        n = 8
+        barrier = threading.Barrier(n)
+
+        def committer(txid: int) -> None:
+            barrier.wait()
+            log.append(LogRecord(BEGIN, txid))
+            log.append(LogRecord(COMMIT, txid))
+            log.flush()
+
+        threads = [
+            threading.Thread(target=committer, args=(i,)) for i in range(1, n + 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert log.flush_count < n, (
+            f"{n} concurrent commits used {log.flush_count} fsyncs -- "
+            f"group commit is not batching"
+        )
+        assert sum(1 for _ in log.records()) == 2 * n
+    finally:
+        log.close()
+
+
+def test_failed_write_leaves_log_replayable(tmp_path):
+    """After a short write, the retried flush must produce a clean log."""
+    path = tmp_path / "wal.log"
+    log = LogManager(path)
+    try:
+        log.append(LogRecord(BEGIN, 1))
+        log.append(LogRecord(OP_INSERT, 1, 2, 5, 0, b"\x00payload", b""))
+        log.append(LogRecord(COMMIT, 1))
+        faults.activate(FaultPlan().short_write("wal.flush.write", keep=9))
+        with pytest.raises(InjectedFaultError):
+            log.flush()
+        faults.deactivate()
+        # The buffer was preserved; the retry must write *only* complete
+        # frames (no garbage prefix from the failed attempt).
+        log.flush()
+        kinds = [record.kind for record in log.records()]
+        assert kinds == [BEGIN, OP_INSERT, COMMIT]
+    finally:
+        log.close()
+    # A fresh manager (recovery's view) reads the same records.
+    log2 = LogManager(path)
+    try:
+        kinds = [record.kind for record in log2.records()]
+        assert kinds == [BEGIN, OP_INSERT, COMMIT]
+    finally:
+        log2.close()
+
+
+def test_failed_write_then_more_appends(tmp_path):
+    """Records appended after a failed flush survive alongside the retry."""
+    log = LogManager(tmp_path / "wal.log")
+    try:
+        log.append(LogRecord(BEGIN, 1))
+        faults.activate(FaultPlan().short_write("wal.flush.write", keep=3))
+        with pytest.raises(InjectedFaultError):
+            log.flush()
+        faults.deactivate()
+        log.append(LogRecord(COMMIT, 1))
+        log.flush()
+        kinds = [record.kind for record in log.records()]
+        assert kinds == [BEGIN, COMMIT]
+    finally:
+        log.close()
