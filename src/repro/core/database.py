@@ -28,11 +28,19 @@ from __future__ import annotations
 
 import itertools
 import os
+import random
 import threading
+import time
 from contextlib import contextmanager
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
-from repro.errors import TransactionStateError
+from repro.errors import (
+    DatabaseDegradedError,
+    DeadlockError,
+    LockTimeoutError,
+    TransactionAborted,
+    TransactionStateError,
+)
 from repro.core.cache import DEFAULT_BYTES_BUDGET
 from repro.core.identity import Oid, Vid
 from repro.core.indexes import HashIndex, IndexManager, OrderedIndex
@@ -54,6 +62,40 @@ _WAL_FILE = "wal.log"
 
 #: Default WAL size (bytes) that triggers an automatic checkpoint at commit.
 DEFAULT_CHECKPOINT_THRESHOLD = 8 * 1024 * 1024
+
+#: Errors ``run_transaction`` retries by default: transient concurrency
+#: conflicts that a fresh attempt can win.  Everything else (invariant
+#: violations, user exceptions, degraded mode) propagates immediately.
+RETRYABLE_ERRORS: tuple[type[BaseException], ...] = (
+    DeadlockError,
+    LockTimeoutError,
+    TransactionAborted,
+)
+
+
+class _ResilienceCounters:
+    """``run_transaction`` bookkeeping, surfaced under ``txn.*`` in stats."""
+
+    __slots__ = ("attempts", "commits", "conflicts", "retries", "giveups",
+                 "backoff_seconds")
+
+    def __init__(self) -> None:
+        self.attempts = 0
+        self.commits = 0
+        self.conflicts = 0
+        self.retries = 0
+        self.giveups = 0
+        self.backoff_seconds = 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "txn.attempts": self.attempts,
+            "txn.commits": self.commits,
+            "txn.conflicts": self.conflicts,
+            "txn.retries": self.retries,
+            "txn.giveups": self.giveups,
+            "txn.backoff_seconds": self.backoff_seconds,
+        }
 
 
 class Database:
@@ -80,6 +122,15 @@ class Database:
         Seconds a committing transaction lingers before fsyncing the WAL
         so concurrent commits can share one fsync (0 disables lingering;
         piggybacking on an in-flight fsync still happens).
+    deadlock_detection:
+        Run the wait-for-graph deadlock detector (True, the default).
+        False falls back to timeout-only resolution -- kept for the E11
+        benchmark comparison, not for production use.
+    degrade_after:
+        Consecutive WAL-flush / data-file-sync failures after which the
+        database enters read-only **degraded mode**: reads and version
+        traversal keep working, writes raise
+        :class:`~repro.errors.DatabaseDegradedError`.
     """
 
     def __init__(
@@ -91,6 +142,8 @@ class Database:
         checkpoint_threshold: int = DEFAULT_CHECKPOINT_THRESHOLD,
         cache_budget: int = DEFAULT_BYTES_BUDGET,
         group_commit_window: float = 0.0,
+        deadlock_detection: bool = True,
+        degrade_after: int = 3,
     ) -> None:
         self._path = os.fspath(path)
         os.makedirs(self._path, exist_ok=True)
@@ -104,7 +157,8 @@ class Database:
         self._recover_if_needed()
         self._catalog = Catalog(self._disk, self._pool)
         self._store = VersionStore(self._catalog, policy, cache_budget=cache_budget)
-        self._locks = LockManager(lock_timeout)
+        self._locks = LockManager(lock_timeout, detect_deadlocks=deadlock_detection)
+        self._locks.work_of = self._txn_work
         self._triggers = TriggerManager(type_resolver=self._store.type_name)
         self._store.add_observer(self._triggers.dispatch)
         self._indexes = IndexManager(self._store)
@@ -116,10 +170,19 @@ class Database:
         # the database from within a mutation do not self-deadlock.
         self._storage_mutex = threading.RLock()
         self._tlocal = threading.local()
-        self._active: set[int] = set()
+        self._active: dict[int, Transaction] = {}
         self._txn_mutex = threading.Lock()
         self._checkpoint_threshold = checkpoint_threshold
         self._closed = False
+        # Graceful degradation: persistent storage-write failure flips the
+        # database to read-only.  Hooks are installed after recovery -- an
+        # unopenable database should raise from the constructor, not limp.
+        self._degraded_reason: str | None = None
+        self._resilience = _ResilienceCounters()
+        self._log.failure_threshold = degrade_after
+        self._log.on_persistent_failure = self._enter_degraded
+        self._disk.failure_threshold = degrade_after
+        self._disk.on_persistent_failure = self._enter_degraded
 
     # -- recovery ----------------------------------------------------------
 
@@ -163,8 +226,14 @@ class Database:
         """The trigger facility (O++ triggers, paper §2)."""
         return self._triggers
 
+    @property
+    def locks(self) -> LockManager:
+        """The lock manager (exposed for tests and the stress harness)."""
+        return self._locks
+
     def checkpoint(self) -> None:
         """Flush all dirty state and truncate the WAL (quiescent only)."""
+        self._check_writable()
         with self._txn_mutex:
             if self._active:
                 raise TransactionStateError(
@@ -176,13 +245,43 @@ class Database:
             self._log.truncate()
 
     def close(self) -> None:
-        """Checkpoint and close all files.  Idempotent."""
+        """Checkpoint and close all files.  Idempotent.
+
+        A degraded database skips the final checkpoint/flush/fsync -- the
+        storage already rejects writes, and close must not raise.  The WAL
+        is left in place so the next open replays whatever did make it to
+        disk.
+        """
         if self._closed:
             return
-        self.checkpoint()
-        self._log.close()
-        self._disk.close()
+        if self._degraded_reason is None:
+            self.checkpoint()
+        self._log.close(flush=self._degraded_reason is None)
+        self._disk.close(sync=self._degraded_reason is None)
         self._closed = True
+
+    # -- degraded mode --------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True once persistent storage failure forced read-only mode."""
+        return self._degraded_reason is not None
+
+    @property
+    def degraded_reason(self) -> str | None:
+        """Why the database degraded, or None while healthy."""
+        return self._degraded_reason
+
+    def _enter_degraded(self, reason: str) -> None:
+        """Flip to read-only; called by WAL/disk on persistent failure."""
+        if self._degraded_reason is None:
+            self._degraded_reason = reason
+
+    def _check_writable(self) -> None:
+        if self._degraded_reason is not None:
+            raise DatabaseDegradedError(
+                f"database is read-only (degraded: {self._degraded_reason})"
+            )
 
     def __enter__(self) -> "Database":
         return self
@@ -192,8 +291,14 @@ class Database:
 
     # -- transactions ---------------------------------------------------------
 
-    def begin(self) -> Transaction:
-        """Start an explicit transaction bound to the calling thread."""
+    def begin(self, *, lock_timeout: float | None = None) -> Transaction:
+        """Start an explicit transaction bound to the calling thread.
+
+        ``lock_timeout`` overrides the database-wide lock deadline for this
+        transaction only (the wait-for-graph detector resolves deadlocks
+        long before the deadline; the deadline is the backstop).
+        """
+        self._check_writable()
         if self.current_transaction() is not None:
             raise TransactionStateError("a transaction is already active on this thread")
         txn = Transaction(
@@ -203,10 +308,11 @@ class Database:
             heap_resolver=self._catalog.heap_by_id,
             on_finish=self._txn_finished,
             storage_mutex=self._storage_mutex,
+            lock_timeout=lock_timeout,
         )
         self._tlocal.txn = txn
         with self._txn_mutex:
-            self._active.add(txn.txid)
+            self._active[txn.txid] = txn
         return txn
 
     def current_transaction(self) -> Transaction | None:
@@ -219,9 +325,14 @@ class Database:
 
     def _txn_finished(self, txn: Transaction) -> None:
         with self._txn_mutex:
-            self._active.discard(txn.txid)
+            self._active.pop(txn.txid, None)
         if getattr(self._tlocal, "txn", None) is txn:
             self._tlocal.txn = None
+        if faults.is_crashed():
+            # A simulated process death: the "dead" process must touch
+            # nothing further (no reload I/O, no checkpoint).  Locks were
+            # already released by commit/abort cleanup.
+            return
         if txn.state == "aborted":
             # WAL undo restored the heaps; rebuild the in-memory table and
             # invalidate only the caches of objects the transaction touched
@@ -281,9 +392,9 @@ class Database:
         return undone
 
     @contextmanager
-    def transaction(self) -> Iterator[Transaction]:
+    def transaction(self, lock_timeout: float | None = None) -> Iterator[Transaction]:
         """``with db.transaction():`` -- commit on exit, abort on exception."""
-        txn = self.begin()
+        txn = self.begin(lock_timeout=lock_timeout)
         try:
             yield txn
         except BaseException:
@@ -294,8 +405,83 @@ class Database:
             if txn.state == "active":
                 txn.commit()
 
+    def run_transaction(
+        self,
+        fn: Callable[[], Any],
+        *,
+        max_attempts: int = 5,
+        backoff: float = 0.01,
+        max_backoff: float = 0.5,
+        deadline: float | None = None,
+        lock_timeout: float | None = None,
+        retry_on: tuple[type[BaseException], ...] = RETRYABLE_ERRORS,
+    ) -> Any:
+        """Run ``fn`` inside a transaction, retrying transient conflicts.
+
+        ``fn`` takes no arguments, performs its reads and writes through
+        this database, and returns the call's result.  On a retryable
+        conflict (:data:`RETRYABLE_ERRORS` by default -- deadlock victim,
+        lock deadline, aborted transaction) the attempt's transaction is
+        rolled back and ``fn`` re-executes **from scratch**, so it must
+        not carry reads across attempts (re-read everything it needs).
+
+        Backoff between attempts is exponential with full jitter
+        (``uniform(0, min(max_backoff, backoff * 2**(attempt-1)))``),
+        which decorrelates retrying transactions so they stop re-colliding.
+        ``deadline`` bounds the whole call in seconds; ``max_attempts``
+        bounds the number of executions.  Non-retryable errors -- invariant
+        violations, user exceptions, degraded mode -- propagate from the
+        first attempt.
+
+        Called with a transaction already active on this thread, ``fn``
+        joins it and runs exactly once with no retry: the ambient
+        transaction owns commit/abort, and re-running ``fn`` alone could
+        not undo the enclosing transaction's earlier work.
+        """
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.current_transaction() is not None:
+            return fn()
+        start = time.monotonic()
+        attempt = 0
+        while True:
+            attempt += 1
+            self._resilience.attempts += 1
+            try:
+                with self.transaction(lock_timeout=lock_timeout):
+                    result = fn()
+            except retry_on:
+                self._resilience.conflicts += 1
+                out_of_attempts = attempt >= max_attempts
+                out_of_time = (
+                    deadline is not None
+                    and time.monotonic() - start >= deadline
+                )
+                if out_of_attempts or out_of_time:
+                    self._resilience.giveups += 1
+                    raise
+                pause = random.uniform(
+                    0.0, min(max_backoff, backoff * (2 ** (attempt - 1)))
+                )
+                if deadline is not None:
+                    pause = min(pause, max(0.0, deadline - (time.monotonic() - start)))
+                self._resilience.retries += 1
+                self._resilience.backoff_seconds += pause
+                if pause > 0:
+                    time.sleep(pause)
+                continue
+            self._resilience.commits += 1
+            return result
+
+    def _txn_work(self, txid: int) -> int:
+        """Operations logged by an active transaction (deadlock victim cost)."""
+        with self._txn_mutex:
+            txn = self._active.get(txid)
+        return txn.op_count if txn is not None else 0
+
     def _mutate(self, lock_oid: Oid | None, op) -> Any:
         """Run ``op(log_op)`` inside the current or an autocommit txn."""
+        self._check_writable()
         txn = self.current_transaction()
         if txn is not None:
             if lock_oid is not None:
@@ -557,21 +743,43 @@ class Database:
         """Number of live persistent objects."""
         return self._store.object_count()
 
-    def stats(self) -> dict[str, int]:
-        """Operational counters (pool, WAL, store caches, sizes)."""
-        stats = {
+    def stats(self) -> dict[str, Any]:
+        """Operational counters, namespaced by subsystem.
+
+        Keys are grouped as ``pool.*``, ``wal.*``, ``cache.*``,
+        ``locks.*``, ``txn.*``, ``faults.*``, plus ``degraded`` /
+        ``degraded.reason``.  The pre-namespacing spellings
+        (``pool_hits``, ``wal_bytes``, bare cache names, ``faults_*``)
+        remain as aliases so existing tooling keeps working.
+        """
+        stats: dict[str, Any] = {
             "objects": self._store.object_count(),
-            "pool_hits": self._pool.hits,
-            "pool_misses": self._pool.misses,
-            "pool_evictions": self._pool.evictions,
-            "pool_promotions": self._pool.promotions,
-            "wal_bytes": self._log.size(),
-            "wal_flushes": self._log.flush_count,
-            "wal_group_piggybacks": self._log.group_piggybacks,
-            "data_pages": self._disk.num_pages,
+            "pool.hits": self._pool.hits,
+            "pool.misses": self._pool.misses,
+            "pool.evictions": self._pool.evictions,
+            "pool.promotions": self._pool.promotions,
+            "wal.bytes": self._log.size(),
+            "wal.flushes": self._log.flush_count,
+            "wal.group_piggybacks": self._log.group_piggybacks,
+            "wal.write_failures": self._log.write_failures,
+            "disk.pages": self._disk.num_pages,
+            "disk.write_failures": self._disk.write_failures,
+            "degraded": self._degraded_reason is not None,
+            "degraded.reason": self._degraded_reason,
         }
-        stats.update(self._store.stats())
+        for key, value in self._store.stats().items():
+            stats[f"cache.{key}"] = value
+        stats.update(self._locks.stats())
+        stats.update(self._resilience.as_dict())
         # Injected-fault counters (zero outside fault-injection runs); the
         # injector is process-global, so these are not per-database.
-        stats.update(faults.stats())
+        for key, value in faults.stats().items():
+            stats[key.replace("faults_", "faults.", 1)] = value
+        # Back-compat aliases for the pre-namespacing key spellings.
+        for key in list(stats):
+            if key.startswith("cache."):
+                stats[key[len("cache."):]] = stats[key]
+            elif key.startswith(("pool.", "wal.", "faults.")):
+                stats[key.replace(".", "_", 1)] = stats[key]
+        stats["data_pages"] = stats["disk.pages"]
         return stats

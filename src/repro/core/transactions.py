@@ -7,8 +7,13 @@ object table, and the id counter, and either all of it survives a crash or
 none of it does.  This module provides:
 
 * :class:`LockManager` -- strict two-phase locking at object granularity
-  with shared/exclusive modes, lock upgrade, and timeout-based deadlock
-  resolution (a waiter that times out aborts, wound-free and simple).
+  with shared/exclusive modes, lock upgrade, and a **wait-for graph**
+  deadlock detector: every blocked request records which transactions it
+  waits for, a cycle is detected the moment it forms, and one member of
+  the cycle (least work done, then youngest) is chosen as the victim and
+  raises :class:`~repro.errors.DeadlockError` immediately instead of
+  stalling.  The acquire timeout remains as a per-transaction *deadline*
+  backstop for non-deadlock stalls (a holder that simply never releases).
 * :class:`Transaction` -- collects WAL records for its heap operations,
   commits by flushing the log through its ``COMMIT`` record, and aborts by
   applying undo images in reverse while logging the compensation ops so
@@ -23,9 +28,11 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from typing import TYPE_CHECKING, Callable
 
-from repro.errors import LockTimeoutError, TransactionStateError
+from repro.errors import DeadlockError, LockTimeoutError, TransactionStateError
+from repro.storage import faults
 from repro.storage.wal import (
     ABORT_END,
     BEGIN,
@@ -50,82 +57,229 @@ COMMITTED = "committed"
 ABORTED = "aborted"
 
 
+#: Number of recent lock-wait durations kept for latency percentiles.
+_WAIT_SAMPLE_CAP = 8192
+
+
 class LockManager:
     """Strict 2PL lock table keyed by arbitrary hashable resources.
 
     Compatible requests: any number of SHARED holders, or exactly one
     EXCLUSIVE holder.  A holder of SHARED may upgrade to EXCLUSIVE when it
-    is the only holder.  Waits time out after ``timeout`` seconds and raise
-    :class:`LockTimeoutError` -- the caller is expected to abort, which
-    resolves deadlocks.
+    is the only holder.
+
+    Deadlock handling is a live **wait-for graph**: every blocked request
+    registers itself as a waiter, and the set of transactions blocking a
+    waiter (its outgoing wait-for edges) is always *derived fresh* from
+    the current holder and waiter tables -- edges can never go stale.  A
+    new waiter immediately runs cycle detection from itself; if its
+    request closed a cycle, one member is chosen as the **victim** --
+    least work done first (via the pluggable :attr:`work_of` callback),
+    youngest (largest txid) on ties -- flagged, and woken.  The victim's
+    ``acquire`` raises :class:`~repro.errors.DeadlockError` carrying the
+    cycle; aborting it releases its locks and breaks the cycle for the
+    survivors.  The acquire ``timeout`` (overridable per call, so each
+    transaction can carry its own deadline) remains as a backstop for
+    stalls that are not deadlocks at all -- a holder that simply never
+    releases -- and raises :class:`LockTimeoutError` as before.
+
+    Upgrades are modelled as ordinary EXCLUSIVE waits whose blockers are
+    the *other* holders, so the classic upgrade-upgrade deadlock (two
+    SHARED holders both requesting EXCLUSIVE) is a two-edge cycle and is
+    detected the instant the second upgrader blocks.
 
     Fairness: a *waiting* EXCLUSIVE request blocks freshly arriving SHARED
     requests on the same resource.  Without this, steady read traffic
     starves writers -- each new reader is compatible with the current
     SHARED holders, so the writer only ever acquires via the timeout path.
-    SHARED requests by a transaction already waiting nowhere behind the
-    writer are still granted when they already hold the lock (re-entry),
-    and upgrades get the same anti-starvation benefit since they register
-    as waiting-EXCLUSIVE too.
+    Re-entrant requests by existing holders are still granted immediately,
+    and upgrades get the same anti-starvation benefit since they wait as
+    EXCLUSIVE too.
     """
 
-    def __init__(self, timeout: float = 2.0) -> None:
+    def __init__(self, timeout: float = 2.0, detect_deadlocks: bool = True) -> None:
         self._timeout = timeout
+        self._detect_enabled = detect_deadlocks
         self._cond = threading.Condition()
-        # resource -> {txid: mode}
+        # resource -> {txid: held mode}
         self._holders: dict[object, dict[int, str]] = {}
-        # resource -> set of txids currently waiting for EXCLUSIVE
-        self._waiting_x: dict[object, set[int]] = {}
+        # resource -> {txid: requested mode} for every blocked request.
+        self._waiters: dict[object, dict[int, str]] = {}
+        # txid -> detected cycle; set by the detector, consumed (raised)
+        # by the victim's own acquire loop.
+        self._victims: dict[int, tuple[int, ...]] = {}
+        #: Optional callback txid -> work done (e.g. ops logged); the
+        #: victim choice prefers the transaction with the least work.
+        self.work_of: Callable[[int], int] | None = None
+        #: Recent wait durations (seconds), for p99 latency assertions.
+        self.wait_samples: deque[float] = deque(maxlen=_WAIT_SAMPLE_CAP)
+        self.deadlocks_detected = 0
+        self.victims_aborted = 0
+        self.timeouts = 0
+        self.acquires = 0
+        self.waits = 0
+        self.wait_time_total = 0.0
 
-    def acquire(self, txid: int, resource: object, mode: str) -> None:
-        """Acquire (or upgrade to) ``mode`` on ``resource`` for ``txid``."""
+    # -- wait-for graph ------------------------------------------------------
+
+    def _blockers(self, txid: int, resource: object, mode: str) -> set[int]:
+        """Transactions currently preventing this request (fresh, not cached)."""
+        holders = self._holders.get(resource, {})
+        if mode == SHARED:
+            blocked = {t for t, m in holders.items() if t != txid and m != SHARED}
+            # Writer priority: fresh SHARED requests queue behind waiting
+            # EXCLUSIVE requests, so those writers are blockers too.
+            blocked.update(
+                t
+                for t, m in self._waiters.get(resource, {}).items()
+                if t != txid and m == EXCLUSIVE
+            )
+            return blocked
+        return {t for t in holders if t != txid}
+
+    def _edges_of(self, txid: int) -> set[int]:
+        """All outgoing wait-for edges of ``txid`` (over every resource)."""
+        edges: set[int] = set()
+        for resource, waiters in self._waiters.items():
+            mode = waiters.get(txid)
+            if mode is not None:
+                edges.update(self._blockers(txid, resource, mode))
+        return edges
+
+    def _find_cycle(self, start: int) -> tuple[int, ...] | None:
+        """A wait-for cycle through ``start``, or None.  Caller holds _cond.
+
+        Transactions already flagged as victims are treated as absent:
+        they are guaranteed to abort and release everything they hold, so
+        any wait that goes through one resolves on its own.  Skipping
+        them also keeps :meth:`_detect_and_resolve`'s loop from re-finding
+        a cycle it has already broken.
+        """
+        path: list[int] = [start]
+        on_path = {start}
+        stack = [iter(self._edges_of(start))]
+        while stack:
+            advanced = False
+            for nxt in stack[-1]:
+                if nxt == start:
+                    return tuple(path)
+                if nxt in on_path or nxt in self._victims:
+                    continue
+                on_path.add(nxt)
+                path.append(nxt)
+                stack.append(iter(self._edges_of(nxt)))
+                advanced = True
+                break
+            if not advanced:
+                stack.pop()
+                on_path.discard(path.pop())
+        return None
+
+    def _choose_victim(self, cycle: tuple[int, ...]) -> int:
+        """Least work done, then youngest (largest txid)."""
+        work = self.work_of
+
+        def key(txid: int) -> tuple[int, int]:
+            return (work(txid) if work is not None else 0, -txid)
+
+        return min(cycle, key=key)
+
+    def _detect_and_resolve(self, txid: int) -> None:
+        """Resolve every cycle through a freshly blocked ``txid``.
+
+        One blocking request can close several cycles at once (two other
+        holders of the contended resource may already be upgrading, say),
+        and breaking one does not break the rest -- no further block event
+        will come to re-trigger detection, so stopping at the first cycle
+        would leave the survivors deadlocked until their deadline.  Loop
+        until no cycle through ``txid`` remains; each round flags one
+        victim, which :meth:`_find_cycle` then treats as gone.
+        """
+        if not self._detect_enabled:
+            return
+        while True:
+            cycle = self._find_cycle(txid)
+            if cycle is None:
+                return
+            self.deadlocks_detected += 1
+            victim = self._choose_victim(cycle)
+            self._victims[victim] = cycle
+            self._cond.notify_all()
+            if victim == txid:
+                return  # the caller itself is dying; its edges die with it
+
+    # -- acquisition -----------------------------------------------------------
+
+    def acquire(
+        self,
+        txid: int,
+        resource: object,
+        mode: str,
+        timeout: float | None = None,
+    ) -> None:
+        """Acquire (or upgrade to) ``mode`` on ``resource`` for ``txid``.
+
+        ``timeout`` overrides the manager default for this call (the
+        per-transaction deadline backstop).  Raises
+        :class:`~repro.errors.DeadlockError` if this request completes a
+        wait-for cycle and ``txid`` is chosen as the victim, or
+        :class:`~repro.errors.LockTimeoutError` on deadline expiry.
+        """
         if mode not in (SHARED, EXCLUSIVE):
             raise ValueError(f"unknown lock mode {mode!r}")
-        deadline = time.monotonic() + self._timeout
+        budget = self._timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
         with self._cond:
-            waiting_registered = False
+            self.acquires += 1
+            holders = self._holders.setdefault(resource, {})
+            held = holders.get(txid)
+            if held == EXCLUSIVE or held == mode:
+                return
+            if not self._blockers(txid, resource, mode):
+                holders[txid] = mode
+                return
+            # Blocked: join the wait-for graph and look for a cycle.
+            wait_start = time.monotonic()
+            self.waits += 1
+            self._waiters.setdefault(resource, {})[txid] = mode
             try:
+                self._detect_and_resolve(txid)
                 while True:
+                    cycle = self._victims.pop(txid, None)
+                    if cycle is not None:
+                        self.victims_aborted += 1
+                        raise DeadlockError(
+                            f"txn {txid} chosen as deadlock victim waiting for "
+                            f"{mode} on {resource!r} (cycle {' -> '.join(map(str, cycle + (cycle[0],)))})",
+                            cycle=cycle,
+                            victim=txid,
+                        )
                     holders = self._holders.setdefault(resource, {})
-                    held = holders.get(txid)
-                    if held == EXCLUSIVE or held == mode:
+                    if not self._blockers(txid, resource, mode):
+                        holders[txid] = mode
                         return
-                    if mode == SHARED:
-                        compatible = all(
-                            m == SHARED for t, m in holders.items() if t != txid
-                        )
-                        blocked_by_writer = any(
-                            t != txid for t in self._waiting_x.get(resource, ())
-                        )
-                        if compatible and not blocked_by_writer:
-                            holders[txid] = SHARED
-                            return
-                    else:  # EXCLUSIVE (fresh or upgrade)
-                        others = [t for t in holders if t != txid]
-                        if not others:
-                            holders[txid] = EXCLUSIVE
-                            return
-                        if not waiting_registered:
-                            self._waiting_x.setdefault(resource, set()).add(txid)
-                            waiting_registered = True
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
-                        if not holders:
-                            del self._holders[resource]
+                        self.timeouts += 1
                         raise LockTimeoutError(
                             f"txn {txid} timed out waiting for {mode} on {resource!r}"
                         )
                     self._cond.wait(remaining)
             finally:
-                if waiting_registered:
-                    waiters = self._waiting_x.get(resource)
-                    if waiters is not None:
-                        waiters.discard(txid)
-                        if not waiters:
-                            del self._waiting_x[resource]
-                    # Readers held back by this writer must re-check, both
-                    # when the writer acquired and when it timed out.
-                    self._cond.notify_all()
+                waited = time.monotonic() - wait_start
+                self.wait_time_total += waited
+                self.wait_samples.append(waited)
+                waiters = self._waiters.get(resource)
+                if waiters is not None:
+                    waiters.pop(txid, None)
+                    if not waiters:
+                        del self._waiters[resource]
+                self._victims.pop(txid, None)
+                if not self._holders.get(resource):
+                    self._holders.pop(resource, None)
+                # Readers held back by this waiter (writer priority) and
+                # detectors must re-check, whether we acquired or failed.
+                self._cond.notify_all()
 
     def release_all(self, txid: int) -> None:
         """Release every lock held by ``txid`` (commit/abort time)."""
@@ -137,6 +291,7 @@ class LockManager:
                     empty.append(resource)
             for resource in empty:
                 del self._holders[resource]
+            self._victims.pop(txid, None)
             self._cond.notify_all()
 
     def held(self, txid: int) -> dict[object, str]:
@@ -146,6 +301,44 @@ class LockManager:
                 resource: holders[txid]
                 for resource, holders in self._holders.items()
                 if txid in holders
+            }
+
+    # -- introspection ---------------------------------------------------------
+
+    def assert_quiescent(self) -> None:
+        """Raise AssertionError unless no locks are held, waited on, or flagged.
+
+        Test teardowns call this to prove that no code path can leak a
+        lock: every holder entry, waiter registration, and victim flag
+        must have been cleaned up by commit/abort/error paths.
+        """
+        with self._cond:
+            if self._holders or self._waiters or self._victims:
+                raise AssertionError(
+                    "lock manager not quiescent: "
+                    f"holders={self._holders!r} waiters={self._waiters!r} "
+                    f"victims={sorted(self._victims)!r}"
+                )
+
+    def wait_p99(self) -> float:
+        """99th-percentile recent lock-wait latency in seconds (0.0 if none)."""
+        with self._cond:
+            samples = sorted(self.wait_samples)
+        if not samples:
+            return 0.0
+        return samples[min(len(samples) - 1, int(len(samples) * 0.99))]
+
+    def stats(self) -> dict[str, object]:
+        """Namespaced counters for ``Database.stats()`` (``locks.*``)."""
+        with self._cond:
+            return {
+                "locks.deadlocks": self.deadlocks_detected,
+                "locks.victims": self.victims_aborted,
+                "locks.timeouts": self.timeouts,
+                "locks.acquires": self.acquires,
+                "locks.waits": self.waits,
+                "locks.wait_time": self.wait_time_total,
+                "locks.held": sum(len(h) for h in self._holders.values()),
             }
 
 
@@ -166,9 +359,13 @@ class Transaction:
         heap_resolver: Callable[[int], "HeapFile"],
         on_finish: Callable[["Transaction"], None],
         storage_mutex: "threading.RLock | None" = None,
+        lock_timeout: float | None = None,
     ) -> None:
         self.txid = txid
         self.state = ACTIVE
+        #: Per-transaction lock deadline (None = the manager's default);
+        #: the timeout backstop of the wait-for-graph deadlock detector.
+        self.lock_timeout = lock_timeout
         #: Object ids this transaction may have mutated (X-locked targets
         #: plus objects it created).  On abort the database facade uses the
         #: set to invalidate caches precisely instead of clearing them.
@@ -206,7 +403,7 @@ class Transaction:
     def lock(self, resource: object, mode: str = EXCLUSIVE) -> None:
         """Acquire a lock held until commit/abort (strict 2PL)."""
         self._require_active()
-        self._locks.acquire(self.txid, resource, mode)
+        self._locks.acquire(self.txid, resource, mode, timeout=self.lock_timeout)
 
     # -- savepoints ------------------------------------------------------------
 
@@ -243,25 +440,60 @@ class Transaction:
     # -- outcome --------------------------------------------------------------
 
     def commit(self) -> None:
-        """Make every logged operation durable, then release locks."""
+        """Make every logged operation durable, then release locks.
+
+        A failed commit (the WAL flush raised) is *not* acknowledged: the
+        transaction aborts itself -- the WAL kept the unwritten tail, so
+        the abort's own flush retries the I/O -- and the original error
+        propagates.  Whatever happens, the locks are released: a
+        transaction must never exit this method still holding locks, or
+        every other transaction contending on them stalls until timeout.
+        """
         self._require_active()
-        self._log.append(LogRecord(COMMIT, self.txid))
-        self._log.flush()
+        try:
+            self._log.append(LogRecord(COMMIT, self.txid))
+            self._log.flush()
+        except BaseException:
+            try:
+                if not faults.is_crashed():
+                    self.abort()
+            except BaseException:
+                pass  # the commit's own error is the one to surface
+            finally:
+                if self.state == ACTIVE:
+                    # The abort failed too (dead disk / simulated crash):
+                    # durable repair is recovery's job, but the locks and
+                    # the wait-for edges must not outlive the corpse.
+                    self.cache_taint = True
+                    self.state = ABORTED
+                    self._finish()
+            raise
         self.state = COMMITTED
         self._finish()
 
     def abort(self) -> None:
-        """Undo every operation (in reverse), log the compensations, finish."""
+        """Undo every operation (in reverse), log the compensations, finish.
+
+        Locks are released even when the undo itself fails partway (I/O
+        error mid-rollback): the heaps are then repaired by WAL recovery
+        on reopen, but no other transaction is left waiting on a corpse.
+        """
         self._require_active()
-        if self._storage_mutex is not None:
-            with self._storage_mutex:
+        try:
+            if self._storage_mutex is not None:
+                with self._storage_mutex:
+                    self._undo_all()
+            else:
                 self._undo_all()
-        else:
-            self._undo_all()
-        self._log.append(LogRecord(ABORT_END, self.txid))
-        self._log.flush()
-        self.state = ABORTED
-        self._finish()
+            self._log.append(LogRecord(ABORT_END, self.txid))
+            self._log.flush()
+        except BaseException:
+            # Partial undo: the touched set no longer bounds the damage.
+            self.cache_taint = True
+            raise
+        finally:
+            self.state = ABORTED
+            self._finish()
 
     def _undo_all(self) -> None:
         self._undo_records(self._ops)

@@ -105,11 +105,41 @@ class TransactionAborted(TransactionError):
 
 
 class LockTimeoutError(TransactionError):
-    """A lock could not be acquired before the deadlock-avoidance timeout."""
+    """A lock could not be acquired before the transaction's deadline."""
+
+
+class DeadlockError(TransactionError):
+    """The wait-for graph detector chose this transaction as a deadlock victim.
+
+    Carries the detected cycle (a tuple of transaction ids, in wait order)
+    and the victim's txid so callers and tests can see *why* the abort
+    happened.  Retryable: abort and re-run the transaction (see
+    ``Database.run_transaction``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        cycle: tuple[int, ...] = (),
+        victim: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.cycle = tuple(cycle)
+        self.victim = victim
 
 
 class TransactionStateError(TransactionError):
     """An operation was issued against a finished or inactive transaction."""
+
+
+class DatabaseDegradedError(OdeError):
+    """The database is in read-only degraded mode after persistent I/O failure.
+
+    Reads and version traversal keep working; writes fail fast with this
+    error.  Not retryable -- the condition persists until the process is
+    restarted against healthy storage.  ``Database.degraded_reason`` (and
+    ``db.stats()['degraded.reason']``) say what went wrong.
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -93,12 +93,21 @@ class OrionOnOde:
     # -- object lifecycle ---------------------------------------------------
 
     def create(self, obj: Any) -> VersionRef:
-        """Create an object; its first version is transient (private DB)."""
-        ref = self._db.pnew(obj)
-        first = ref.pin()
-        with self._control.modify() as control:
-            control.defaults[ref.oid] = first.vid
-        return first
+        """Create an object; its first version is transient (private DB).
+
+        Runs as one retried transaction (``run_transaction``): the pnew
+        and the default-pointer update land atomically, and a deadlock
+        with a concurrent model operation re-runs the whole step.
+        """
+
+        def step() -> VersionRef:
+            ref = self._db.pnew(obj)
+            first = ref.pin()
+            with self._control.modify() as control:
+                control.defaults[ref.oid] = first.vid
+            return first
+
+        return self._db.run_transaction(step)
 
     # -- status queries ----------------------------------------------------------
 
@@ -128,15 +137,23 @@ class OrionOnOde:
     # -- the edit cycle -----------------------------------------------------------
 
     def update(self, vref: VersionRef, **fields: Any) -> None:
-        """Edit a version in place; only transient versions are mutable."""
-        if self.status(vref) != TRANSIENT:
-            raise CheckoutError(
-                f"{vref!r} is {self.status(vref)}; only transient versions "
-                "are editable -- checkout first"
-            )
-        with vref.modify() as obj:
-            for key, value in fields.items():
-                setattr(obj, key, value)
+        """Edit a version in place; only transient versions are mutable.
+
+        The status check and the write run in one retried transaction, so
+        a concurrent checkin cannot slip between them.
+        """
+
+        def step() -> None:
+            if self.status(vref) != TRANSIENT:
+                raise CheckoutError(
+                    f"{vref!r} is {self.status(vref)}; only transient versions "
+                    "are editable -- checkout first"
+                )
+            with vref.modify() as obj:
+                for key, value in fields.items():
+                    setattr(obj, key, value)
+
+        self._db.run_transaction(step)
 
     def checkout(self, target: Ref | Oid, version: VersionRef | None = None) -> VersionRef:
         """Derive a new transient version from a working/released one.
@@ -144,19 +161,32 @@ class OrionOnOde:
         ORION's checkout copies into the private database; here the copy
         is the kernel's ``newversion`` (which starts as a copy of its
         base) -- one call, same semantics, no cross-database transfer.
+        Status check + derive run as one retried transaction.
         """
-        base = version if version is not None else self.default_version(target)
-        if self.status(base) == TRANSIENT:
-            raise CheckoutError("transient versions are already checked out")
-        return self._db.newversion(base)
+
+        def step() -> VersionRef:
+            base = version if version is not None else self.default_version(target)
+            if self.status(base) == TRANSIENT:
+                raise CheckoutError("transient versions are already checked out")
+            return self._db.newversion(base)
+
+        return self._db.run_transaction(step)
 
     def checkin(self, vref: VersionRef) -> None:
-        """Promote transient -> working and make it the generic default."""
-        if self.status(vref) != TRANSIENT:
-            raise CheckoutError(f"{vref!r} is not checked out")
-        self._env.set_state(vref, WORKING)
-        with self._control.modify() as control:
-            control.defaults[vref.oid] = vref.vid
+        """Promote transient -> working and make it the generic default.
+
+        The status transition and the default-pointer update land in one
+        retried transaction -- a deadlock victim re-runs both or neither.
+        """
+
+        def step() -> None:
+            if self.status(vref) != TRANSIENT:
+                raise CheckoutError(f"{vref!r} is not checked out")
+            self._env.set_state(vref, WORKING)
+            with self._control.modify() as control:
+                control.defaults[vref.oid] = vref.vid
+
+        self._db.run_transaction(step)
 
     def promote(self, vref: VersionRef) -> None:
         """Promote working -> released (public database; immutable forever)."""
@@ -166,10 +196,16 @@ class OrionOnOde:
 
     def set_default(self, vref: VersionRef) -> None:
         """Point the generic default at a specific (non-transient) version."""
-        if self.status(vref) == TRANSIENT:
-            raise CheckoutError("the generic default cannot be a transient version")
-        with self._control.modify() as control:
-            control.defaults[vref.oid] = vref.vid
+
+        def step() -> None:
+            if self.status(vref) == TRANSIENT:
+                raise CheckoutError(
+                    "the generic default cannot be a transient version"
+                )
+            with self._control.modify() as control:
+                control.defaults[vref.oid] = vref.vid
+
+        self._db.run_transaction(step)
 
     # -- reporting --------------------------------------------------------------
 

@@ -59,6 +59,43 @@ class Subscription:
         self._queue.clear()
         return out
 
+    def process(
+        self,
+        handler: Callable[[Notification], None],
+        *,
+        max_attempts: int = 5,
+        backoff: float = 0.01,
+    ) -> int:
+        """Drain the queue through ``handler``, one transaction each.
+
+        Every notification is handled inside
+        :meth:`~repro.core.database.Database.run_transaction`, so a
+        handler that reads or mutates the database survives deadlocks
+        and lock timeouts by re-running.  If a notification's handler
+        still fails after ``max_attempts``, the notification (and
+        everything behind it, preserving order) is put back at the head
+        of the queue and the error propagates -- nothing is dropped.
+
+        Returns the number of notifications successfully handled.
+        """
+        pending = self.drain()
+        handled = 0
+        while pending:
+            note = pending[0]
+            try:
+                self._notifier._db.run_transaction(
+                    lambda: handler(note),
+                    max_attempts=max_attempts,
+                    backoff=backoff,
+                )
+            except BaseException:
+                # Requeue in order, ahead of anything delivered meanwhile.
+                self._queue[:0] = pending
+                raise
+            pending.pop(0)
+            handled += 1
+        return handled
+
     def cancel(self) -> None:
         """Stop receiving notifications."""
         self._notifier._triggers.remove(self._trigger)

@@ -131,9 +131,28 @@ def percolate(
     references to the old version are re-pinned to the corresponding new
     version.  ``max_depth`` bounds the propagation (None = unbounded).
 
+    The whole pass runs as one retried transaction
+    (:meth:`~repro.core.database.Database.run_transaction`): percolation
+    touches many objects and is precisely the fan-out shape that deadlocks
+    against concurrent mutators, and a half-percolated graph (some parents
+    versioned, some not) must never be observable.  Each retry rebuilds
+    the result from scratch, so partial results from a lost attempt never
+    leak into the returned record.
+
     Returns a :class:`PercolationResult` recording every version created
     -- the paper's argument is precisely that this list can get long.
     """
+    return db.run_transaction(
+        lambda: _percolate_once(db, new_version, registry, max_depth)
+    )
+
+
+def _percolate_once(
+    db: Database,
+    new_version: VersionRef | Vid,
+    registry: CompositeRegistry | None,
+    max_depth: int | None,
+) -> PercolationResult:
     vid = new_version.vid if isinstance(new_version, VersionRef) else new_version
     result = PercolationResult(trigger=vid)
     # old vid -> new vid, so pins can be rewritten at any depth.

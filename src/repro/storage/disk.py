@@ -16,6 +16,7 @@ from __future__ import annotations
 import os
 import struct
 import threading
+from typing import Callable
 
 from repro.errors import DiskError
 from repro.storage import faults
@@ -51,6 +52,14 @@ class DiskManager:
                 pass
         self._file = open(self._path, "r+b", buffering=0)
         self._free_head = _NO_PAGE
+        #: Total page-write / fsync attempts that failed survivably.
+        self.write_failures = 0
+        self._consecutive_failures = 0
+        #: Consecutive failures that count as persistent storage failure.
+        self.failure_threshold = 3
+        #: Called once (with a reason) when the threshold is crossed.
+        self.on_persistent_failure: Callable[[str], None] | None = None
+        self._failure_reported = False
         if existed:
             self._load_meta()
         else:
@@ -182,9 +191,15 @@ class DiskManager:
         if len(data) != PAGE_SIZE:
             raise DiskError(f"page write must be {PAGE_SIZE} bytes, got {len(data)}")
         faults.fire("disk.write_page.pre")
-        with self._lock:
-            self._file.seek(page_id * PAGE_SIZE)
-            faults.write("disk.write_page.write", self._file, bytes(data))
+        try:
+            with self._lock:
+                self._file.seek(page_id * PAGE_SIZE)
+                faults.write("disk.write_page.write", self._file, bytes(data))
+        except OSError:
+            self._note_failure("data-file page write failed")
+            raise
+        else:
+            self._note_success()
         faults.fire("disk.write_page.post")
 
     def _check_page_id(self, page_id: int) -> None:
@@ -197,19 +212,58 @@ class DiskManager:
 
     def sync(self) -> None:
         """fsync the database file."""
-        faults.fire("disk.sync.pre")
-        self._file.flush()
-        faults.fire("disk.sync.fsync")
-        os.fsync(self._file.fileno())
-        faults.fire("disk.sync.post")
+        try:
+            faults.fire("disk.sync.pre")
+            self._file.flush()
+            faults.fire("disk.sync.fsync")
+            os.fsync(self._file.fileno())
+            faults.fire("disk.sync.post")
+        except OSError:
+            self._note_failure("data-file fsync failed")
+            raise
+        else:
+            self._note_success()
 
-    def close(self) -> None:
-        """Flush and close the file.  Idempotent."""
+    def _note_failure(self, what: str) -> None:
+        """Count a survivable I/O failure; report once past the threshold.
+
+        Simulated process deaths (:class:`~repro.storage.faults.SimulatedCrash`
+        is a ``BaseException``, not ``OSError``) never reach here -- only
+        failures the process survives count towards "the disk is sick".
+        """
+        notify: Callable[[str], None] | None = None
+        reason = ""
+        with self._lock:
+            self.write_failures += 1
+            self._consecutive_failures += 1
+            if (
+                self._consecutive_failures >= self.failure_threshold
+                and not self._failure_reported
+                and self.on_persistent_failure is not None
+            ):
+                self._failure_reported = True
+                notify = self.on_persistent_failure
+                reason = f"{what} {self._consecutive_failures} consecutive times"
+        if notify is not None:
+            notify(reason)
+
+    def _note_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+
+    def close(self, sync: bool = True) -> None:
+        """Flush and close the file.  Idempotent.
+
+        ``sync=False`` skips the final meta write and fsync -- used when
+        the database closes in degraded mode over a disk known to reject
+        writes.
+        """
         if self._file.closed:
             return
-        with self._lock:
-            self._write_meta()
-        self.sync()
+        if sync:
+            with self._lock:
+                self._write_meta()
+            self.sync()
         self._file.close()
 
     def __enter__(self) -> DiskManager:

@@ -143,11 +143,17 @@ class Fault:
     ``keep`` (torn/short writes only) is the number of buffer bytes that
     reach the file: non-negative counts from the front, negative drops
     that many bytes off the tail (``keep=-1`` loses the last byte).
+
+    ``persistent`` (survivable actions only) keeps firing on *every* visit
+    from the ``hit``-th on -- a permanently failing disk rather than a
+    one-shot glitch.  This is how degraded mode is tested: a persistent
+    fsync failure must push the database into read-only operation.
     """
 
     action: str
     hit: int = 1
     keep: int = 0
+    persistent: bool = False
 
     def keep_bytes(self, length: int) -> int:
         if self.keep >= 0:
@@ -188,17 +194,28 @@ class FaultPlan:
             raise ValueError(f"{failpoint!r} is not a write-site failpoint")
         return self._arm(failpoint, Fault(_TORN, hit, keep))
 
-    def short_write(self, failpoint: str, keep: int, hit: int = 1) -> "FaultPlan":
-        """Write ``keep`` bytes, then fail the write (process survives)."""
+    def short_write(
+        self, failpoint: str, keep: int, hit: int = 1, persistent: bool = False
+    ) -> "FaultPlan":
+        """Write ``keep`` bytes, then fail the write (process survives).
+
+        ``persistent=True`` fails every write from the ``hit``-th on.
+        """
         if failpoint not in WRITE_FAILPOINTS:
             raise ValueError(f"{failpoint!r} is not a write-site failpoint")
-        return self._arm(failpoint, Fault(_SHORT, hit, keep))
+        return self._arm(failpoint, Fault(_SHORT, hit, keep, persistent))
 
-    def fsync_error(self, failpoint: str, hit: int = 1) -> "FaultPlan":
-        """Fail the fsync at the failpoint (process survives, no barrier)."""
+    def fsync_error(
+        self, failpoint: str, hit: int = 1, persistent: bool = False
+    ) -> "FaultPlan":
+        """Fail the fsync at the failpoint (process survives, no barrier).
+
+        ``persistent=True`` models a dead disk: every fsync from the
+        ``hit``-th on fails, which is the trigger for degraded mode.
+        """
         if failpoint not in ERROR_FAILPOINTS:
             raise ValueError(f"{failpoint!r} is not an fsync failpoint")
-        return self._arm(failpoint, Fault(_FSYNC_ERROR, hit))
+        return self._arm(failpoint, Fault(_FSYNC_ERROR, hit, 0, persistent))
 
     def get(self, failpoint: str) -> Fault | None:
         """The fault armed at ``failpoint``, if any."""
@@ -247,9 +264,11 @@ class FaultInjector:
         count = self._hits.get(failpoint, 0) + 1
         self._hits[failpoint] = count
         fault = self.plan.get(failpoint)
-        if fault is None or count != fault.hit:
+        if fault is None:
             return None
-        return fault
+        if count == fault.hit or (fault.persistent and count > fault.hit):
+            return fault
+        return None
 
     def _die(self, failpoint: str, action: str) -> None:
         self.crashed = True

@@ -39,7 +39,7 @@ import threading
 import time
 import zlib
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.errors import WalError
 from repro.storage import faults, serialization
@@ -137,6 +137,16 @@ class LogManager:
         self.flush_count = 0
         #: Flush calls satisfied by another thread's fsync (group commit).
         self.group_piggybacks = 0
+        #: Total flush attempts that failed (write or fsync error).
+        self.write_failures = 0
+        #: Failures with no intervening success; resets on every good fsync.
+        self._consecutive_failures = 0
+        #: Consecutive failures that count as *persistent* storage failure.
+        self.failure_threshold = 3
+        #: Called once (with a reason string) when the threshold is crossed
+        #: -- the database facade hooks this to enter degraded mode.
+        self.on_persistent_failure: "Callable[[str], None] | None" = None
+        self._failure_reported = False
 
     @property
     def path(self) -> str:
@@ -229,15 +239,37 @@ class LogManager:
                     self._file.seek(write_start)
                 except OSError:
                     pass  # the retry's flush will surface persistent failure
+            notify: "Callable[[str], None] | None" = None
+            reason = ""
             with self._cond:
                 self._flushing = False
                 if ok:
                     self._flushed_seq = max(self._flushed_seq, covered)
                     self.flush_count += 1
+                    self._consecutive_failures = 0
                 else:
                     # Keep the unwritten records so a retry can flush them.
                     self._buffer[:0] = buf
+                    if not faults.is_crashed():
+                        # A simulated crash is a dead process, not a sick
+                        # disk -- only survivable failures count towards
+                        # the persistent-failure threshold.
+                        self.write_failures += 1
+                        self._consecutive_failures += 1
+                        if (
+                            self._consecutive_failures >= self.failure_threshold
+                            and not self._failure_reported
+                            and self.on_persistent_failure is not None
+                        ):
+                            self._failure_reported = True
+                            notify = self.on_persistent_failure
+                            reason = (
+                                "WAL flush failed "
+                                f"{self._consecutive_failures} consecutive times"
+                            )
                 self._cond.notify_all()
+            if notify is not None:
+                notify(reason)
 
     def truncate(self) -> None:
         """Discard the entire log (only valid at a quiescent checkpoint)."""
@@ -280,11 +312,16 @@ class LogManager:
             yield LogRecord.from_bytes(body)
             pos = body_end
 
-    def close(self) -> None:
-        """Flush and close.  Idempotent."""
+    def close(self, flush: bool = True) -> None:
+        """Flush and close.  Idempotent.
+
+        ``flush=False`` skips the final flush -- used when the database
+        closes in degraded mode and the disk is known to reject writes.
+        """
         if self._file.closed:
             return
-        self.flush()
+        if flush:
+            self.flush()
         self._file.close()
 
 

@@ -38,11 +38,18 @@ class DatabaseSummary:
     data_pages: int = 0
     wal_bytes: int = 0
     storage_policy: str = "full"
+    degraded_reason: str | None = None
 
     def render(self) -> str:
         """A human-readable multi-line report."""
+        health = (
+            f"DEGRADED (read-only): {self.degraded_reason}"
+            if self.degraded_reason
+            else "ok"
+        )
         lines = [
             f"database: {self.path}",
+            f"  health: {health}",
             f"  policy: {self.storage_policy}",
             f"  data pages: {self.data_pages}  wal bytes: {self.wal_bytes}",
             f"  objects: {self.objects}  versions: {self.versions}",
@@ -91,11 +98,17 @@ def inspect_database(db: Database) -> DatabaseSummary:
         )
     stats = db.stats()
     counters = {name: catalog.peek_value(name) for name in ("ode.oid",)}
-    # Operational counters (cache hits/misses, deltas applied, fsyncs,
-    # evictions...) ride along so `inspect` doubles as a perf probe.
+    # Operational counters (cache hits/misses, lock waits/deadlocks, txn
+    # retries, fsyncs, evictions...) ride along so `inspect` doubles as a
+    # perf and health probe.  Only the namespaced spellings are shown --
+    # the un-namespaced aliases in stats() exist for back-compat, and
+    # duplicating them here would just double the report.
     counters.update(
-        (k, v) for k, v in stats.items() if k not in ("data_pages", "wal_bytes")
+        (k, v)
+        for k, v in stats.items()
+        if "." in k and k != "degraded.reason"
     )
+    counters["degraded"] = int(stats["degraded"])
     return DatabaseSummary(
         path=db.path,
         objects=store.object_count(),
@@ -106,6 +119,7 @@ def inspect_database(db: Database) -> DatabaseSummary:
         data_pages=stats["data_pages"],
         wal_bytes=stats["wal_bytes"],
         storage_policy=store.policy.kind,
+        degraded_reason=stats["degraded.reason"],
     )
 
 

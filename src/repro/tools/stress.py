@@ -1,0 +1,336 @@
+"""Contention stress harness: concurrent workloads against one database.
+
+Where :mod:`repro.tools.crashmatrix` attacks durability (does the data
+survive a dying process?), this harness attacks **liveness and isolation**
+under heavy lock contention: many threads hammering few objects, the
+workload shapes most likely to deadlock, starve, or lose updates:
+
+* ``hotspot`` -- every thread increments the same handful of counter
+  objects through ``db.run_transaction`` (read-modify-write under strict
+  2PL).  The classic lost-update shape: SHARED read locks upgrade to
+  EXCLUSIVE on write, two upgraders deadlock, the wait-for-graph detector
+  must victim one and the retry layer must re-run it.
+* ``upgrade_storm`` -- all threads S-lock the *same* object then upgrade,
+  maximizing upgrade-upgrade cycles (the deadlock the old timeout-only
+  scheme burned a full ``lock_timeout`` on, every time).
+* ``newversion_chain`` -- threads race ``newversion`` + write on one
+  object, growing a long version chain; exercises the detector while
+  each attempt does multiple logged operations.
+
+Every scenario verifies, from per-thread ledgers:
+
+1. **No lost updates** -- each counter's final value equals the number of
+   acknowledged commits against it; every version chain's length equals
+   acknowledged ``newversion`` count + 1.
+2. **No stuck threads** -- every worker joins within a hard timeout.
+3. **No leaked locks** -- :meth:`LockManager.assert_quiescent` passes
+   after the workload (no holders, no waiters, no unconsumed victims).
+4. **Bounded waiting** -- p99 lock-acquire latency stays under half the
+   lock deadline: contention resolves by detection, not by timeout.
+
+Run it:
+
+    PYTHONPATH=src python -m repro.tools.stress [--smoke] [-v]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import Database, PersistentObject, persistent
+from repro.errors import SerializationError
+from repro.storage import serialization
+
+#: Lock deadline for stress runs.  Deliberately generous: correct runs
+#: never get near it (deadlocks resolve by detection in milliseconds),
+#: and a run that *does* hit it has a real liveness bug to report.
+LOCK_TIMEOUT = 5.0
+
+#: p99 lock-acquire latency must stay under this fraction of the deadline.
+P99_BUDGET_FRACTION = 0.5
+
+_JOIN_TIMEOUT = 120.0
+
+
+def _workload_type(name: str):
+    """``@persistent`` that survives double execution of this module.
+
+    ``python -m repro.tools.stress`` runs this module body a second time
+    as ``__main__`` after ``repro.tools`` already imported it; reuse the
+    canonical registered class so encode/decode stay consistent.
+    """
+
+    def wrap(cls: type) -> type:
+        try:
+            return persistent(name=name)(cls)
+        except SerializationError:
+            return serialization.lookup_type(name)
+
+    return wrap
+
+
+@_workload_type("stress.Counter")
+class Counter(PersistentObject):
+    """A shared counter: the lost-update canary."""
+
+    def __init__(self, tag: int = 0, val: int = 0) -> None:
+        self.tag = tag
+        self.val = val
+
+
+# -- scenarios ---------------------------------------------------------------
+
+
+@dataclass
+class ScenarioResult:
+    name: str
+    threads: int
+    rounds: int
+    commits: int = 0
+    retries: int = 0
+    deadlocks: int = 0
+    p99_wait: float = 0.0
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def line(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        return (
+            f"  [{status}] {self.name}: {self.threads} threads x "
+            f"{self.rounds} rounds, {self.commits} commits, "
+            f"{self.retries} retries, {self.deadlocks} deadlocks, "
+            f"p99 wait {self.p99_wait * 1000:.1f}ms"
+        )
+
+
+def _run_workers(
+    result: ScenarioResult, worker, threads: int
+) -> list[BaseException | None]:
+    """Start ``threads`` copies of ``worker(wid)``; record errors/hangs."""
+    errors: list[BaseException | None] = [None] * threads
+
+    def run(wid: int) -> None:
+        try:
+            worker(wid)
+        except BaseException as exc:  # noqa: BLE001 - surfaced as a finding
+            errors[wid] = exc
+
+    ts = [
+        threading.Thread(target=run, args=(wid,), name=f"stress-w{wid}")
+        for wid in range(threads)
+    ]
+    for t in ts:
+        t.start()
+    for t in ts:
+        t.join(timeout=_JOIN_TIMEOUT)
+        if t.is_alive():
+            result.problems.append(f"thread {t.name} stuck (> {_JOIN_TIMEOUT}s)")
+    for wid, exc in enumerate(errors):
+        if exc is not None:
+            result.problems.append(f"worker {wid} raised {exc!r}")
+    return errors
+
+
+def _finish(db: Database, result: ScenarioResult) -> None:
+    """Common post-workload checks: quiescence, latency, counters."""
+    stats = db.stats()
+    result.retries = stats["txn.retries"]
+    result.deadlocks = stats["locks.deadlocks"]
+    result.p99_wait = db.locks.wait_p99()
+    try:
+        db.locks.assert_quiescent()
+    except AssertionError as exc:
+        result.problems.append(f"locks not quiescent after workload: {exc}")
+    budget = LOCK_TIMEOUT * P99_BUDGET_FRACTION
+    if result.p99_wait >= budget:
+        result.problems.append(
+            f"p99 lock wait {result.p99_wait:.3f}s >= budget {budget:.3f}s "
+            "(contention resolving by timeout, not detection?)"
+        )
+    if stats["txn.giveups"]:
+        result.problems.append(
+            f"{stats['txn.giveups']} transaction(s) exhausted their retries"
+        )
+
+
+def _scenario_hotspot(path: Path, threads: int, rounds: int) -> ScenarioResult:
+    """All threads increment a few hot counters; totals must balance."""
+    result = ScenarioResult("hotspot", threads, rounds)
+    hot = max(2, threads // 4)  # few counters, many threads
+    with Database(path, lock_timeout=LOCK_TIMEOUT) as db:
+        refs = [db.pnew(Counter(tag=i)) for i in range(hot)]
+        committed = [[0] * hot for _ in range(threads)]
+
+        def worker(wid: int) -> None:
+            for j in range(rounds):
+                ref = refs[(wid + j) % hot]
+
+                def increment() -> None:
+                    ref.val = ref.val + 1  # S-read then X-write: upgrades
+
+                db.run_transaction(increment, max_attempts=40)
+                committed[wid][(wid + j) % hot] += 1
+
+        _run_workers(result, worker, threads)
+        for i, ref in enumerate(refs):
+            expect = sum(committed[wid][i] for wid in range(threads))
+            got = ref.val
+            if got != expect:
+                result.problems.append(
+                    f"counter {i}: value {got} != {expect} acknowledged "
+                    f"increments (lost update)"
+                )
+            result.commits += expect
+        _finish(db, result)
+    return result
+
+
+def _scenario_upgrade_storm(path: Path, threads: int, rounds: int) -> ScenarioResult:
+    """Every thread upgrades S->X on one object -- maximal upgrade cycles."""
+    result = ScenarioResult("upgrade_storm", threads, rounds)
+    with Database(path, lock_timeout=LOCK_TIMEOUT) as db:
+        ref = db.pnew(Counter(tag=0))
+        committed = [0] * threads
+
+        def worker(wid: int) -> None:
+            for _ in range(rounds):
+
+                def upgrade() -> None:
+                    base = ref.val  # SHARED
+                    ref.val = base + 1  # upgrade to EXCLUSIVE
+
+                db.run_transaction(upgrade, max_attempts=60)
+                committed[wid] += 1
+
+        _run_workers(result, worker, threads)
+        expect = sum(committed)
+        result.commits = expect
+        if ref.val != expect:
+            result.problems.append(
+                f"counter: value {ref.val} != {expect} acknowledged "
+                f"increments (lost update)"
+            )
+        _finish(db, result)
+    return result
+
+
+def _scenario_newversion_chain(
+    path: Path, threads: int, rounds: int
+) -> ScenarioResult:
+    """Threads race ``newversion`` on one object; chain length must balance."""
+    result = ScenarioResult("newversion_chain", threads, rounds)
+    with Database(path, lock_timeout=LOCK_TIMEOUT) as db:
+        ref = db.pnew(Counter(tag=0))
+        committed = [0] * threads
+
+        def worker(wid: int) -> None:
+            for j in range(rounds):
+
+                def derive() -> None:
+                    vref = db.newversion(ref)
+                    vref.val = wid * 10_000 + j
+
+                db.run_transaction(derive, max_attempts=60)
+                committed[wid] += 1
+
+        _run_workers(result, worker, threads)
+        expect = 1 + sum(committed)  # the original + every acknowledged derive
+        got = db.version_count(ref)
+        result.commits = sum(committed)
+        if got != expect:
+            result.problems.append(
+                f"version chain: {got} versions != {expect} expected "
+                f"(original + acknowledged newversions)"
+            )
+        _finish(db, result)
+    return result
+
+
+_SCENARIOS = {
+    "hotspot": _scenario_hotspot,
+    "upgrade_storm": _scenario_upgrade_storm,
+    "newversion_chain": _scenario_newversion_chain,
+}
+
+
+# -- the harness -------------------------------------------------------------
+
+
+@dataclass
+class StressReport:
+    results: list[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def render(self) -> str:
+        lines = [
+            f"stress: {len(self.results)} scenarios, "
+            + ("all OK" if self.ok else "FAILURES")
+        ]
+        for result in self.results:
+            lines.append(result.line())
+            lines.extend(f"      - {p}" for p in result.problems)
+        return "\n".join(lines)
+
+
+def run_stress(
+    base_dir: Path | None = None,
+    threads: int = 8,
+    rounds: int = 30,
+    verbose: bool = False,
+) -> StressReport:
+    """Run every scenario against a fresh database directory."""
+    report = StressReport()
+    tmp = None
+    if base_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="stress-")
+        base_dir = Path(tmp.name)
+    try:
+        for name, scenario in _SCENARIOS.items():
+            result = scenario(base_dir / name, threads, rounds)
+            report.results.append(result)
+            if verbose:
+                print(result.line(), flush=True)
+                for problem in result.problems:
+                    print(f"      - {problem}", flush=True)
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="stress", description="lock-contention stress harness"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small thread/round counts -- fast CI subset",
+    )
+    parser.add_argument("--threads", type=int, default=None)
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("-v", "--verbose", action="store_true")
+    parser.add_argument(
+        "--dir", type=Path, default=None,
+        help="run under this directory instead of a temp dir (kept afterwards)",
+    )
+    args = parser.parse_args(argv)
+    threads = args.threads if args.threads is not None else (4 if args.smoke else 8)
+    rounds = args.rounds if args.rounds is not None else (10 if args.smoke else 30)
+    report = run_stress(args.dir, threads=threads, rounds=rounds, verbose=args.verbose)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

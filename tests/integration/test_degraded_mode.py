@@ -1,0 +1,135 @@
+"""Graceful degradation: a persistently failing disk flips the database
+to read-only instead of corrupting it or crashing the process.
+
+A one-shot I/O error is a retryable hiccup; ``degrade_after`` *consecutive*
+failures mean the storage is gone for good.  From that point reads and
+version traversal must keep serving from memory while every write raises
+:class:`~repro.errors.DatabaseDegradedError`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.errors import DatabaseDegradedError
+from repro.storage import faults
+from repro.storage.faults import FaultPlan, InjectedFaultError
+
+from tests.conftest import Part
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+def _hammer_until_degraded(db, ref, tries=10):
+    """Keep writing until the failure threshold trips."""
+    for _ in range(tries):
+        if db.degraded:
+            return
+        with pytest.raises((InjectedFaultError, DatabaseDegradedError)):
+            ref.weight = ref.weight + 1
+    assert db.degraded, "database never degraded"
+
+
+def test_persistent_wal_fsync_failure_enters_degraded_mode(tmp_path):
+    db = Database(tmp_path / "db", degrade_after=3)
+    try:
+        ref = db.pnew(Part("gear", 5))
+        ref.weight = 6  # healthy write, durably committed
+        faults.activate(
+            FaultPlan().fsync_error("wal.flush.fsync", hit=1, persistent=True)
+        )
+        _hammer_until_degraded(db, ref)
+
+        # -- reads keep working ------------------------------------------
+        assert ref.weight == 6
+        assert ref.name == "gear"
+        assert db.version_count(ref) == 1
+        assert db.versions(ref)
+        assert db.object_count() == 1
+        assert [r.oid for r in db.cluster(Part)] == [ref.oid]
+
+        # -- every write surface refuses --------------------------------
+        with pytest.raises(DatabaseDegradedError):
+            ref.weight = 99
+        with pytest.raises(DatabaseDegradedError):
+            db.pnew(Part("new", 1))
+        with pytest.raises(DatabaseDegradedError):
+            db.newversion(ref)
+        with pytest.raises(DatabaseDegradedError):
+            db.begin()
+        with pytest.raises(DatabaseDegradedError):
+            db.checkpoint()
+        with pytest.raises(DatabaseDegradedError):
+            db.run_transaction(lambda: None)
+
+        # -- the stats surface tells the operator why --------------------
+        stats = db.stats()
+        assert stats["degraded"] is True
+        assert "consecutive" in stats["degraded.reason"]
+        assert stats["wal.write_failures"] >= 3
+        assert db.degraded_reason == stats["degraded.reason"]
+    finally:
+        db.close()  # must not raise despite the dead disk
+
+
+def test_one_shot_fsync_error_does_not_degrade(tmp_path):
+    """Below the threshold, failures are transient: a later write heals."""
+    with Database(tmp_path / "db", degrade_after=3) as db:
+        ref = db.pnew(Part("gear", 1))
+        faults.activate(FaultPlan().fsync_error("wal.flush.fsync", hit=1))
+        with pytest.raises(InjectedFaultError):
+            ref.weight = 2
+        assert not db.degraded
+        ref.weight = 3  # the disk recovered; the success resets the count
+        assert ref.weight == 3
+        assert not db.degraded
+        assert db.stats()["degraded"] is False
+
+
+def test_degraded_close_and_reopen_preserve_durable_state(tmp_path):
+    """Everything acknowledged before the disk died survives reopen."""
+    db = Database(tmp_path / "db", degrade_after=2)
+    ref = db.pnew(Part("gear", 5))
+    ref.weight = 7
+    oid = ref.oid
+    faults.activate(
+        FaultPlan().fsync_error("wal.flush.fsync", hit=1, persistent=True)
+    )
+    _hammer_until_degraded(db, ref)
+    db.close()
+
+    faults.deactivate()  # the "disk" works again on the next open
+    with Database(tmp_path / "db") as db2:
+        again = db2.deref(oid)
+        assert again.weight == 7
+        assert not db2.degraded
+        again.weight = 8  # fully writable again
+        assert again.weight == 8
+
+
+def test_persistent_data_file_sync_failure_degrades(tmp_path):
+    """The data-file path (checkpoint fsync) trips degradation too."""
+    db = Database(tmp_path / "db", degrade_after=2)
+    try:
+        ref = db.pnew(Part("gear", 1))
+        faults.activate(
+            FaultPlan().fsync_error("disk.sync.fsync", hit=1, persistent=True)
+        )
+        for _ in range(6):
+            if db.degraded:
+                break
+            with pytest.raises((InjectedFaultError, DatabaseDegradedError)):
+                db.checkpoint()
+        assert db.degraded
+        assert "data-file" in db.degraded_reason
+        assert ref.weight == 1  # reads still fine
+        with pytest.raises(DatabaseDegradedError):
+            ref.weight = 2
+    finally:
+        db.close()

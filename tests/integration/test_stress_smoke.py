@@ -1,0 +1,32 @@
+"""The contention stress harness, at smoke scale, as a tier-1 test.
+
+``repro.tools.stress`` is the standing proof that the resilience layer
+(deadlock detection + ``run_transaction`` retry) holds up under real
+thread contention.  CI runs it standalone too; this test keeps the
+harness itself honest -- every scenario present, every invariant wired.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.tools.stress import _SCENARIOS, run_stress
+
+
+def test_smoke_scale_stress_all_scenarios_pass(tmp_path):
+    report = run_stress(tmp_path / "stress", threads=4, rounds=8)
+    assert len(report.results) == len(_SCENARIOS) == 3
+    names = {r.name for r in report.results}
+    assert names == {"hotspot", "upgrade_storm", "newversion_chain"}
+    for result in report.results:
+        assert result.ok, f"{result.name}: {result.problems}"
+        assert result.commits > 0
+    assert report.ok
+    assert "all OK" in report.render()
+
+
+def test_stress_cli_smoke_exit_code(tmp_path):
+    from repro.tools.stress import main
+
+    assert main(["--smoke", "--threads", "3", "--rounds", "5",
+                 "--dir", str(tmp_path / "cli")]) == 0
