@@ -412,6 +412,109 @@ def test_e11_contended_commit_throughput(tmp_path, benchmark):
     benchmark(lambda: None)
 
 
+def _reader_storm(db, ref, duration: float, snapshot_mode: bool, threads: int = 8) -> int:
+    """Readers hammer one hot object while a writer holds it EXCLUSIVE.
+
+    The writer loops short transactions that write the object and then
+    sleep ~5ms *inside* the transaction, so the EXCLUSIVE lock is held
+    for almost the whole wall clock.  Locked readers (explicit
+    transaction + attribute read) queue behind it -- writer priority
+    blocks fresh SHARED grants while an EXCLUSIVE waits.  Snapshot
+    readers pin published views and never touch the lock table.  Returns
+    the number of reads completed across all reader threads in
+    ``duration`` seconds.
+    """
+    oid = ref.oid
+    stop = threading.Event()
+    wstop = threading.Event()
+    counts = [0] * threads
+
+    def writer() -> None:
+        seq = 0
+        while not wstop.is_set():
+            def hold_and_write() -> None:
+                ref.n = seq  # EXCLUSIVE, held through the sleep
+                time.sleep(0.005)
+
+            db.run_transaction(hold_and_write, max_attempts=200)
+            seq += 1
+
+    def locked_reader(i: int) -> None:
+        while not stop.is_set():
+            with db.transaction():
+                ref.n  # SHARED lock: queues behind the writer
+            counts[i] += 1
+
+    def snapshot_reader(i: int) -> None:
+        while not stop.is_set():
+            with db.snapshot() as snap:
+                snap.materialize(snap.latest_vid(oid))
+            counts[i] += 1
+
+    target = snapshot_reader if snapshot_mode else locked_reader
+    wt = threading.Thread(target=writer, name="storm-writer")
+    readers = [
+        threading.Thread(target=target, args=(i,), name=f"storm-r{i}")
+        for i in range(threads)
+    ]
+    wt.start()
+    time.sleep(0.02)  # let the writer take the lock first
+    for r in readers:
+        r.start()
+    time.sleep(duration)
+    stop.set()
+    for r in readers:
+        r.join()
+    wstop.set()
+    wt.join()
+    return sum(counts)
+
+
+def test_e11_snapshot_read_scaling(tmp_path, benchmark):
+    """8 readers vs. a writer: snapshot reads must beat locked reads 3x.
+
+    The old read path takes SHARED locks, so a write-heavy hot object
+    serializes every reader behind the writer's EXCLUSIVE hold windows.
+    The snapshot path reads published, immutable state and never enters
+    the lock table -- reader throughput must not collapse just because
+    the object is being written.
+    """
+    from benchmarks.conftest import make_db
+
+    duration, threads = 1.0, 8
+
+    locked_arm = make_db(tmp_path, "e11_rs_locked")
+    try:
+        ref = locked_arm.pnew(E11Obj(0))
+        locked_total = _reader_storm(locked_arm, ref, duration, snapshot_mode=False,
+                                     threads=threads)
+    finally:
+        locked_arm.close()
+
+    snap_arm = make_db(tmp_path, "e11_rs_snap")
+    try:
+        ref = snap_arm.pnew(E11Obj(0))
+        snap_total = _reader_storm(snap_arm, ref, duration, snapshot_mode=True,
+                                   threads=threads)
+        stats = snap_arm.stats()
+        assert stats["snap.lockfree_hits"] > 0
+        assert stats["snap.pinned"] == 0
+        benchmark.extra_info["snap_epochs_published"] = stats["snap.published"]
+    finally:
+        snap_arm.close()
+
+    ratio = snap_total / max(1, locked_total)
+    benchmark.extra_info["reader_threads"] = threads
+    benchmark.extra_info["locked_reads_per_s"] = round(locked_total / duration, 1)
+    benchmark.extra_info["snapshot_reads_per_s"] = round(snap_total / duration, 1)
+    benchmark.extra_info["snapshot_over_locked"] = round(ratio, 2)
+    assert snap_total >= 3 * locked_total, (
+        f"snapshot reads only {ratio:.1f}x the locked path "
+        f"({snap_total} vs {locked_total} in {duration}s)"
+    )
+    benchmark(lambda: None)
+
+
 def test_e11_buffer_pool_hit_ratio(tmp_path, benchmark):
     """Hot-set reads should be nearly all pool hits."""
     db = Database(tmp_path / "e11_pool", pool_size=64)

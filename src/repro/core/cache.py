@@ -19,10 +19,18 @@ machinery:
 Invalidation correctness is the store's job; the cache only promises
 that ``pop``/``pop_group``/``clear`` remove entries and that the budget
 is enforced on every ``put``.
+
+Every operation is guarded by an internal lock: the snapshot read path
+(``repro.core.snapshot``) consults the shared bytes/decoded caches
+without holding the database's storage mutex, so the cache itself must
+tolerate concurrent readers and writers.  The lock is never held across
+user code (``sizeof``/``group_of`` are called on plain keys/payloads),
+so it cannot participate in a deadlock cycle.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Iterator
@@ -94,7 +102,7 @@ class BudgetedLRU:
     """
 
     __slots__ = ("_budget", "_sizeof", "_group_of", "_entries", "_sizes",
-                 "_groups", "_used", "evictions")
+                 "_groups", "_used", "_lock", "evictions")
 
     def __init__(
         self,
@@ -111,6 +119,7 @@ class BudgetedLRU:
         self._sizes: dict[Hashable, int] = {}
         self._groups: dict[Hashable, set[Hashable]] = {}
         self._used = 0
+        self._lock = threading.Lock()
         #: Entries dropped to stay within budget (not invalidations).
         self.evictions = 0
 
@@ -123,7 +132,8 @@ class BudgetedLRU:
         return key in self._entries
 
     def __iter__(self) -> Iterator[Hashable]:
-        return iter(self._entries)
+        with self._lock:
+            return iter(list(self._entries))
 
     @property
     def used(self) -> int:
@@ -136,71 +146,78 @@ class BudgetedLRU:
         return self._budget
 
     def __getitem__(self, key: Hashable) -> Any:
-        entry = self._entries[key]
-        self._entries.move_to_end(key)
-        return entry
+        with self._lock:
+            entry = self._entries[key]
+            self._entries.move_to_end(key)
+            return entry
 
     def __setitem__(self, key: Hashable, value: Any) -> None:
         self.put(key, value)
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Return the cached value (refreshing recency) or ``default``."""
-        entry = self._entries.get(key)
-        if entry is None:
-            return default
-        self._entries.move_to_end(key)
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return default
+            self._entries.move_to_end(key)
+            return entry
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
         """Return the cached value *without* refreshing recency."""
-        return self._entries.get(key, default)
+        with self._lock:
+            return self._entries.get(key, default)
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert/replace an entry, evicting LRU entries to fit the budget."""
         size = self._sizeof(value)
-        if key in self._entries:
-            self._used -= self._sizes[key]
-            self._entries[key] = value
-            self._entries.move_to_end(key)
-        else:
-            self._entries[key] = value
-            if self._group_of is not None:
-                self._groups.setdefault(self._group_of(key), set()).add(key)
-        self._sizes[key] = size
-        self._used += size
-        while self._used > self._budget and len(self._entries) > 1:
-            victim, _ = self._entries.popitem(last=False)
-            self._used -= self._sizes.pop(victim)
-            self._drop_group_member(victim)
-            self.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._used -= self._sizes[key]
+                self._entries[key] = value
+                self._entries.move_to_end(key)
+            else:
+                self._entries[key] = value
+                if self._group_of is not None:
+                    self._groups.setdefault(self._group_of(key), set()).add(key)
+            self._sizes[key] = size
+            self._used += size
+            while self._used > self._budget and len(self._entries) > 1:
+                victim, _ = self._entries.popitem(last=False)
+                self._used -= self._sizes.pop(victim)
+                self._drop_group_member(victim)
+                self.evictions += 1
 
     def pop(self, key: Hashable, default: Any = None) -> Any:
         """Remove and return one entry (an invalidation, not an eviction)."""
-        entry = self._entries.pop(key, _MISSING)
-        if entry is _MISSING:
-            return default
-        self._used -= self._sizes.pop(key)
-        self._drop_group_member(key)
-        return entry
+        with self._lock:
+            entry = self._entries.pop(key, _MISSING)
+            if entry is _MISSING:
+                return default
+            self._used -= self._sizes.pop(key)
+            self._drop_group_member(key)
+            return entry
 
     def pop_group(self, group: Hashable) -> int:
         """Remove every entry whose key belongs to ``group``; returns count."""
         if self._group_of is None:
             raise TypeError("cache was built without a group function")
-        keys = self._groups.pop(group, None)
-        if not keys:
-            return 0
-        for key in keys:
-            del self._entries[key]
-            self._used -= self._sizes.pop(key)
-        return len(keys)
+        with self._lock:
+            keys = self._groups.pop(group, None)
+            if not keys:
+                return 0
+            for key in keys:
+                del self._entries[key]
+                self._used -= self._sizes.pop(key)
+            return len(keys)
 
     def clear(self) -> None:
         """Drop everything."""
-        self._entries.clear()
-        self._sizes.clear()
-        self._groups.clear()
-        self._used = 0
+        with self._lock:
+            self._entries.clear()
+            self._sizes.clear()
+            self._groups.clear()
+            self._used = 0
 
     def _drop_group_member(self, key: Hashable) -> None:
         if self._group_of is None:

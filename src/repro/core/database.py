@@ -38,6 +38,7 @@ from repro.errors import (
     DatabaseDegradedError,
     DeadlockError,
     LockTimeoutError,
+    ReadOnlySnapshotError,
     TransactionAborted,
     TransactionStateError,
 )
@@ -46,6 +47,7 @@ from repro.core.identity import Oid, Vid
 from repro.core.indexes import HashIndex, IndexManager, OrderedIndex
 from repro.core.pointers import Ref, VersionRef
 from repro.core.query import Query
+from repro.core.snapshot import Snapshot
 from repro.core.store import StoragePolicy, VersionStore
 from repro.core.transactions import EXCLUSIVE, SHARED, LockManager, Transaction
 from repro.core.triggers import TriggerManager
@@ -55,6 +57,7 @@ from repro.storage.buffer import BufferPool
 from repro.storage.catalog import Catalog
 from repro.storage.disk import DiskManager
 from repro.storage.heap import HeapFile
+from repro.storage.stripes import StripedLock
 from repro.storage.wal import LogManager, RecoveryReport, recover
 
 _DATA_FILE = "data.odb"
@@ -155,7 +158,10 @@ class Database:
         self._pool.before_write = self._log.flush  # write-ahead rule
         self.last_recovery: RecoveryReport | None = None
         self._recover_if_needed()
-        self._catalog = Catalog(self._disk, self._pool)
+        # Striped page locks guard the short fetch-copy-unpin windows of
+        # heap physical ops against lock-free snapshot readers.
+        self._page_locks = StripedLock()
+        self._catalog = Catalog(self._disk, self._pool, page_locks=self._page_locks)
         self._store = VersionStore(self._catalog, policy, cache_budget=cache_budget)
         self._locks = LockManager(lock_timeout, detect_deadlocks=deadlock_detection)
         self._locks.work_of = self._txn_work
@@ -231,6 +237,11 @@ class Database:
         """The lock manager (exposed for tests and the stress harness)."""
         return self._locks
 
+    @property
+    def page_locks(self) -> StripedLock:
+        """The striped page locks (exposed for tests and the stress harness)."""
+        return self._page_locks
+
     def checkpoint(self) -> None:
         """Flush all dirty state and truncate the WAL (quiescent only)."""
         self._check_writable()
@@ -291,12 +302,24 @@ class Database:
 
     # -- transactions ---------------------------------------------------------
 
-    def begin(self, *, lock_timeout: float | None = None) -> Transaction:
+    def begin(
+        self,
+        *,
+        lock_timeout: float | None = None,
+        snapshot_reads: bool = False,
+    ) -> Transaction:
         """Start an explicit transaction bound to the calling thread.
 
         ``lock_timeout`` overrides the database-wide lock deadline for this
         transaction only (the wait-for-graph detector resolves deadlocks
         long before the deadline; the deadline is the backstop).
+
+        ``snapshot_reads=True`` makes it a **snapshot-read transaction**:
+        it pins the current publication epoch and serves every read from
+        that pinned snapshot -- no SHARED locks, no storage mutex, so it
+        can never block a writer and no writer can ever block it.  Such a
+        transaction is read-only; any mutation raises
+        :class:`~repro.errors.ReadOnlySnapshotError`.
         """
         self._check_writable()
         if self.current_transaction() is not None:
@@ -313,6 +336,9 @@ class Database:
         self._tlocal.txn = txn
         with self._txn_mutex:
             self._active[txn.txid] = txn
+        if snapshot_reads:
+            txn.read_only = True
+            txn.snapshot = self.snapshot()
         return txn
 
     def current_transaction(self) -> Transaction | None:
@@ -328,6 +354,11 @@ class Database:
             self._active.pop(txn.txid, None)
         if getattr(self._tlocal, "txn", None) is txn:
             self._tlocal.txn = None
+        if txn.snapshot is not None:
+            # Unpin before anything can bail out below: a leaked pin would
+            # retain every displaced entry forever.
+            txn.snapshot.close()
+            txn.snapshot = None
         if faults.is_crashed():
             # A simulated process death: the "dead" process must touch
             # nothing further (no reload I/O, no checkpoint).  Locks were
@@ -349,16 +380,29 @@ class Database:
                 else:
                     self._store.reload(touched=txn.touched_oids)
                 self._indexes.rebuild()
-        elif (
-            self._checkpoint_threshold
-            and self._log.size() > self._checkpoint_threshold
-        ):
-            with self._txn_mutex:
-                if not self._active:
-                    self._log.flush()
-                    self._pool.flush_all()
-                    self._disk.sync()
-                    self._log.truncate()
+                # The table was rebuilt wholesale: republish everything
+                # (minus other transactions' still-uncommitted objects) so
+                # the committed table tracks the restored state.
+                self._store.publish_snapshot(
+                    exclude=self._active_touched(), full=True
+                )
+        else:
+            exclude = self._active_touched()
+            if self._store.has_unpublished_changes(exclude):
+                # Publish this transaction's commits for snapshot readers;
+                # objects other active transactions touched stay back.
+                with self._storage_mutex:
+                    self._store.publish_snapshot(exclude=self._active_touched())
+            if (
+                self._checkpoint_threshold
+                and self._log.size() > self._checkpoint_threshold
+            ):
+                with self._txn_mutex:
+                    if not self._active:
+                        self._log.flush()
+                        self._pool.flush_all()
+                        self._disk.sync()
+                        self._log.truncate()
 
     def savepoint(self) -> int:
         """Mark a rollback point inside the current transaction."""
@@ -392,9 +436,18 @@ class Database:
         return undone
 
     @contextmanager
-    def transaction(self, lock_timeout: float | None = None) -> Iterator[Transaction]:
-        """``with db.transaction():`` -- commit on exit, abort on exception."""
-        txn = self.begin(lock_timeout=lock_timeout)
+    def transaction(
+        self,
+        lock_timeout: float | None = None,
+        snapshot_reads: bool = False,
+    ) -> Iterator[Transaction]:
+        """``with db.transaction():`` -- commit on exit, abort on exception.
+
+        ``snapshot_reads=True`` starts a snapshot-read transaction (see
+        :meth:`begin`): reads are lock-free against a pinned snapshot and
+        writes raise :class:`~repro.errors.ReadOnlySnapshotError`.
+        """
+        txn = self.begin(lock_timeout=lock_timeout, snapshot_reads=snapshot_reads)
         try:
             yield txn
         except BaseException:
@@ -479,10 +532,58 @@ class Database:
             txn = self._active.get(txid)
         return txn.op_count if txn is not None else 0
 
+    # -- snapshots (lock-free read path) ----------------------------------------
+
+    def _active_touched(self) -> set[Oid]:
+        """Objects touched by transactions that are still active.
+
+        Their live state is uncommitted, so snapshot publication must
+        leave their committed-table slots alone.
+        """
+        with self._txn_mutex:
+            out: set[Oid] = set()
+            for txn in self._active.values():
+                out |= txn.touched_oids
+            return out
+
+    def snapshot(self) -> Snapshot:
+        """Pin a lock-free point-in-time view of committed state.
+
+        The snapshot serves ``materialize``, attribute reads, the paper-§4
+        traversals, ``version_as_of``, clusters and ``query(...)`` scans
+        against the publication epoch current at the call -- without the
+        storage mutex and without SHARED locks, so pinned readers never
+        block writers and writers never block them.  Uncommitted work of
+        in-flight transactions is never visible.
+
+        Use as a context manager (or call ``close()``) to unpin::
+
+            with db.snapshot() as snap:
+                weights = [p.weight for p in snap.cluster(Part)]
+
+        References obtained from a snapshot stay bound to it; the view
+        never changes, no matter what commits afterwards.
+        """
+        exclude = self._active_touched()
+        if self._store.has_unpublished_changes(exclude):
+            # Catch-up publish for mutations that bypassed a transaction
+            # finish (direct store access, tools).  The common path --
+            # everything unpublished belongs to active transactions --
+            # skips this entirely, so pinning does not need the storage
+            # mutex and cannot block behind a writer holding it.
+            with self._storage_mutex:
+                self._store.publish_snapshot(exclude=self._active_touched())
+        return self._store.pin_snapshot(index_source=self)
+
     def _mutate(self, lock_oid: Oid | None, op) -> Any:
         """Run ``op(log_op)`` inside the current or an autocommit txn."""
         self._check_writable()
         txn = self.current_transaction()
+        if txn is not None and txn.read_only:
+            raise ReadOnlySnapshotError(
+                "snapshot-read transactions are read-only; "
+                "use an ordinary transaction for writes"
+            )
         if txn is not None:
             if lock_oid is not None:
                 txn.lock(lock_oid, EXCLUSIVE)
@@ -511,12 +612,21 @@ class Database:
 
     def pnew(self, obj: Any) -> Ref:
         """Create a persistent object; returns its generic reference."""
-        ref = self._mutate(None, lambda log_op: self._store.pnew(obj, log_op))
-        txn = self.current_transaction()
-        if txn is not None:
-            # An abort undoes the oid-counter bump, so this oid may be
-            # handed out again -- its cache entries must die with the txn.
-            txn.touched_oids.add(ref.oid)
+
+        def op(log_op):
+            ref = self._store.pnew(obj, log_op)
+            txn = self.current_transaction()
+            if txn is not None:
+                # An abort undoes the oid-counter bump, so this oid may be
+                # handed out again -- its cache entries must die with the
+                # txn.  Recorded here, still under the storage mutex, so a
+                # concurrent commit's snapshot publication can never see
+                # the new object as unowned (and thus publishable) before
+                # this transaction finishes.
+                txn.touched_oids.add(ref.oid)
+            return ref
+
+        ref = self._mutate(None, op)
         return Ref(self, ref.oid)
 
     def newversion(self, target: Ref | VersionRef | Oid | Vid) -> VersionRef:
@@ -560,16 +670,27 @@ class Database:
 
     # -- store protocol (used by Ref/VersionRef bound to this database) ------------
 
+    def _reader(self):
+        """Where reads resolve: the pinned snapshot of a snapshot-read
+        transaction, or the live store."""
+        txn = self.current_transaction()
+        if txn is not None and txn.snapshot is not None:
+            return txn.snapshot
+        return self._store
+
     def materialize(self, vid: Vid) -> Any:
         """Decode a fresh copy of one version's object.
 
         Inside an explicit transaction the read takes a SHARED lock on the
         object (strict 2PL: read-modify-write cycles across transactions
         serialize instead of losing updates).  Autocommit reads are
-        unlocked snapshot reads.
+        unlocked snapshot reads.  Snapshot-read transactions resolve
+        against their pinned snapshot: no lock, no storage mutex.
         """
         txn = self.current_transaction()
         if txn is not None:
+            if txn.snapshot is not None:
+                return txn.snapshot.materialize(vid)
             txn.lock(vid.oid, SHARED)
         with self._storage_mutex:
             return self._store.materialize(vid)
@@ -581,10 +702,13 @@ class Database:
         the attribute value when it can safely be served from a shared
         cached instance, or :data:`repro.core.store.READ_MISS` when the
         caller must fall back to :meth:`materialize`.  Locking mirrors
-        :meth:`materialize` (SHARED inside explicit transactions).
+        :meth:`materialize` (SHARED inside explicit transactions,
+        lock-free in snapshot-read transactions).
         """
         txn = self.current_transaction()
         if txn is not None:
+            if txn.snapshot is not None:
+                return txn.snapshot.read_attr(vid, name)
             txn.lock(vid.oid, SHARED)
         with self._storage_mutex:
             return self._store.read_attr(vid, name)
@@ -593,6 +717,8 @@ class Database:
         """The version id an object id currently denotes (S-locked in txns)."""
         txn = self.current_transaction()
         if txn is not None:
+            if txn.snapshot is not None:
+                return txn.snapshot.latest_vid(oid)
             txn.lock(oid, SHARED)
         with self._storage_mutex:
             return self._store.latest_vid(oid)
@@ -611,6 +737,10 @@ class Database:
         """
         txn = self.current_transaction()
         if txn is not None:
+            if txn.snapshot is not None:
+                # Pure reader methods write back nothing; a genuinely
+                # dirty receiver fails read-only inside the snapshot.
+                return txn.snapshot.write_version_if_changed(vid, obj)
             # Under an explicit transaction, hold at least a read lock
             # while probing so the compared bytes cannot move underneath.
             txn.lock(vid.oid, SHARED)
@@ -624,15 +754,15 @@ class Database:
 
     def object_exists(self, oid: Oid) -> bool:
         """True while the object has at least one live version."""
-        return self._store.object_exists(oid)
+        return self._reader().object_exists(oid)
 
     def version_exists(self, vid: Vid) -> bool:
         """True while the specific version is live."""
-        return self._store.version_exists(vid)
+        return self._reader().version_exists(vid)
 
     def type_name(self, oid: Oid) -> str:
         """Stable type name of the object's class."""
-        return self._store.type_name(oid)
+        return self._reader().type_name(oid)
 
     # -- traversal (paper §4: Dprevious/Tprevious and duals) -----------------------
 
@@ -641,64 +771,71 @@ class Database:
 
     def dprevious(self, vref: VersionRef | Vid) -> VersionRef | None:
         """The version ``vref`` was derived from (derivation parent)."""
-        return self._rebind_vref(self._store.dprevious(self._unbind(vref)))
+        return self._rebind_vref(self._reader().dprevious(self._unbind(vref)))
 
     def dnext(self, vref: VersionRef | Vid) -> list[VersionRef]:
         """Versions derived from ``vref`` (revisions and variants)."""
-        return [VersionRef(self, v.vid) for v in self._store.dnext(self._unbind(vref))]
+        return [VersionRef(self, v.vid) for v in self._reader().dnext(self._unbind(vref))]
 
     def tprevious(self, vref: VersionRef | Vid) -> VersionRef | None:
         """The temporally preceding version."""
-        return self._rebind_vref(self._store.tprevious(self._unbind(vref)))
+        return self._rebind_vref(self._reader().tprevious(self._unbind(vref)))
 
     def tnext(self, vref: VersionRef | Vid) -> VersionRef | None:
         """The temporally following version."""
-        return self._rebind_vref(self._store.tnext(self._unbind(vref)))
+        return self._rebind_vref(self._reader().tnext(self._unbind(vref)))
 
     def history(self, vref: VersionRef | Vid) -> list[VersionRef]:
         """Derivation path of ``vref``, newest first."""
-        return [VersionRef(self, v.vid) for v in self._store.history(self._unbind(vref))]
+        return [VersionRef(self, v.vid) for v in self._reader().history(self._unbind(vref))]
 
     def versions(self, target: Ref | Oid) -> list[VersionRef]:
         """All live versions, temporal order (oldest first)."""
         oid = self._oid_of(target)
-        return [VersionRef(self, v.vid) for v in self._store.versions(oid)]
+        return [VersionRef(self, v.vid) for v in self._reader().versions(oid)]
 
     def version_as_of(self, target: Ref | Oid, timestamp: float) -> VersionRef | None:
         """The version that was latest at wall-clock ``timestamp`` (§3)."""
         return self._rebind_vref(
-            self._store.version_as_of(self._oid_of(target), timestamp)
+            self._reader().version_as_of(self._oid_of(target), timestamp)
         )
 
     def leaves(self, target: Ref | Oid) -> list[VersionRef]:
         """Up-to-date version of every alternative."""
         oid = self._oid_of(target)
-        return [VersionRef(self, v.vid) for v in self._store.leaves(oid)]
+        return [VersionRef(self, v.vid) for v in self._reader().leaves(oid)]
 
     def alternatives(self, target: Ref | Oid) -> list[list[VersionRef]]:
         """Every root-to-leaf derivation path."""
         oid = self._oid_of(target)
         return [
             [VersionRef(self, v.vid) for v in path]
-            for path in self._store.alternatives(oid)
+            for path in self._reader().alternatives(oid)
         ]
 
     def version_count(self, target: Ref | Oid) -> int:
         """Number of live versions of the object."""
-        return self._store.version_count(self._oid_of(target))
+        return self._reader().version_count(self._oid_of(target))
 
     def graph(self, target: Ref | Oid) -> VersionGraph:
         """The object's version graph (read-only view)."""
-        return self._store.graph(self._oid_of(target))
+        return self._reader().graph(self._oid_of(target))
 
     # -- clusters & queries ----------------------------------------------------------
 
     def cluster(self, type_or_name: type | str) -> list[Ref]:
         """Generic references to every object of a type (the Ode cluster)."""
-        return [Ref(self, ref.oid) for ref in self._store.cluster(type_or_name)]
+        return [Ref(self, ref.oid) for ref in self._reader().cluster(type_or_name)]
 
     def query(self, type_or_name: type | str) -> Query:
-        """A ``suchthat``-style query over the type's cluster."""
+        """A ``suchthat``-style query over the type's cluster.
+
+        Inside a snapshot-read transaction the query binds to the pinned
+        snapshot, so iteration scans frozen state lock-free.
+        """
+        txn = self.current_transaction()
+        if txn is not None and txn.snapshot is not None:
+            return Query(txn.snapshot, type_or_name)
         return Query(self, type_or_name)
 
     # -- indexes ------------------------------------------------------------------
@@ -737,18 +874,18 @@ class Database:
 
     def cluster_names(self) -> list[str]:
         """Type names with at least one live object."""
-        return self._store.cluster_names()
+        return self._reader().cluster_names()
 
     def object_count(self) -> int:
         """Number of live persistent objects."""
-        return self._store.object_count()
+        return self._reader().object_count()
 
     def stats(self) -> dict[str, Any]:
         """Operational counters, namespaced by subsystem.
 
         Keys are grouped as ``pool.*``, ``wal.*``, ``cache.*``,
-        ``locks.*``, ``txn.*``, ``faults.*``, plus ``degraded`` /
-        ``degraded.reason``.  The pre-namespacing spellings
+        ``locks.*``, ``txn.*``, ``snap.*``, ``faults.*``, plus
+        ``degraded`` / ``degraded.reason``.  The pre-namespacing spellings
         (``pool_hits``, ``wal_bytes``, bare cache names, ``faults_*``)
         remain as aliases so existing tooling keeps working.
         """
@@ -769,6 +906,7 @@ class Database:
         }
         for key, value in self._store.stats().items():
             stats[f"cache.{key}"] = value
+        stats.update(self._store.snapshots.stats())
         stats.update(self._locks.stats())
         stats.update(self._resilience.as_dict())
         # Injected-fault counters (zero outside fault-injection runs); the

@@ -1,0 +1,765 @@
+"""Lock-free snapshot reads: epoch-published views of committed state.
+
+The paper's core invariant -- a version, once created, is immutable;
+``newversion`` creates rather than mutates (§3/§4.2) -- is exactly the
+property MVCC systems exploit to serve reads without locks.  This module
+adds that read path: writers keep serializing through the storage mutex
+and strict 2PL, but a pinned :class:`Snapshot` answers ``materialize``,
+the §4 traversals, ``version_as_of`` and query scans against frozen
+state, taking **no SHARED locks and never touching the storage mutex**.
+
+The design is epoch + copy-on-write at three granularities:
+
+* **Entries.**  The store keeps a *committed table* (oid -> frozen
+  :class:`SnapshotEntry`) beside its live table.  At every commit (and
+  abort cleanup) the store *publishes*: for each object the finished
+  transaction changed, the committed table's slot is overwritten with a
+  fresh frozen entry and the epoch counter advances.  Objects touched by
+  transactions that are still active are excluded, so uncommitted state
+  is never published.  Before a slot is overwritten, the displaced entry
+  is stashed into the *overlay* of every pinned snapshot that does not
+  already hold one -- a pinned snapshot therefore always resolves an oid
+  to the entry that was committed when it was pinned, at a cost
+  proportional to what changed, not to the table size.
+* **Graphs.**  A published entry shares the live ``VersionGraph`` object
+  and marks it ``graph_shared``; a writer about to mutate a shared graph
+  clones it first (:meth:`VersionGraph.clone`), so published graphs are
+  immutable once visible to a snapshot.
+* **Payload bytes.**  Most version records are immutable, but
+  ``write_version`` rewrites in place and delta re-basing re-encodes
+  child records.  Before any versions-heap record is rewritten or
+  deleted, the store stashes the *pre-op content* into every pinned
+  snapshot's byte overlay (and into a registry-wide *pending* overlay
+  that seeds snapshots pinned later, while the writing transaction is
+  still uncommitted).  A snapshot read checks its overlay, then the
+  shared thread-safe bytes cache, then walks the heap under the striped
+  page locks -- re-checking the overlay after every shared-state probe,
+  which closes the stash/read race (writers stash *before* they
+  overwrite, so a reader that saw post-overwrite bytes is guaranteed to
+  find the stash on the re-check).
+
+Reclamation is by pin count: a snapshot retains displaced entries and
+stashed bytes only in its own overlays, so closing it frees everything
+it kept alive.  ``snap.*`` counters (published epochs, pinned readers,
+reclaimed snapshots, lock-free read hits) surface through
+``Database.stats()`` and ``tools/inspect``.
+"""
+
+from __future__ import annotations
+
+import inspect as _inspect
+import threading
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.errors import (
+    DanglingReferenceError,
+    ReadOnlySnapshotError,
+    StorageError,
+    UnknownObjectError,
+    UnknownVersionError,
+    VersionError,
+)
+from repro.core.cache import READ_MISS, BudgetedLRU
+from repro.core.identity import Oid, Vid
+from repro.core.pointers import Ref, VersionRef, unwrap_ids
+from repro.storage import serialization
+from repro.storage.delta import apply_delta
+from repro.storage.heap import Rid
+
+if TYPE_CHECKING:
+    from repro.core.store import VersionStore
+    from repro.core.vgraph import VersionGraph
+
+#: Sentinel distinguishing "no overlay entry" from "overlay says absent".
+_MISS = object()
+
+#: Entry budget for each snapshot's private decoded-object cache.
+_SNAPSHOT_DECODED_ENTRIES = 256
+
+
+class SnapshotEntry:
+    """Frozen object-table row published into the committed table."""
+
+    __slots__ = ("type_name", "graph", "latest_serial")
+
+    def __init__(self, type_name: str, graph: "VersionGraph", latest_serial: int) -> None:
+        self.type_name = type_name
+        self.graph = graph
+        self.latest_serial = latest_serial
+
+
+class SnapshotRegistry:
+    """Publication, pinning and reclamation for one store's snapshots.
+
+    All mutations (publish, pin, unpin, byte stashes) happen under one
+    small internal lock, which is never held while waiting on any other
+    lock -- so pinning a snapshot cannot block behind a writer that holds
+    the storage mutex, an EXCLUSIVE object lock, or a page stripe.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pinned: dict[int, "Snapshot"] = {}
+        #: Pre-overwrite content of versions rewritten by transactions
+        #: that have not finished yet: seeds the byte overlay of any
+        #: snapshot pinned while such a transaction is in flight.
+        self._pending_bytes: dict[Vid, bytes] = {}
+        self._pending_by_oid: dict[Oid, set[Vid]] = {}
+        self.epoch = 0
+        self.published = 0
+        self.pins = 0
+        self.reclaimed = 0
+        self.stashes = 0
+        #: Reads served entirely without the storage mutex or object locks.
+        self.lockfree_hits = 0
+
+    # -- counters -----------------------------------------------------------
+
+    @property
+    def pinned_count(self) -> int:
+        """Number of snapshots currently pinned by readers."""
+        with self._lock:
+            return len(self._pinned)
+
+    def stats(self) -> dict[str, int]:
+        """The ``snap.*`` counter block for ``Database.stats()``."""
+        with self._lock:
+            return {
+                "snap.epoch": self.epoch,
+                "snap.published": self.published,
+                "snap.pinned": len(self._pinned),
+                "snap.pins": self.pins,
+                "snap.reclaimed": self.reclaimed,
+                "snap.stashes": self.stashes,
+                "snap.lockfree_hits": self.lockfree_hits,
+            }
+
+    # -- write-side hooks (called by the store under the storage mutex) ------
+
+    def stash_bytes(self, vid: Vid, content: bytes) -> None:
+        """Preserve a version's content before its heap record changes.
+
+        ``setdefault`` semantics everywhere: the *first* stash for a vid
+        wins, which is the last committed content (a transaction that
+        rewrites the same version twice must not overwrite the stash with
+        its own uncommitted intermediate).
+        """
+        with self._lock:
+            self.stashes += 1
+            if vid not in self._pending_bytes:
+                self._pending_bytes[vid] = content
+                self._pending_by_oid.setdefault(vid.oid, set()).add(vid)
+            for snap in self._pinned.values():
+                if vid not in snap._bytes_overlay:
+                    snap._bytes_overlay[vid] = content
+
+    def _drop_pending(self, oid: Oid) -> None:
+        vids = self._pending_by_oid.pop(oid, None)
+        if vids:
+            for vid in vids:
+                self._pending_bytes.pop(vid, None)
+
+    def publish(
+        self,
+        store: "VersionStore",
+        exclude: "frozenset[Oid] | set[Oid]" = frozenset(),
+        full: bool = False,
+    ) -> int:
+        """Advance the committed table to the store's current state.
+
+        ``exclude`` lists oids touched by still-active transactions: their
+        live state is uncommitted, so their committed-table slots (and any
+        pending byte stashes) are left exactly as they are.  ``full``
+        republishes every object rather than only the dirty set -- used at
+        open and after an abort's full reload, when the live table was
+        rebuilt wholesale.  Returns the (possibly unchanged) epoch.
+        """
+        with self._lock:
+            dirty = store._dirty_oids
+            if full:
+                candidates = set(store._table) | set(store._committed) | set(dirty)
+            else:
+                candidates = set(dirty)
+            publish_now = [oid for oid in candidates if oid not in exclude]
+            if not publish_now:
+                return self.epoch
+            committed = store._committed
+            by_type = store._committed_by_type
+            touched_types: set[str] = set()
+            for oid in publish_now:
+                old = committed.get(oid)
+                live = store._table.get(oid)
+                dirty.discard(oid)
+                self._drop_pending(oid)
+                if old is None and live is None:
+                    continue
+                # Stash the displaced entry (or its absence) into every
+                # pinned snapshot BEFORE the committed slot moves; readers
+                # re-check the overlay after every committed-table probe.
+                for snap in self._pinned.values():
+                    if oid not in snap._entry_overlay:
+                        snap._entry_overlay[oid] = old
+                if live is not None:
+                    live.graph_shared = True
+                    latest = live.graph.latest()
+                    if latest is None:
+                        committed.pop(oid, None)
+                    else:
+                        committed[oid] = SnapshotEntry(
+                            live.type_name, live.graph, latest
+                        )
+                    touched_types.add(live.type_name)
+                else:
+                    committed.pop(oid, None)
+                if old is not None:
+                    touched_types.add(old.type_name)
+            for tname in touched_types:
+                old_tuple = by_type.get(tname)
+                for snap in self._pinned.values():
+                    if tname not in snap._type_overlay:
+                        snap._type_overlay[tname] = old_tuple or ()
+                members = {
+                    o for o in store._by_type.get(tname, ()) if o in committed
+                }
+                # Members not republished this round (still excluded, e.g.
+                # deleted by an uncommitted transaction) stay visible.
+                members.update(o for o in (old_tuple or ()) if o in committed)
+                by_type[tname] = tuple(sorted(members))
+            self.epoch += 1
+            self.published += 1
+            return self.epoch
+
+    # -- read-side lifecycle --------------------------------------------------
+
+    def pin(self, store: "VersionStore", index_source: Any = None) -> "Snapshot":
+        """Pin the current epoch; the snapshot stays readable until closed."""
+        with self._lock:
+            self.pins += 1
+            snap = Snapshot(
+                store, self, self.epoch, dict(self._pending_bytes), index_source
+            )
+            self._pinned[id(snap)] = snap
+            return snap
+
+    def unpin(self, snap: "Snapshot") -> None:
+        with self._lock:
+            if self._pinned.pop(id(snap), None) is not None:
+                self.reclaimed += 1
+
+
+class Snapshot:
+    """A pinned, immutable point-in-time view of the committed database.
+
+    Implements the store protocol consumed by :class:`Ref` /
+    :class:`VersionRef` / :class:`~repro.core.query.Query`, so references
+    bind to a snapshot exactly as they bind to a database -- but every
+    read resolves against the pinned epoch, without the storage mutex and
+    without object locks.  Writes raise
+    :class:`~repro.errors.ReadOnlySnapshotError`.
+
+    Use as a context manager (``with db.snapshot() as snap: ...``) or
+    call :meth:`close` explicitly to unpin.
+    """
+
+    def __init__(
+        self,
+        store: "VersionStore",
+        registry: SnapshotRegistry,
+        epoch: int,
+        bytes_overlay: dict[Vid, bytes],
+        index_source: Any = None,
+    ) -> None:
+        self._store = store
+        self._registry = registry
+        self._epoch = epoch
+        self._bytes_overlay = bytes_overlay
+        self._entry_overlay: dict[Oid, SnapshotEntry | None] = {}
+        self._type_overlay: dict[str, tuple[Oid, ...]] = {}
+        self._decoded = BudgetedLRU(_SNAPSHOT_DECODED_ENTRIES, lambda _o: 1)
+        #: Per-snapshot memo of index resolutions (the satellite fix for
+        #: Query._indexed_domain re-walking the index every iteration).
+        self._domain_cache: dict[Any, list[Oid] | None] = {}
+        self._index_source = index_source
+        self._closed = False
+        # The store module imports this one, so grab its helpers lazily
+        # (the module is fully initialized by the time snapshots exist).
+        from repro.core import store as store_mod
+
+        self._full_kind = store_mod._FULL
+        self._is_shareable = store_mod._is_shareable
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The publication epoch this snapshot pinned."""
+        return self._epoch
+
+    @property
+    def pinned(self) -> bool:
+        """True until :meth:`close`."""
+        return not self._closed
+
+    @property
+    def store(self) -> "VersionStore":
+        """The underlying store (makes snapshot-bound refs compare equal
+        to database-bound refs into the same store)."""
+        return self._store
+
+    def close(self) -> None:
+        """Unpin; the registry reclaims whatever only this snapshot kept."""
+        if not self._closed:
+            self._closed = True
+            self._registry.unpin(self)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "pinned" if not self._closed else "closed"
+        return f"Snapshot(epoch={self._epoch}, {state})"
+
+    # -- entry resolution (double-checked against publish) --------------------
+
+    def _lookup(self, oid: Oid) -> SnapshotEntry | None:
+        """The entry this snapshot sees for ``oid`` (None = no object).
+
+        Probe order: own overlay, committed table, overlay again.  The
+        publisher stashes the displaced entry into the overlay *before*
+        overwriting the committed slot, so a racing reader that missed
+        the overlay and then saw the post-publish slot is guaranteed to
+        find the stash on the re-check.
+        """
+        overlay = self._entry_overlay
+        got = overlay.get(oid, _MISS)
+        if got is not _MISS:
+            return got
+        entry = self._store._committed.get(oid)
+        got = overlay.get(oid, _MISS)
+        if got is not _MISS:
+            return got
+        return entry
+
+    def _entry(self, oid: Oid) -> SnapshotEntry:
+        entry = self._lookup(oid)
+        if entry is None:
+            raise UnknownObjectError(f"no persistent object {oid!r}")
+        return entry
+
+    def _deref_entry(self, oid: Oid) -> SnapshotEntry:
+        entry = self._lookup(oid)
+        if entry is None:
+            raise DanglingReferenceError(f"object {oid!r} no longer exists")
+        return entry
+
+    # -- payload bytes ---------------------------------------------------------
+
+    def _node_payload(self, vid: Vid, data: tuple) -> tuple[bytes, bool]:
+        """``(payload, from_overlay)`` for one graph node's stored record.
+
+        A heap read is re-checked against the byte overlay: the writer
+        stashes pre-op content *before* rewriting the record, so if the
+        record changed under us the stash is there, and if the stash is
+        not there the record we read is the snapshot's content.
+        """
+        content = self._bytes_overlay.get(vid)
+        if content is not None:
+            return content, True
+        _kind, page_id, slot = data
+        try:
+            raw = self._store._versions.read(Rid(page_id, slot))
+        except StorageError:
+            # A writer deleted the record under us; it stashed the content
+            # first, so the overlay must have it -- anything else is a
+            # genuine storage failure.
+            content = self._bytes_overlay.get(vid)
+            if content is not None:
+                return content, True
+            raise
+        content = self._bytes_overlay.get(vid)
+        if content is not None:
+            return content, True
+        return raw, False
+
+    def _version_bytes(self, entry: SnapshotEntry, oid: Oid, serial: int) -> bytes:
+        """Materialized content of one version, per this snapshot.
+
+        Probe order per chain node: byte overlay -> shared bytes cache
+        (re-checked against the overlay) -> heap record under the page
+        stripes (re-checked again).  The result lands in the shared cache
+        only when no overlay was involved anywhere along the chain -- an
+        overlay hit means live bytes have diverged from this snapshot.
+        """
+        store = self._store
+        vid = Vid(oid, serial)
+        content = self._bytes_overlay.get(vid)
+        if content is not None:
+            return content
+        cached = store._bytes_cache.get(vid)
+        if cached is not None:
+            content = self._bytes_overlay.get(vid)
+            return content if content is not None else cached
+        graph = entry.graph
+        chain: list[int] = []  # delta serials to apply, newest first
+        overlay_used = False
+        current: int | None = serial
+        while True:
+            if current is None:
+                raise VersionError(f"delta chain of {oid!r} has no full-copy root")
+            step_vid = Vid(oid, current)
+            if current != serial:
+                content = self._bytes_overlay.get(step_vid)
+                if content is not None:
+                    overlay_used = True
+                    break
+                cached = store._bytes_cache.get(step_vid)
+                if cached is not None:
+                    content = self._bytes_overlay.get(step_vid)
+                    if content is not None:
+                        overlay_used = True
+                    else:
+                        content = cached
+                    break
+            node = graph.node(current)
+            if node.data[0] == self._full_kind:
+                content, from_overlay = self._node_payload(step_vid, node.data)
+                overlay_used = overlay_used or from_overlay
+                break
+            chain.append(current)
+            current = node.dprev
+        for step in reversed(chain):
+            payload, from_overlay = self._node_payload(
+                Vid(oid, step), graph.node(step).data
+            )
+            if from_overlay:
+                # The overlay holds full content, superseding the chain
+                # prefix assembled so far.
+                content = payload
+                overlay_used = True
+            else:
+                content = apply_delta(content, payload, store._stats)
+        if not overlay_used:
+            # Everything came from shared state that matches live bytes,
+            # so the result is safe to share with the locked read path.
+            store._cache_bytes(vid, content)
+        return content
+
+    # -- store protocol: reads -------------------------------------------------
+
+    def latest_vid(self, oid: Oid) -> Vid:
+        """The version id the object id denotes in this snapshot."""
+        entry = self._deref_entry(oid)
+        self._registry.lockfree_hits += 1
+        return Vid(oid, entry.latest_serial)
+
+    def materialize(self, vid: Vid) -> Any:
+        """Decode a fresh copy of the version as of this snapshot."""
+        entry = self._deref_entry(vid.oid)
+        if vid.serial not in entry.graph:
+            raise DanglingReferenceError(f"version {vid!r} no longer exists")
+        content = self._version_bytes(entry, vid.oid, vid.serial)
+        self._registry.lockfree_hits += 1
+        return serialization.decode(content)
+
+    def read_attr(self, vid: Vid, name: str) -> Any:
+        """Attribute-read fast path over this snapshot's private decodes."""
+        entry = self._deref_entry(vid.oid)
+        if vid.serial not in entry.graph:
+            raise DanglingReferenceError(f"version {vid!r} no longer exists")
+        obj = self._decoded.get(vid)
+        if obj is None:
+            content = self._version_bytes(entry, vid.oid, vid.serial)
+            obj = serialization.decode(content)
+            self._decoded.put(vid, obj)
+        self._registry.lockfree_hits += 1
+        value = getattr(obj, name)
+        if _inspect.ismethod(value) and value.__self__ is obj:
+            return READ_MISS
+        if self._is_shareable(value):
+            return value
+        return READ_MISS
+
+    def object_exists(self, oid: Oid) -> bool:
+        """True while the object exists in this snapshot."""
+        return self._lookup(oid) is not None
+
+    def version_exists(self, vid: Vid) -> bool:
+        """True while the specific version exists in this snapshot."""
+        entry = self._lookup(vid.oid)
+        return entry is not None and vid.serial in entry.graph
+
+    def type_name(self, oid: Oid) -> str:
+        """Stable type name of the object's class."""
+        return self._entry(oid).type_name
+
+    def graph(self, oid: Oid) -> "VersionGraph":
+        """The frozen version graph published into this snapshot."""
+        return self._entry(oid).graph
+
+    # -- store protocol: writes (refused) --------------------------------------
+
+    def _read_only(self, op: str) -> ReadOnlySnapshotError:
+        return ReadOnlySnapshotError(
+            f"snapshot (epoch {self._epoch}) is read-only: {op} is not allowed"
+        )
+
+    def pnew(self, obj: Any, log_op: Any = None) -> Ref:
+        raise self._read_only("pnew")
+
+    def newversion(self, target: Any, log_op: Any = None) -> VersionRef:
+        raise self._read_only("newversion")
+
+    def pdelete(self, target: Any, log_op: Any = None) -> None:
+        raise self._read_only("pdelete")
+
+    def write_version(self, vid: Vid, obj: Any, log_op: Any = None) -> None:
+        raise self._read_only("write_version")
+
+    def write_version_if_changed(self, vid: Vid, obj: Any, log_op: Any = None) -> bool:
+        """False for a no-op write-back; raises when a write is needed.
+
+        Lets pure reader methods run through snapshot-bound refs (the
+        write-back layer calls this after every method call); a method
+        that actually mutated its receiver still fails read-only.
+        """
+        entry = self._lookup(vid.oid)
+        if entry is not None and vid.serial in entry.graph:
+            stored = self._version_bytes(entry, vid.oid, vid.serial)
+            if serialization.encode(unwrap_ids(obj)) == stored:
+                return False
+        raise self._read_only("write_version")
+
+    # -- traversal (paper §4) ---------------------------------------------------
+
+    def _resolve(self, target: Ref | VersionRef | Oid | Vid) -> Vid:
+        if isinstance(target, Ref):
+            return self.latest_vid(target.oid)
+        if isinstance(target, Oid):
+            return self.latest_vid(target)
+        if isinstance(target, VersionRef):
+            return target.vid
+        if isinstance(target, Vid):
+            return target
+        raise TypeError(f"expected a reference or id, got {type(target).__qualname__}")
+
+    @staticmethod
+    def _oid_of(target: Ref | VersionRef | Oid | Vid) -> Oid:
+        if isinstance(target, (Ref, VersionRef)):
+            return target.oid
+        if isinstance(target, Vid):
+            return target.oid
+        return target
+
+    def _graph_of(self, vid: Vid) -> "VersionGraph":
+        graph = self._entry(vid.oid).graph
+        if vid.serial not in graph:
+            raise UnknownVersionError(f"no live version with serial {vid.serial}")
+        return graph
+
+    def dprevious(self, vref: VersionRef | Vid) -> VersionRef | None:
+        """The version ``vref`` was derived from, in this snapshot."""
+        vid = self._resolve(vref)
+        serial = self._graph_of(vid).dprevious(vid.serial)
+        return None if serial is None else VersionRef(self, Vid(vid.oid, serial))
+
+    def dnext(self, vref: VersionRef | Vid) -> list[VersionRef]:
+        """Versions derived from ``vref`` (revisions and variants)."""
+        vid = self._resolve(vref)
+        return [
+            VersionRef(self, Vid(vid.oid, s))
+            for s in self._graph_of(vid).dnext(vid.serial)
+        ]
+
+    def tprevious(self, vref: VersionRef | Vid) -> VersionRef | None:
+        """The temporally preceding version."""
+        vid = self._resolve(vref)
+        serial = self._graph_of(vid).tprevious(vid.serial)
+        return None if serial is None else VersionRef(self, Vid(vid.oid, serial))
+
+    def tnext(self, vref: VersionRef | Vid) -> VersionRef | None:
+        """The temporally following version."""
+        vid = self._resolve(vref)
+        serial = self._graph_of(vid).tnext(vid.serial)
+        return None if serial is None else VersionRef(self, Vid(vid.oid, serial))
+
+    def history(self, vref: VersionRef | Vid) -> list[VersionRef]:
+        """Derivation path of ``vref``, newest first."""
+        vid = self._resolve(vref)
+        return [
+            VersionRef(self, Vid(vid.oid, s))
+            for s in self._graph_of(vid).history(vid.serial)
+        ]
+
+    def version_as_of(self, target: Ref | Oid, timestamp: float) -> VersionRef | None:
+        """The version that was latest at ``timestamp``, per this snapshot."""
+        oid = self._oid_of(target)
+        serial = self._entry(oid).graph.latest_at(timestamp)
+        return None if serial is None else VersionRef(self, Vid(oid, serial))
+
+    def versions(self, target: Ref | Oid) -> list[VersionRef]:
+        """All versions of the object in this snapshot, oldest first."""
+        oid = self._oid_of(target)
+        return [VersionRef(self, Vid(oid, s)) for s in self._entry(oid).graph.serials()]
+
+    def leaves(self, target: Ref | Oid) -> list[VersionRef]:
+        """Up-to-date version of every alternative (derivation leaves)."""
+        oid = self._oid_of(target)
+        return [VersionRef(self, Vid(oid, s)) for s in self._entry(oid).graph.leaves()]
+
+    def alternatives(self, target: Ref | Oid) -> list[list[VersionRef]]:
+        """Every root-to-leaf derivation path."""
+        oid = self._oid_of(target)
+        return [
+            [VersionRef(self, Vid(oid, s)) for s in path]
+            for path in self._entry(oid).graph.alternatives()
+        ]
+
+    def version_count(self, target: Ref | Oid) -> int:
+        """Number of versions of the object in this snapshot."""
+        return len(self._entry(self._oid_of(target)).graph)
+
+    def deref(self, ident: Oid | Vid) -> Ref | VersionRef:
+        """Bind an id into a snapshot-bound reference."""
+        if isinstance(ident, Oid):
+            return Ref(self, ident)
+        if isinstance(ident, Vid):
+            return VersionRef(self, ident)
+        raise TypeError(f"expected Oid or Vid, got {type(ident).__qualname__}")
+
+    # -- clusters & queries ------------------------------------------------------
+
+    def _type_key(self, type_or_name: type | str) -> str:
+        if isinstance(type_or_name, str):
+            return type_or_name
+        resolved = serialization.registered_name(type_or_name)
+        if resolved is not None:
+            return resolved
+        return f"{type_or_name.__module__}.{type_or_name.__qualname__}"
+
+    def _cluster_members(self, name: str) -> tuple[Oid, ...]:
+        overlay = self._type_overlay
+        got = overlay.get(name, _MISS)
+        if got is _MISS:
+            members = self._store._committed_by_type.get(name, ())
+            got = overlay.get(name, _MISS)
+            if got is _MISS:
+                got = members
+        return got or ()
+
+    def cluster(self, type_or_name: type | str) -> list[Ref]:
+        """Snapshot-bound generic references to every object of the type."""
+        name = self._type_key(type_or_name)
+        out = []
+        for oid in self._cluster_members(name):
+            entry = self._lookup(oid)
+            if entry is not None and entry.type_name == name:
+                out.append(Ref(self, oid))
+        return out
+
+    def cluster_names(self) -> list[str]:
+        """Type names with at least one object in this snapshot."""
+        names = set(list(self._store._committed_by_type)) | set(self._type_overlay)
+        out = []
+        for name in names:
+            for oid in self._cluster_members(name):
+                entry = self._lookup(oid)
+                if entry is not None and entry.type_name == name:
+                    out.append(name)
+                    break
+        return sorted(out)
+
+    def all_objects(self) -> Iterator[Ref]:
+        """Snapshot-bound references to every object, oid order."""
+        oids = set(list(self._store._committed))
+        for oid, entry in list(self._entry_overlay.items()):
+            if entry is None:
+                oids.discard(oid)
+            else:
+                oids.add(oid)
+        for oid in sorted(oids):
+            if self._lookup(oid) is not None:
+                yield Ref(self, oid)
+
+    def object_count(self) -> int:
+        """Number of objects in this snapshot."""
+        return sum(1 for _ in self.all_objects())
+
+    def query(self, type_or_name: type | str) -> Any:
+        """A ``suchthat`` query evaluated against this snapshot."""
+        from repro.core.query import Query
+
+        return Query(self, type_or_name)
+
+    # -- index probes ------------------------------------------------------------
+
+    def _divergent_oids(self) -> set[Oid]:
+        """Objects whose snapshot state may disagree with the live index:
+        republished since the pin (entry overlay) or rewritten by an
+        uncommitted transaction (byte overlay)."""
+        out: set[Oid] = set(self._entry_overlay)
+        out.update(vid.oid for vid in list(self._bytes_overlay))
+        return out
+
+    def _index_candidates(self, type_name: str, oids: list[Oid]) -> list[Oid]:
+        candidates = set(oids)
+        candidates |= self._divergent_oids()
+        out = []
+        for oid in sorted(candidates):
+            entry = self._lookup(oid)
+            if entry is not None and entry.type_name == type_name:
+                out.append(oid)
+        return out
+
+    def index_lookup(self, type_name: str, attr: str, value: Any) -> list[Oid] | None:
+        """Index probe for the query layer, memoized per snapshot.
+
+        The live index reflects live latest-state, so objects that have
+        diverged from this snapshot (in either direction) are always
+        added back as candidates -- the query's predicate re-check, which
+        reads *through the snapshot*, gives the exact answer.
+        """
+        if self._index_source is None:
+            return None
+        key = ("eq", type_name, attr, value)
+        try:
+            cached = self._domain_cache.get(key, _MISS)
+        except TypeError:  # unhashable probe value: skip memoization
+            key = None
+            cached = _MISS
+        if cached is not _MISS:
+            return cached
+        try:
+            oids = self._index_source.index_lookup(type_name, attr, value)
+        except RuntimeError:
+            # The live index mutated mid-probe; fall back to a scan.
+            return None
+        result = None if oids is None else self._index_candidates(type_name, oids)
+        if key is not None:
+            self._domain_cache[key] = result
+        return result
+
+    def index_lookup_range(
+        self, type_name: str, attr: str, lo: Any, hi: Any
+    ) -> list[Oid] | None:
+        """Ordered-index probe for the query layer, memoized per snapshot."""
+        if self._index_source is None:
+            return None
+        key = ("range", type_name, attr, lo, hi)
+        try:
+            cached = self._domain_cache.get(key, _MISS)
+        except TypeError:
+            key = None
+            cached = _MISS
+        if cached is not _MISS:
+            return cached
+        try:
+            oids = self._index_source.index_lookup_range(type_name, attr, lo, hi)
+        except RuntimeError:
+            return None
+        result = None if oids is None else self._index_candidates(type_name, oids)
+        if key is not None:
+            self._domain_cache[key] = result
+        return result

@@ -50,6 +50,7 @@ from repro.core.cache import (
 )
 from repro.core.identity import Oid, Vid
 from repro.core.pointers import Ref, VersionRef, unwrap_ids
+from repro.core.snapshot import Snapshot, SnapshotEntry, SnapshotRegistry
 from repro.core.vgraph import VersionGraph
 from repro.storage import serialization
 from repro.storage.catalog import Catalog
@@ -124,7 +125,15 @@ class StoragePolicy:
 class _Entry:
     """In-memory object-table entry for one persistent object."""
 
-    __slots__ = ("oid", "type_name", "graph", "rid", "cluster_rid", "latest_vid")
+    __slots__ = (
+        "oid",
+        "type_name",
+        "graph",
+        "rid",
+        "cluster_rid",
+        "latest_vid",
+        "graph_shared",
+    )
 
     def __init__(
         self,
@@ -142,6 +151,10 @@ class _Entry:
         #: Memoized Vid of the temporally latest version (generic-reference
         #: fast path); None = recompute.  Invalidated by newversion/pdelete.
         self.latest_vid: Vid | None = None
+        #: True once the graph was published into the snapshot committed
+        #: table: pinned readers may be traversing it, so any mutation must
+        #: clone first (see :meth:`VersionStore._mutable_graph`).
+        self.graph_shared = False
 
 
 class VersionStore:
@@ -180,7 +193,17 @@ class VersionStore:
         )
         self._stats = CacheStats()
         self._observers: list[Observer] = []
+        #: Snapshot read path (see repro.core.snapshot): the committed
+        #: table mirrors ``_table`` at the last publication epoch, the
+        #: dirty set tracks objects changed since, and the registry owns
+        #: pinning/publication.  Created before _load so the load's graph
+        #: construction cannot race a (not-yet-possible) publish.
+        self._dirty_oids: set[Oid] = set()
+        self._committed: dict[Oid, SnapshotEntry] = {}
+        self._committed_by_type: dict[str, tuple[Oid, ...]] = {}
+        self._snapshots = SnapshotRegistry()
         self._load()
+        self._snapshots.publish(self, full=True)
 
     @property
     def policy(self) -> StoragePolicy:
@@ -230,6 +253,56 @@ class VersionStore:
         self._load_table()
         for oid in touched:
             self._invalidate_object(oid)
+
+    # -- snapshot publication (lock-free read path) ----------------------------
+
+    @property
+    def snapshots(self) -> SnapshotRegistry:
+        """The registry owning snapshot publication, pinning, reclamation."""
+        return self._snapshots
+
+    def _mutable_graph(self, entry: _Entry) -> VersionGraph:
+        """The entry's graph, cloned first if a snapshot may be reading it.
+
+        Published graphs are frozen (pinned readers traverse them without
+        locks); copy-on-write keeps the frozen original intact while the
+        writer mutates its private clone.
+        """
+        if entry.graph_shared:
+            entry.graph = entry.graph.clone()
+            entry.graph_shared = False
+        return entry.graph
+
+    def has_unpublished_changes(self, exclude: "frozenset[Oid] | set[Oid]" = frozenset()) -> bool:
+        """True when a publish (ignoring ``exclude``) would advance the epoch."""
+        return any(oid not in exclude for oid in self._dirty_oids)
+
+    def publish_snapshot(
+        self,
+        exclude: "frozenset[Oid] | set[Oid]" = frozenset(),
+        full: bool = False,
+    ) -> int:
+        """Publish committed state for snapshot readers; returns the epoch.
+
+        Must run with writers quiesced (the database facade calls this
+        under the storage mutex after a transaction finishes).  ``exclude``
+        lists objects touched by still-active transactions.
+        """
+        return self._snapshots.publish(self, exclude=exclude, full=full)
+
+    def pin_snapshot(self, index_source: Any = None) -> Snapshot:
+        """Pin the current publication epoch for lock-free reads."""
+        return self._snapshots.pin(self, index_source)
+
+    def _stash_version(self, entry: _Entry, serial: int) -> None:
+        """Preserve a version's current content for pinned/pending snapshots.
+
+        Called *before* the version's heap record is rewritten or deleted;
+        snapshot readers re-check their overlays after every shared-state
+        probe, so stash-before-overwrite makes the lock-free path safe.
+        """
+        content = self._version_bytes(entry, serial)
+        self._snapshots.stash_bytes(Vid(entry.oid, serial), content)
 
     # -- cache bookkeeping ----------------------------------------------------
 
@@ -389,7 +462,7 @@ class VersionStore:
         any delta-stored children are recomputed (their *content* must not
         change when their base does).
         """
-        graph = entry.graph
+        graph = self._mutable_graph(entry)
         node = graph.node(serial)
         # Materialize delta children BEFORE the base changes.
         delta_children = [
@@ -398,6 +471,14 @@ class VersionStore:
         child_contents = {
             child: self._version_bytes(entry, child) for child in delta_children
         }
+        # Stash pre-op content before any record changes: the rewritten
+        # version's old bytes, and the children whose stored encoding is
+        # about to be re-based (their content is unchanged, so the stash
+        # is valid on both sides of the rewrite).
+        self._stash_version(entry, serial)
+        for child, child_content in child_contents.items():
+            self._snapshots.stash_bytes(Vid(entry.oid, child), child_content)
+        self._dirty_oids.add(entry.oid)
         kind, page_id, slot = node.data
         if kind == _DELTA:
             assert node.dprev is not None
@@ -464,6 +545,7 @@ class VersionStore:
         self._by_type.setdefault(type_name, set()).add(oid)
         self._cache_bytes(Vid(oid, serial), content)
         entry.latest_vid = Vid(oid, serial)
+        self._dirty_oids.add(oid)
         self._notify(EV_CREATE, oid, Vid(oid, serial))
         return Ref(self, oid)
 
@@ -478,7 +560,7 @@ class VersionStore:
         """
         base_vid = self._resolve(target)
         entry = self._entry(base_vid.oid)
-        graph = entry.graph
+        graph = self._mutable_graph(entry)
         base_serial = base_vid.serial
         content = self._version_bytes(entry, base_serial)
         serial = graph.max_serial + 1
@@ -488,6 +570,7 @@ class VersionStore:
         vid = Vid(entry.oid, serial)
         self._cache_bytes(vid, content)
         entry.latest_vid = vid  # the new version is the temporally latest
+        self._dirty_oids.add(entry.oid)
         self._notify(EV_NEWVERSION, entry.oid, vid)
         return VersionRef(self, vid)
 
@@ -502,6 +585,12 @@ class VersionStore:
 
     def _delete_object(self, oid: Oid, log_op: LogOp | None) -> None:
         entry = self._entry(oid)
+        # Pinned (and not-yet-pinned mid-transaction) snapshots must keep
+        # reading every version after the records are gone: stash them all
+        # before the first delete.
+        for node in list(entry.graph.walk_temporal()):
+            self._stash_version(entry, node.serial)
+        self._dirty_oids.add(oid)
         for node in list(entry.graph.walk_temporal()):
             _kind, page_id, slot = node.data
             self._versions.delete(Rid(page_id, slot), log_op)
@@ -523,6 +612,7 @@ class VersionStore:
             # Deleting the only version deletes the object.
             self._delete_object(vid.oid, log_op)
             return
+        graph = self._mutable_graph(entry)
         node = graph.node(vid.serial)
         # Children stored as deltas against this version must be re-based
         # before the splice: materialize them now.
@@ -532,6 +622,11 @@ class VersionStore:
         child_contents = {
             child: self._version_bytes(entry, child) for child in delta_children
         }
+        # Stash before the record delete / child re-encodes touch the heap.
+        self._stash_version(entry, vid.serial)
+        for child, child_content in child_contents.items():
+            self._snapshots.stash_bytes(Vid(entry.oid, child), child_content)
+        self._dirty_oids.add(entry.oid)
         removed = graph.remove(vid.serial)
         entry.latest_vid = None  # deleting the latest moves the denotation
         _kind, page_id, slot = removed.data

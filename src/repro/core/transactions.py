@@ -373,6 +373,12 @@ class Transaction:
         #: Set when an operation failed partway through -- the touched set
         #: can no longer be trusted, so abort falls back to a full reload.
         self.cache_taint = False
+        #: Pinned snapshot for snapshot-read transactions (set by the
+        #: database facade); reads route through it, lock-free.
+        self.snapshot = None
+        #: True for snapshot-read transactions: every mutation fails fast
+        #: with :class:`~repro.errors.ReadOnlySnapshotError`.
+        self.read_only = False
         self._log = log
         self._locks = lock_manager
         self._heap_resolver = heap_resolver

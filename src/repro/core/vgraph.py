@@ -240,6 +240,27 @@ class VersionGraph:
         """Edges between ``serial`` and its derivation root."""
         return len(self.history(serial)) - 1
 
+    def clone(self) -> VersionGraph:
+        """A structurally independent copy sharing only the ``data`` payloads.
+
+        The snapshot layer publishes graphs by reference and marks them
+        shared; a writer about to mutate a shared graph clones it first
+        (copy-on-write), so pinned snapshot readers keep traversing the
+        frozen original without any lock.  ``data`` values (payload
+        locations) are treated as immutable by the store -- every rewrite
+        installs a fresh tuple -- so they can be shared.
+        """
+        copy = VersionGraph()
+        for serial in self._order:
+            node = self._nodes[serial]
+            twin = VersionNode(serial, node.dprev, node.ctime, node.data)
+            twin.children = list(node.children)
+            copy._nodes[serial] = twin
+        copy._order = list(self._order)
+        copy._ctimes = list(self._ctimes)
+        copy._max_serial = self._max_serial
+        return copy
+
     # -- invariants ---------------------------------------------------------
 
     def validate(self) -> None:

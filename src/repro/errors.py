@@ -132,6 +132,15 @@ class TransactionStateError(TransactionError):
     """An operation was issued against a finished or inactive transaction."""
 
 
+class ReadOnlySnapshotError(TransactionError):
+    """A write was attempted through a snapshot view or snapshot-read
+    transaction.
+
+    Snapshot views and snapshot-read transactions reject writes; use an
+    ordinary transaction (strict 2PL) for mutations.
+    """
+
+
 class DatabaseDegradedError(OdeError):
     """The database is in read-only degraded mode after persistent I/O failure.
 

@@ -22,6 +22,7 @@ from repro.storage import serialization
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager
 from repro.storage.heap import HeapFile, LogOp, Rid
+from repro.storage.stripes import StripedLock
 
 #: The catalog lives in heap file 1, always.
 CATALOG_FILE_ID = 1
@@ -36,10 +37,16 @@ class Catalog:
     transaction is running.
     """
 
-    def __init__(self, disk: DiskManager, pool: BufferPool) -> None:
+    def __init__(
+        self,
+        disk: DiskManager,
+        pool: BufferPool,
+        page_locks: StripedLock | None = None,
+    ) -> None:
         self._disk = disk
         self._pool = pool
-        self._heap = HeapFile(CATALOG_FILE_ID, disk, pool)
+        self._page_locks = page_locks
+        self._heap = HeapFile(CATALOG_FILE_ID, disk, pool, page_locks=page_locks)
         self._heaps: dict[str, int] = {}
         self._heap_rids: dict[str, Rid] = {}
         self._counters: dict[str, int] = {}
@@ -104,7 +111,9 @@ class Catalog:
         """Open a heap by file id (shared instance per id)."""
         heap = self._open_heaps.get(file_id)
         if heap is None:
-            heap = HeapFile(file_id, self._disk, self._pool)
+            heap = HeapFile(
+                file_id, self._disk, self._pool, page_locks=self._page_locks
+            )
             self._open_heaps[file_id] = heap
         return heap
 

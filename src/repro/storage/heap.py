@@ -34,6 +34,7 @@ from repro.storage import faults, serialization
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager
 from repro.storage.pages import MAX_RECORD_PAYLOAD, SlottedPage
+from repro.storage.stripes import StripedLock
 from repro.storage.wal import OP_DELETE, OP_INSERT, OP_UPDATE
 
 _INLINE = 0x00
@@ -80,12 +81,17 @@ class HeapFile:
         disk: DiskManager,
         pool: BufferPool,
         known_pages: list[int] | None = None,
+        page_locks: StripedLock | None = None,
     ) -> None:
         if not 1 <= file_id <= 0xFFFF:
             raise HeapError(f"heap file id must be 1..65535, got {file_id}")
         self._file_id = file_id
         self._disk = disk
         self._pool = pool
+        # Striped page locks guard each physical op's fetch..unpin window
+        # against lock-free snapshot readers; one stripe is held at a time,
+        # so the stripes cannot deadlock.  None = single-threaded heap.
+        self._page_locks = page_locks
         self._pages: list[int] = list(known_pages) if known_pages else []
         # Approximate free space per page; refreshed lazily.
         self._free: dict[int, int] = {}
@@ -130,15 +136,27 @@ class HeapFile:
         self._free[page_id] = page.free_space
         return page_id
 
+    def _stripe_acquire(self, page_id: int) -> None:
+        if self._page_locks is not None:
+            self._page_locks.acquire(page_id)
+
+    def _stripe_release(self, page_id: int) -> None:
+        if self._page_locks is not None:
+            self._page_locks.release(page_id)
+
     def _physical_insert(self, physical: bytes, log_op: LogOp | None) -> Rid:
         faults.fire("heap.insert.pre")
         page_id = self._find_page_for(len(physical))
-        page = self._pool.fetch(page_id)
+        self._stripe_acquire(page_id)
         try:
-            slot = page.insert(physical)
-            self._free[page_id] = page.free_space
+            page = self._pool.fetch(page_id)
+            try:
+                slot = page.insert(physical)
+                self._free[page_id] = page.free_space
+            finally:
+                self._pool.unpin(page_id, dirty=True)
         finally:
-            self._pool.unpin(page_id, dirty=True)
+            self._stripe_release(page_id)
         if log_op is not None:
             log_op(OP_INSERT, self._file_id, page_id, slot, physical, b"")
         faults.fire("heap.insert.post")
@@ -148,37 +166,49 @@ class HeapFile:
         if rid.page_id not in self._free and rid.page_id not in self._pages:
             # Unknown page: treat as missing record rather than disk error.
             raise RecordNotFoundError(f"no record at {rid} (unknown page)")
-        with self._pool.page(rid.page_id) as page:
-            if not page.has_record(rid.slot):
-                raise RecordNotFoundError(f"no record at {rid}")
-            return page.read(rid.slot)
+        self._stripe_acquire(rid.page_id)
+        try:
+            with self._pool.page(rid.page_id) as page:
+                if not page.has_record(rid.slot):
+                    raise RecordNotFoundError(f"no record at {rid}")
+                return page.read(rid.slot)
+        finally:
+            self._stripe_release(rid.page_id)
 
     def _physical_update(self, rid: Rid, physical: bytes, log_op: LogOp | None) -> None:
         faults.fire("heap.update.pre")
-        page = self._pool.fetch(rid.page_id)
+        self._stripe_acquire(rid.page_id)
         try:
-            if not page.has_record(rid.slot):
-                raise RecordNotFoundError(f"no record at {rid}")
-            old = page.read(rid.slot)
-            page.update(rid.slot, physical)
-            self._free[rid.page_id] = page.free_space
+            page = self._pool.fetch(rid.page_id)
+            try:
+                if not page.has_record(rid.slot):
+                    raise RecordNotFoundError(f"no record at {rid}")
+                old = page.read(rid.slot)
+                page.update(rid.slot, physical)
+                self._free[rid.page_id] = page.free_space
+            finally:
+                self._pool.unpin(rid.page_id, dirty=True)
         finally:
-            self._pool.unpin(rid.page_id, dirty=True)
+            self._stripe_release(rid.page_id)
         if log_op is not None:
             log_op(OP_UPDATE, self._file_id, rid.page_id, rid.slot, physical, old)
         faults.fire("heap.update.post")
 
     def _physical_delete(self, rid: Rid, log_op: LogOp | None) -> None:
         faults.fire("heap.delete.pre")
-        page = self._pool.fetch(rid.page_id)
+        self._stripe_acquire(rid.page_id)
         try:
-            if not page.has_record(rid.slot):
-                raise RecordNotFoundError(f"no record at {rid}")
-            old = page.read(rid.slot)
-            page.delete(rid.slot)
-            self._free[rid.page_id] = page.free_space
+            page = self._pool.fetch(rid.page_id)
+            try:
+                if not page.has_record(rid.slot):
+                    raise RecordNotFoundError(f"no record at {rid}")
+                old = page.read(rid.slot)
+                page.delete(rid.slot)
+                self._free[rid.page_id] = page.free_space
+            finally:
+                self._pool.unpin(rid.page_id, dirty=True)
         finally:
-            self._pool.unpin(rid.page_id, dirty=True)
+            self._stripe_release(rid.page_id)
         if log_op is not None:
             log_op(OP_DELETE, self._file_id, rid.page_id, rid.slot, b"", old)
         faults.fire("heap.delete.post")

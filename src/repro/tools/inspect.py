@@ -47,6 +47,11 @@ class DatabaseSummary:
             if self.degraded_reason
             else "ok"
         )
+        if "snap.epoch" in self.counters:
+            health += (
+                f" -- snapshot epoch {self.counters['snap.epoch']}, "
+                f"{self.counters.get('snap.pinned', 0)} pinned reader(s)"
+            )
         lines = [
             f"database: {self.path}",
             f"  health: {health}",

@@ -16,6 +16,13 @@ workload shapes most likely to deadlock, starve, or lose updates:
 * ``newversion_chain`` -- threads race ``newversion`` + write on one
   object, growing a long version chain; exercises the detector while
   each attempt does multiple logged operations.
+* ``snapshot_readers`` (``--snapshots``) -- half the threads increment
+  counters through ``run_transaction`` while the other half continuously
+  pin :meth:`Database.snapshot` views and sum the counters lock-free.
+  Verifies *monotonic snapshot visibility* (epochs and observed totals
+  never go backwards for any reader), that every pinned view is
+  internally consistent, and -- via a final snapshot -- that no
+  acknowledged increment was lost.
 
 Every scenario verifies, from per-thread ledgers:
 
@@ -30,7 +37,7 @@ Every scenario verifies, from per-thread ledgers:
 
 Run it:
 
-    PYTHONPATH=src python -m repro.tools.stress [--smoke] [-v]
+    PYTHONPATH=src python -m repro.tools.stress [--smoke] [--snapshots] [-v]
 """
 
 from __future__ import annotations
@@ -254,10 +261,121 @@ def _scenario_newversion_chain(
     return result
 
 
+def _scenario_snapshot_readers(
+    path: Path, threads: int, rounds: int
+) -> ScenarioResult:
+    """Writers increment under 2PL while readers scan pinned snapshots.
+
+    The readers-vs-writers mix from the lock-free read path: writer
+    threads do classic read-modify-write increments, reader threads pin
+    ``db.snapshot()`` in a loop and sum every counter through the frozen
+    view.  Checks, per reader: snapshot epochs never decrease and
+    observed totals never decrease (monotonic visibility).  Afterwards:
+    a final snapshot must show exactly the acknowledged increments (no
+    lost updates) and no reader may leave a snapshot pinned.
+    """
+    result = ScenarioResult("snapshot_readers", threads, rounds)
+    writers = max(1, threads // 2)
+    readers = max(1, threads - writers)
+    hot = max(2, writers)
+    with Database(path, lock_timeout=LOCK_TIMEOUT) as db:
+        refs = [db.pnew(Counter(tag=i)) for i in range(hot)]
+        oids = [ref.oid for ref in refs]
+        committed = [0] * writers
+        acked = threading.Semaphore(0)  # one release per acknowledged commit
+        done = threading.Event()
+
+        def writer(wid: int) -> None:
+            for j in range(rounds):
+                ref = refs[(wid + j) % hot]
+
+                def increment() -> None:
+                    ref.val = ref.val + 1
+
+                db.run_transaction(increment, max_attempts=40)
+                committed[wid] += 1
+                acked.release()
+
+        def reader(rid: int) -> None:
+            last_epoch = -1
+            last_total = -1
+            while not done.is_set():
+                # No read-your-acked-writes floor here: publication can
+                # lag acknowledgement when the next writer grabs the
+                # freed lock and dirties the object before the committer
+                # publishes.  The contract is monotonic visibility plus
+                # the final no-lost-updates balance below.
+                with db.snapshot() as snap:
+                    if snap.epoch < last_epoch:
+                        result.problems.append(
+                            f"reader {rid}: epoch went backwards "
+                            f"({snap.epoch} < {last_epoch})"
+                        )
+                        return
+                    last_epoch = snap.epoch
+                    total = sum(snap.materialize(snap.latest_vid(oid)).val for oid in oids)
+                if total < last_total:
+                    result.problems.append(
+                        f"reader {rid}: total went backwards "
+                        f"({total} < {last_total}) -- non-monotonic visibility"
+                    )
+                    return
+                last_total = total
+
+        def worker(wid: int) -> None:
+            if wid < writers:
+                writer(wid)
+            else:
+                reader(wid - writers)
+
+        # Writers signal completion through the semaphore; flip ``done``
+        # once all acknowledged commits are in so readers wind down.
+        def closer() -> None:
+            for _ in range(writers * rounds):
+                acked.acquire()
+            done.set()
+
+        stop = threading.Thread(target=closer, name="stress-closer")
+        stop.start()
+        try:
+            _run_workers(result, worker, writers + readers)
+        finally:
+            done.set()
+            stop.join(timeout=_JOIN_TIMEOUT)
+
+        expect = sum(committed)
+        result.commits = expect
+        with db.snapshot() as snap:
+            got = sum(snap.materialize(snap.latest_vid(oid)).val for oid in oids)
+        if got != expect:
+            result.problems.append(
+                f"final snapshot total {got} != {expect} acknowledged "
+                f"increments (lost update)"
+            )
+        stats = db.stats()
+        if stats["snap.pinned"] != 0:
+            result.problems.append(
+                f"{stats['snap.pinned']} snapshot(s) left pinned after workload"
+            )
+        if stats["snap.lockfree_hits"] == 0:
+            result.problems.append(
+                "no lock-free read hits recorded -- readers took the locked path?"
+            )
+        _finish(db, result)
+    return result
+
+
 _SCENARIOS = {
     "hotspot": _scenario_hotspot,
     "upgrade_storm": _scenario_upgrade_storm,
     "newversion_chain": _scenario_newversion_chain,
+}
+
+#: Opt-in scenarios (``--snapshots``): kept out of ``_SCENARIOS`` so the
+#: default run -- and everything that asserts on its exact scenario set --
+#: is unchanged.
+_SNAPSHOT_SCENARIOS = {
+    "snapshot_readers": _scenario_snapshot_readers,
 }
 
 
@@ -288,15 +406,23 @@ def run_stress(
     threads: int = 8,
     rounds: int = 30,
     verbose: bool = False,
+    snapshots: bool = False,
 ) -> StressReport:
-    """Run every scenario against a fresh database directory."""
+    """Run every scenario against a fresh database directory.
+
+    ``snapshots=True`` adds the readers-vs-writers snapshot scenarios on
+    top of the default set.
+    """
     report = StressReport()
     tmp = None
     if base_dir is None:
         tmp = tempfile.TemporaryDirectory(prefix="stress-")
         base_dir = Path(tmp.name)
+    scenarios = dict(_SCENARIOS)
+    if snapshots:
+        scenarios.update(_SNAPSHOT_SCENARIOS)
     try:
-        for name, scenario in _SCENARIOS.items():
+        for name, scenario in scenarios.items():
             result = scenario(base_dir / name, threads, rounds)
             report.results.append(result)
             if verbose:
@@ -319,6 +445,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--threads", type=int, default=None)
     parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument(
+        "--snapshots", action="store_true",
+        help="also run the snapshot readers-vs-writers scenarios",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     parser.add_argument(
         "--dir", type=Path, default=None,
@@ -327,7 +457,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     threads = args.threads if args.threads is not None else (4 if args.smoke else 8)
     rounds = args.rounds if args.rounds is not None else (10 if args.smoke else 30)
-    report = run_stress(args.dir, threads=threads, rounds=rounds, verbose=args.verbose)
+    report = run_stress(
+        args.dir, threads=threads, rounds=rounds,
+        verbose=args.verbose, snapshots=args.snapshots,
+    )
     print(report.render())
     return 0 if report.ok else 1
 

@@ -66,6 +66,13 @@ def vacuum(
             from repro.core.store import _Entry
             from repro.storage import serialization
 
+            if tstore.object_exists(oid):
+                # Re-running into a non-empty target: the chain is about
+                # to be rewritten wholesale, so the old records -- and
+                # every cache entry derived from them (materialized bytes,
+                # decoded objects, the latest-vid memo) -- must go first.
+                # _delete_object invalidates all of them.
+                tstore._delete_object(oid, None)
             new_graph = VersionGraph()
             entry = _Entry(oid, type_name, new_graph, None, None)
             for node in graph.walk_temporal():
@@ -78,17 +85,21 @@ def vacuum(
                 # create() enforces monotonic serials; walk_temporal yields
                 # them ascending, and dprev < serial always, so this holds.
                 new_graph.create(node.serial, node.dprev, node.ctime, data)
-                tstore._bytes_cache[Vid(oid, node.serial)] = content
+                tstore._cache_bytes(Vid(oid, node.serial), content)
                 versions += 1
             tstore._save_entry(entry, None)
             cluster_payload = serialization.encode((type_name, oid))
             entry.cluster_rid = tstore._clusters.insert(cluster_payload, None)
             tstore._table[oid] = entry
             tstore._by_type.setdefault(type_name, set()).add(oid)
+            tstore._dirty_oids.add(oid)
         # Carry the id counter forward so future pnew calls don't collide.
         current = source.catalog.peek_value("ode.oid")
         while target.catalog.peek_value("ode.oid") < current:
             target.catalog.next_value("ode.oid")
+        # The copies bypassed the transaction layer, so publish them here:
+        # snapshots pinned against the target must see the rewritten chains.
+        tstore.publish_snapshot()
         target.checkpoint()
         report = VacuumReport(
             objects_copied=objects,

@@ -1,0 +1,396 @@
+"""Lock-free snapshot reads: isolation, immutability, and non-blocking.
+
+The load-bearing test is :func:`test_snapshot_reads_take_no_locks`, the
+PR's acceptance criterion: a thread holding an EXCLUSIVE object lock, the
+storage mutex, AND a versions-heap write stripe cannot stop a snapshot
+reader from completing a materialize and a full history traversal.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import DanglingReferenceError, ReadOnlySnapshotError
+from repro.core.identity import Vid
+from tests.conftest import Doc, Part
+
+
+# -- visibility ---------------------------------------------------------------
+
+
+def test_snapshot_sees_committed_state(any_db):
+    ref = any_db.pnew(Part("bolt", 10))
+    with any_db.snapshot() as snap:
+        bound = snap.deref(ref.oid)
+        assert bound.name == "bolt"
+        assert bound.weight == 10
+        assert snap.object_exists(ref.oid)
+        assert snap.latest_vid(ref.oid) == any_db.latest_vid(ref.oid)
+
+
+def test_snapshot_invisible_overwrite(any_db):
+    ref = any_db.pnew(Part("bolt", 10))
+    with any_db.snapshot() as snap:
+        ref.weight = 99  # autocommit in-place update after the pin
+        assert ref.weight == 99
+        assert snap.deref(ref.oid).weight == 10
+
+
+def test_snapshot_invisible_newversion(any_db):
+    ref = any_db.pnew(Part("bolt", 10))
+    v1 = any_db.latest_vid(ref.oid)
+    with any_db.snapshot() as snap:
+        any_db.newversion(ref)
+        ref.weight = 77
+        assert snap.latest_vid(ref.oid) == v1
+        assert snap.deref(ref.oid).weight == 10
+        assert snap.version_count(ref) == 1
+        assert any_db.version_count(ref) == 2
+
+
+def test_snapshot_invisible_pdelete(any_db):
+    ref = any_db.pnew(Part("bolt", 10))
+    keep = any_db.pnew(Part("nut", 5))
+    with any_db.snapshot() as snap:
+        any_db.pdelete(ref)
+        assert not any_db.object_exists(ref.oid)
+        # The pinned snapshot still reads every version of the dead object.
+        assert snap.object_exists(ref.oid)
+        assert snap.deref(ref.oid).weight == 10
+        names = sorted(p.name for p in snap.cluster(Part))
+        assert names == ["bolt", "nut"]
+    assert sorted(p.name for p in any_db.cluster(Part)) == ["nut"]
+    assert keep.name == "nut"
+
+
+def test_snapshot_invisible_version_delete(any_db):
+    ref = any_db.pnew(Part("bolt", 10))
+    v2 = any_db.newversion(ref)
+    v2.weight = 20
+    with any_db.snapshot() as snap:
+        any_db.pdelete(v2)
+        assert snap.version_exists(v2.vid)
+        assert snap.deref(v2.vid).weight == 20
+        assert snap.version_count(ref) == 2
+        assert any_db.version_count(ref) == 1
+
+
+def test_snapshot_never_sees_uncommitted(any_db):
+    ref = any_db.pnew(Part("bolt", 10))
+    with any_db.transaction():
+        ref.weight = 55
+        other = any_db.pnew(Part("wip", 1))
+        # Pinned mid-transaction: only committed state is visible.
+        with any_db.snapshot() as snap:
+            assert snap.deref(ref.oid).weight == 10
+            assert not snap.object_exists(other.oid)
+    # After commit, a fresh snapshot sees both.
+    with any_db.snapshot() as snap:
+        assert snap.deref(ref.oid).weight == 55
+        assert snap.object_exists(other.oid)
+
+
+def test_snapshot_survives_abort(any_db):
+    ref = any_db.pnew(Part("bolt", 10))
+    snap = any_db.snapshot()
+    try:
+        with pytest.raises(RuntimeError):
+            with any_db.transaction():
+                ref.weight = 55
+                raise RuntimeError("boom")
+        assert snap.deref(ref.oid).weight == 10
+        assert ref.weight == 10
+    finally:
+        snap.close()
+
+
+def test_snapshot_traversals_frozen(any_db):
+    ref = any_db.pnew(Doc("a"))
+    v1 = any_db.latest_vid(ref.oid)
+    v2 = any_db.newversion(ref)
+    with any_db.snapshot() as snap:
+        v3_live = any_db.newversion(v2)
+        history = snap.history(v2.vid)
+        assert [v.vid.serial for v in history] == [2, 1]
+        assert snap.dnext(v1) and snap.dnext(v1)[0].vid == v2.vid
+        assert snap.dnext(v2.vid) == []  # v3 is after the pin
+        assert snap.tnext(v2.vid) is None
+        assert [v.vid.serial for v in snap.versions(ref.oid)] == [1, 2]
+        assert [v.vid.serial for v in snap.leaves(ref.oid)] == [2]
+    assert any_db.version_exists(v3_live.vid)
+
+
+def test_snapshot_query_and_indexes(any_db):
+    any_db.create_index(Part, "weight")
+    refs = [any_db.pnew(Part(f"p{i}", i % 3)) for i in range(9)]
+    with any_db.snapshot() as snap:
+        # Diverge the live state from the snapshot in both directions.
+        refs[0].weight = 2  # was 0: leaves the weight=0 index bucket
+        refs[1].weight = 0  # was 1: enters the weight=0 index bucket
+        any_db.pdelete(refs[2])  # was 2
+
+        from repro.core.indexes import attr_equals
+
+        snap_zero = {p.name for p in snap.query(Part).suchthat(attr_equals("weight", 0))}
+        live_zero = {p.name for p in any_db.query(Part).suchthat(attr_equals("weight", 0))}
+        assert snap_zero == {"p0", "p3", "p6"}
+        assert live_zero == {"p1", "p3", "p6"}
+        # Deleted object still visible through the snapshot scan.
+        assert {p.name for p in snap.query(Part).suchthat(lambda p: p.weight == 2)} == {
+            "p2",
+            "p5",
+            "p8",
+        }
+
+
+def test_snapshot_query_domain_memoized(any_db):
+    any_db.create_index(Part, "weight")
+    for i in range(6):
+        any_db.pnew(Part(f"p{i}", i % 2))
+    with any_db.snapshot() as snap:
+        from repro.core.indexes import attr_equals
+
+        query = snap.query(Part).suchthat(attr_equals("weight", 1))
+        first = sorted(p.name for p in query)
+        assert first == ["p1", "p3", "p5"]
+        # Re-iterating the same query against the frozen snapshot must
+        # reuse the resolved domain, not re-walk the index.
+        assert snap._domain_cache  # the snapshot memoized the probe
+        query._store = None  # any re-resolution would now raise
+        assert sorted(p.name for p in query) == first
+
+
+# -- read-only enforcement -----------------------------------------------------
+
+
+def test_snapshot_rejects_writes(any_db):
+    ref = any_db.pnew(Part("bolt", 10))
+    with any_db.snapshot() as snap:
+        bound = snap.deref(ref.oid)
+        with pytest.raises(ReadOnlySnapshotError):
+            bound.weight = 5
+        with pytest.raises(ReadOnlySnapshotError):
+            snap.pnew(Part("new", 1))
+        with pytest.raises(ReadOnlySnapshotError):
+            snap.newversion(bound)
+        with pytest.raises(ReadOnlySnapshotError):
+            snap.pdelete(bound)
+        with pytest.raises(ReadOnlySnapshotError):
+            bound.reweigh(5)  # mutating method: write-back must fail
+        # Pure reads through the bound ref still work afterwards.
+        assert bound.weight == 10
+
+
+def test_snapshot_read_transaction(any_db):
+    ref = any_db.pnew(Part("bolt", 10))
+    with any_db.transaction(snapshot_reads=True) as txn:
+        assert txn.read_only
+        assert txn.snapshot is not None
+        assert ref.weight == 10  # routed through the pinned snapshot
+        assert [v.vid.serial for v in any_db.versions(ref)] == [1]
+        assert {p.name for p in any_db.query(Part)} == {"bolt"}
+        with pytest.raises(ReadOnlySnapshotError):
+            ref.weight = 5
+        with pytest.raises(ReadOnlySnapshotError):
+            any_db.pnew(Part("x", 1))
+    # The transaction finished: its snapshot was unpinned.
+    assert any_db.stats()["snap.pinned"] == 0
+    # And the thread is usable for ordinary transactions again.
+    with any_db.transaction():
+        ref.weight = 11
+    assert ref.weight == 11
+
+
+def test_snapshot_read_transaction_takes_no_object_locks(db):
+    ref = db.pnew(Part("bolt", 10))
+    db.newversion(ref)
+    before = db.stats()["locks.acquires"]
+    with db.transaction(snapshot_reads=True):
+        assert ref.weight == 10
+        db.history(db.latest_vid(ref.oid))
+        list(db.query(Part))
+    assert db.stats()["locks.acquires"] == before
+
+
+def test_snapshot_isolation_is_stable_across_writer_commits(any_db):
+    ref = any_db.pnew(Part("bolt", 0))
+    with any_db.transaction(snapshot_reads=True):
+        first = ref.weight
+        done = threading.Event()
+
+        def writer():
+            with any_db.transaction():
+                bound = any_db.deref(ref.oid)
+                bound.weight = 123
+            done.set()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        assert done.wait(10)
+        t.join()
+        # Repeatable read: the committed write stays invisible.
+        assert ref.weight == first == 0
+    assert ref.weight == 123
+
+
+# -- lifecycle & counters ------------------------------------------------------
+
+
+def test_snapshot_counters_and_reclamation(any_db):
+    any_db.pnew(Part("bolt", 1))
+    stats = any_db.stats()
+    assert stats["snap.pinned"] == 0
+    epoch = stats["snap.epoch"]
+    assert epoch >= 1  # open + the pnew commit both published
+    s1 = any_db.snapshot()
+    s2 = any_db.snapshot()
+    assert any_db.stats()["snap.pinned"] == 2
+    assert s1.pinned and s2.pinned
+    s1.close()
+    s1.close()  # idempotent
+    s2.close()
+    stats = any_db.stats()
+    assert stats["snap.pinned"] == 0
+    assert stats["snap.reclaimed"] >= 2
+    assert stats["snap.pins"] >= 2
+
+
+def test_epochs_are_monotonic(any_db):
+    epochs = [any_db.stats()["snap.epoch"]]
+    ref = any_db.pnew(Part("bolt", 1))
+    epochs.append(any_db.stats()["snap.epoch"])
+    ref.weight = 2
+    epochs.append(any_db.stats()["snap.epoch"])
+    any_db.newversion(ref)
+    epochs.append(any_db.stats()["snap.epoch"])
+    assert epochs == sorted(epochs)
+    assert epochs[-1] > epochs[0]
+
+
+def test_lockfree_hits_counted(any_db):
+    ref = any_db.pnew(Part("bolt", 1))
+    with any_db.snapshot() as snap:
+        snap.deref(ref.oid).weight
+    assert any_db.stats()["snap.lockfree_hits"] > 0
+
+
+def test_snapshot_ref_equality_across_bindings(any_db):
+    ref = any_db.pnew(Part("bolt", 1))
+    with any_db.snapshot() as snap:
+        assert snap.deref(ref.oid) == ref  # same store, same oid
+
+
+def test_snapshot_dangling_reference_reporting(any_db):
+    ref = any_db.pnew(Part("bolt", 1))
+    any_db.pdelete(ref)
+    with any_db.snapshot() as snap:
+        with pytest.raises(DanglingReferenceError):
+            snap.latest_vid(ref.oid)
+        with pytest.raises(DanglingReferenceError):
+            snap.materialize(Vid(ref.oid, 1))
+
+
+def test_snapshot_object_count_and_all_objects(any_db):
+    refs = [any_db.pnew(Part(f"p{i}", i)) for i in range(4)]
+    with any_db.snapshot() as snap:
+        any_db.pdelete(refs[0])
+        any_db.pnew(Part("late", 9))
+        assert snap.object_count() == 4
+        assert {r.oid for r in snap.all_objects()} == {r.oid for r in refs}
+        assert any_db.object_count() == 4  # 4 - 1 deleted + 1 new
+
+
+def test_snapshot_write_back_heavy_rewrites(any_db):
+    """Deep delta chains: the snapshot keeps materializing every version
+    while the live chain is rewritten underneath it."""
+    ref = any_db.pnew(Doc("v1 " * 50))
+    vrefs = [any_db.latest_vid(ref.oid)]
+    for i in range(2, 10):
+        v = any_db.newversion(ref)
+        v.text = f"v{i} " * 50
+        vrefs.append(v.vid)
+    with any_db.snapshot() as snap:
+        # Rewrite the middle of the chain (rebases delta children) and
+        # delete a version (splices + rebases) after the pin.
+        any_db.deref(vrefs[4]).text = "rewritten " * 60
+        any_db.pdelete(vrefs[6])
+        for i, vid in enumerate(vrefs, start=1):
+            assert snap.deref(vid).text == f"v{i} " * 50
+    assert any_db.deref(vrefs[4]).text == "rewritten " * 60
+
+
+# -- the acceptance criterion --------------------------------------------------
+
+
+def test_snapshot_reads_take_no_locks(db):
+    """A snapshot reader completes materialize + full history while another
+    thread holds an EXCLUSIVE object lock, the storage mutex, AND a
+    versions-heap write stripe -- i.e. the read path provably acquires
+    neither the storage mutex nor SHARED locks nor page stripes on the
+    writer's page."""
+    ref = db.pnew(Part("bolt", 1))
+    for _ in range(5):
+        db.newversion(ref)
+    vid = db.latest_vid(ref.oid)
+
+    writer_ready = threading.Event()
+    reader_go = threading.Event()
+    reader_done = threading.Event()
+    release_writer = threading.Event()
+    failures: list[BaseException] = []
+
+    def writer():
+        try:
+            with db.transaction():
+                bound = db.deref(ref.oid)
+                bound.weight = 999  # X lock held until the txn ends
+                # Find the page holding the latest version record and grab
+                # its write stripe, plus the storage mutex: everything the
+                # locked read path would need.
+                entry = db.store._table[ref.oid]
+                _kind, page_id, _slot = entry.graph.node(vid.serial).data
+                stripe = db.page_locks.lock_for(page_id)
+                with db._storage_mutex:
+                    with stripe:
+                        writer_ready.set()
+                        if not release_writer.wait(10):
+                            raise TimeoutError("reader never finished")
+        except BaseException as exc:  # pragma: no cover - failure reporting
+            failures.append(exc)
+            writer_ready.set()
+
+    def reader():
+        try:
+            assert reader_go.wait(10)
+            with db.snapshot() as snap:
+                obj = snap.materialize(snap.latest_vid(ref.oid))
+                assert obj.weight == 1  # pre-transaction committed value
+                history = snap.history(snap.latest_vid(ref.oid))
+                assert len(history) == 6
+                for v in history:
+                    assert snap.deref(v.vid).weight == 1
+            reader_done.set()
+        except BaseException as exc:  # pragma: no cover - failure reporting
+            failures.append(exc)
+
+    wt = threading.Thread(target=writer)
+    rt = threading.Thread(target=reader)
+    wt.start()
+    rt.start()
+    assert writer_ready.wait(10)
+    assert not failures, failures
+    # Writer is now parked holding the X lock, the storage mutex and the
+    # stripe; everything acquired from here on is the reader's doing.
+    lock_acquires_before = db.stats()["locks.acquires"]
+    reader_go.set()
+    # The reader must finish WHILE the writer still holds everything.
+    assert reader_done.wait(5), "snapshot reader blocked behind the writer"
+    # The snapshot reads took no lock-manager locks at all.
+    assert db.stats()["locks.acquires"] == lock_acquires_before
+    release_writer.set()
+    wt.join(10)
+    rt.join(10)
+    assert not failures, failures
+    assert ref.weight == 999

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.tools.stress import _SCENARIOS, run_stress
+from repro.tools.stress import _SCENARIOS, _SNAPSHOT_SCENARIOS, run_stress
 
 
 def test_smoke_scale_stress_all_scenarios_pass(tmp_path):
@@ -23,6 +23,17 @@ def test_smoke_scale_stress_all_scenarios_pass(tmp_path):
         assert result.commits > 0
     assert report.ok
     assert "all OK" in report.render()
+
+
+def test_smoke_scale_stress_with_snapshot_readers(tmp_path):
+    report = run_stress(tmp_path / "stress", threads=4, rounds=8, snapshots=True)
+    assert len(report.results) == len(_SCENARIOS) + len(_SNAPSHOT_SCENARIOS) == 4
+    names = {r.name for r in report.results}
+    assert "snapshot_readers" in names
+    for result in report.results:
+        assert result.ok, f"{result.name}: {result.problems}"
+        assert result.commits > 0
+    assert report.ok
 
 
 def test_stress_cli_smoke_exit_code(tmp_path):
