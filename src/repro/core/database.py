@@ -59,6 +59,7 @@ from repro.storage.disk import DiskManager
 from repro.storage.heap import HeapFile
 from repro.storage.stripes import StripedLock
 from repro.storage.wal import LogManager, RecoveryReport, recover
+from repro.verify import hooks
 
 _DATA_FILE = "data.odb"
 _WAL_FILE = "wal.log"
@@ -175,6 +176,11 @@ class Database:
         # operations.  Reentrant, so trigger actions that call back into
         # the database from within a mutation do not self-deadlock.
         self._storage_mutex = threading.RLock()
+        #: Commit publication excludes objects touched by still-active
+        #: transactions.  The interleaving explorer's mutation self-test
+        #: flips this off to prove the oracle notices the resulting leak
+        #: of uncommitted state into published snapshots.
+        self.publish_exclusion = True
         self._tlocal = threading.local()
         self._active: dict[int, Transaction] = {}
         self._txn_mutex = threading.Lock()
@@ -350,6 +356,7 @@ class Database:
         return txn
 
     def _txn_finished(self, txn: Transaction) -> None:
+        hooks.sched_point("txn.finish")
         with self._txn_mutex:
             self._active.pop(txn.txid, None)
         if getattr(self._tlocal, "txn", None) is txn:
@@ -540,6 +547,8 @@ class Database:
         Their live state is uncommitted, so snapshot publication must
         leave their committed-table slots alone.
         """
+        if not self.publish_exclusion:
+            return set()
         with self._txn_mutex:
             out: set[Oid] = set()
             for txn in self._active.values():

@@ -64,6 +64,7 @@ from repro.core.identity import Oid, Vid
 from repro.core.pointers import Ref, VersionRef, unwrap_ids
 from repro.storage import serialization
 from repro.storage.delta import apply_delta
+from repro.verify import hooks
 from repro.storage.heap import Rid
 
 if TYPE_CHECKING:
@@ -174,6 +175,7 @@ class SnapshotRegistry:
         open and after an abort's full reload, when the live table was
         rebuilt wholesale.  Returns the (possibly unchanged) epoch.
         """
+        hooks.sched_point("snap.publish")
         with self._lock:
             dirty = store._dirty_oids
             if full:
@@ -233,6 +235,7 @@ class SnapshotRegistry:
 
     def pin(self, store: "VersionStore", index_source: Any = None) -> "Snapshot":
         """Pin the current epoch; the snapshot stays readable until closed."""
+        hooks.sched_point("snap.pin")
         with self._lock:
             self.pins += 1
             snap = Snapshot(
@@ -242,6 +245,7 @@ class SnapshotRegistry:
             return snap
 
     def unpin(self, snap: "Snapshot") -> None:
+        hooks.sched_point("snap.unpin")
         with self._lock:
             if self._pinned.pop(id(snap), None) is not None:
                 self.reclaimed += 1
@@ -457,6 +461,7 @@ class Snapshot:
 
     def materialize(self, vid: Vid) -> Any:
         """Decode a fresh copy of the version as of this snapshot."""
+        hooks.sched_point("snap.read")
         entry = self._deref_entry(vid.oid)
         if vid.serial not in entry.graph:
             raise DanglingReferenceError(f"version {vid!r} no longer exists")
@@ -466,6 +471,7 @@ class Snapshot:
 
     def read_attr(self, vid: Vid, name: str) -> Any:
         """Attribute-read fast path over this snapshot's private decodes."""
+        hooks.sched_point("snap.read")
         entry = self._deref_entry(vid.oid)
         if vid.serial not in entry.graph:
             raise DanglingReferenceError(f"version {vid!r} no longer exists")

@@ -56,6 +56,7 @@ from repro.storage import serialization
 from repro.storage.catalog import Catalog
 from repro.storage.delta import apply_delta, compute_delta
 from repro.storage.heap import HeapFile, LogOp, Rid
+from repro.verify import hooks
 
 #: Heap names used by the store.
 OBJECTS_HEAP = "ode.objects"
@@ -479,6 +480,7 @@ class VersionStore:
         for child, child_content in child_contents.items():
             self._snapshots.stash_bytes(Vid(entry.oid, child), child_content)
         self._dirty_oids.add(entry.oid)
+        hooks.sched_point("store.rewrite.stashed")
         kind, page_id, slot = node.data
         if kind == _DELTA:
             assert node.dprev is not None
@@ -516,6 +518,7 @@ class VersionStore:
         the live ``obj`` is not kept -- all later access goes through the
         returned reference.  The object starts with one version.
         """
+        hooks.sched_point("store.pnew")
         type_name = serialization.registered_name(type(obj))
         if type_name is None:
             # Version orthogonality in practice: pnew accepts any object.
@@ -558,6 +561,7 @@ class VersionStore:
         variants (alternatives).  The new version starts with the base's
         contents and becomes the object's latest.
         """
+        hooks.sched_point("store.newversion")
         base_vid = self._resolve(target)
         entry = self._entry(base_vid.oid)
         graph = self._mutable_graph(entry)
@@ -576,6 +580,7 @@ class VersionStore:
 
     def pdelete(self, target: Ref | VersionRef | Oid | Vid, log_op: LogOp | None = None) -> None:
         """Delete an object (all versions) or one version (paper §4.4)."""
+        hooks.sched_point("store.pdelete")
         if isinstance(target, (Ref, Oid)):
             oid = target.oid if isinstance(target, Ref) else target
             self._delete_object(oid, log_op)
@@ -734,6 +739,7 @@ class VersionStore:
         Paper §4.2 separates mutating a version from creating one:
         ``newversion`` is always explicit.
         """
+        hooks.sched_point("store.write")
         entry = self._table.get(vid.oid)
         if entry is None:
             raise DanglingReferenceError(f"object {vid.oid!r} no longer exists")

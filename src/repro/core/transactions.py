@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.errors import DeadlockError, LockTimeoutError, TransactionStateError
 from repro.storage import faults
+from repro.verify import hooks
 from repro.storage.wal import (
     ABORT_END,
     BEGIN,
@@ -205,6 +206,7 @@ class LockManager:
             victim = self._choose_victim(cycle)
             self._victims[victim] = cycle
             self._cond.notify_all()
+            hooks.sched_notify()
             if victim == txid:
                 return  # the caller itself is dying; its edges die with it
 
@@ -264,7 +266,7 @@ class LockManager:
                         raise LockTimeoutError(
                             f"txn {txid} timed out waiting for {mode} on {resource!r}"
                         )
-                    self._cond.wait(remaining)
+                    hooks.cond_wait(self._cond, remaining)
             finally:
                 waited = time.monotonic() - wait_start
                 self.wait_time_total += waited
@@ -280,6 +282,7 @@ class LockManager:
                 # Readers held back by this waiter (writer priority) and
                 # detectors must re-check, whether we acquired or failed.
                 self._cond.notify_all()
+                hooks.sched_notify()
 
     def release_all(self, txid: int) -> None:
         """Release every lock held by ``txid`` (commit/abort time)."""
@@ -293,6 +296,13 @@ class LockManager:
                 del self._holders[resource]
             self._victims.pop(txid, None)
             self._cond.notify_all()
+        hooks.sched_notify()
+
+    def covers(self, txid: int, resource: object, mode: str) -> bool:
+        """True if the lock ``txid`` already holds satisfies ``mode``."""
+        with self._cond:
+            held = self._holders.get(resource, {}).get(txid)
+            return held == EXCLUSIVE or held == mode
 
     def held(self, txid: int) -> dict[object, str]:
         """Snapshot of the locks held by ``txid`` (testing aid)."""
@@ -409,6 +419,13 @@ class Transaction:
     def lock(self, resource: object, mode: str = EXCLUSIVE) -> None:
         """Acquire a lock held until commit/abort (strict 2PL)."""
         self._require_active()
+        # Yield only on acquisitions that could change the lock table --
+        # re-acquires of covered locks are invisible to other threads and
+        # would only blow up the explorer's decision tree.
+        if hooks.attached() is not None and not self._locks.covers(
+            self.txid, resource, mode
+        ):
+            hooks.sched_point("txn.lock")
         self._locks.acquire(self.txid, resource, mode, timeout=self.lock_timeout)
 
     # -- savepoints ------------------------------------------------------------
@@ -456,6 +473,7 @@ class Transaction:
         every other transaction contending on them stalls until timeout.
         """
         self._require_active()
+        hooks.sched_point("txn.commit")
         try:
             self._log.append(LogRecord(COMMIT, self.txid))
             self._log.flush()
@@ -474,6 +492,7 @@ class Transaction:
                     self.state = ABORTED
                     self._finish()
             raise
+        hooks.sched_point("txn.commit.durable")
         self.state = COMMITTED
         self._finish()
 
@@ -485,6 +504,7 @@ class Transaction:
         on reopen, but no other transaction is left waiting on a corpse.
         """
         self._require_active()
+        hooks.sched_point("txn.abort")
         try:
             if self._storage_mutex is not None:
                 with self._storage_mutex:
@@ -548,6 +568,7 @@ class Transaction:
                 )
 
     def _finish(self) -> None:
+        hooks.sched_point("txn.release")
         self._locks.release_all(self.txid)
         self._on_finish(self)
 

@@ -43,6 +43,7 @@ from typing import Callable, Iterator
 
 from repro.errors import WalError
 from repro.storage import faults, serialization
+from repro.verify import hooks
 
 _FRAME = struct.Struct("<II")  # length, crc32
 
@@ -167,6 +168,7 @@ class LogManager:
 
     def flush(self) -> None:
         """Make every record appended so far durable (one fsync per group)."""
+        hooks.sched_point("wal.flush")
         with self._cond:
             self._pending_flushers += 1
         try:

@@ -12,7 +12,18 @@ What a downstream user reaches for when a database directory looks odd:
 * :func:`repro.tools.crashmatrix.run_matrix` / ``python -m
   repro.tools.crashmatrix`` -- deterministic fault-injection crash matrix:
   crash/torn-write/short-write/fsync-failure at every storage failpoint,
-  then recovery verification against the strict integrity check.
+  then recovery verification against the strict integrity check;
+* :func:`repro.tools.stress.run_stress` / ``python -m repro.tools.stress``
+  -- multi-threaded contention stress with lost-update and quiescence
+  invariants;
+* ``python -m repro.tools.explore`` -- deterministic interleaving
+  explorer: replays 2-4-transaction scenarios under the cooperative
+  scheduler (:mod:`repro.verify`) and judges every interleaving with the
+  model-based serializability oracle (see ``docs/TESTING.md``).
+
+The CLI-first tools (``stress``, ``explore``) are import-on-demand rather
+than re-exported here: they pull in scenario/workload machinery that the
+inspection helpers above never need.
 """
 
 from repro.tools.check import CheckReport, check_database

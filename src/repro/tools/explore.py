@@ -1,0 +1,253 @@
+"""Interleaving explorer CLI: hunt serializability anomalies by schedule.
+
+Runs the concurrency scenarios of :mod:`repro.verify.scenarios` under the
+cooperative scheduler, judging every run with the model-based oracle:
+
+    PYTHONPATH=src python -m repro.tools.explore [--smoke] [-v]
+
+Modes:
+
+* default / ``--scenario NAME`` -- bounded-exhaustive exploration for the
+  2-transaction scenarios, seeded random schedules for the larger ones.
+* ``--mutate publish-exclusion`` -- run with the commit-publish exclusion
+  of active-transaction oids deliberately disabled (uncommitted state
+  leaks into published snapshots); the oracle must catch it.
+* ``--selftest`` -- prove the harness catches anomalies: find a
+  violation under the mutation, minimize it, write the repro file, and
+  confirm the same schedule is clean without the mutation.
+* ``--smoke`` -- the CI gate: selftest + capped exhaustive runs of every
+  small scenario (expect zero violations).
+* ``--replay FILE`` -- re-run a repro file written by a failing run.
+
+A failure writes a minimized repro JSON (schedule + trace + reason) into
+``--out`` (default ``explore-failures/``); see ``docs/TESTING.md`` for
+how to read one.  Exit status: 0 clean, 1 violations/harness errors or a
+failed selftest, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.verify.explorer import (
+    ExploreResult,
+    MUTATIONS,
+    RunOutcome,
+    explore,
+    load_repro,
+    minimize,
+    run_schedule,
+    write_repro,
+)
+from repro.verify.scenarios import SCENARIOS, small_scenarios
+
+#: Scenarios the mutation self-test tries, in order, until one trips.
+SELFTEST_SCENARIOS = ("uncommitted_read", "write_vs_snapshot")
+
+
+def _default_seed() -> int:
+    env = os.environ.get("REPRO_TEST_SEED")
+    return int(env) if env else 0
+
+
+def _say(verbose: bool, message: str) -> None:
+    if verbose:
+        print(message)
+
+
+def run_selftest(
+    seed: int, out_dir: str, budget: int = 300, verbose: bool = False
+) -> tuple[bool, str]:
+    """Mutation self-test; returns (ok, summary line).
+
+    Proves the oracle is live: with publish exclusion disabled a
+    violation must be found and minimized, and the minimized schedule
+    must be clean again with the mutation off (the flag is causal).
+    """
+    start = time.monotonic()
+    for name in SELFTEST_SCENARIOS:
+        scenario = SCENARIOS[name]
+        result = explore(
+            scenario,
+            mode="random",
+            max_runs=budget,
+            seed=seed,
+            mutate="publish-exclusion",
+        )
+        _say(
+            verbose,
+            f"  selftest {name}: {result.runs} mutated runs, "
+            f"{len(result.failures)} failure(s)",
+        )
+        if not result.failures:
+            continue
+        failing = result.failures[0]
+        minimized = minimize(scenario, failing)
+        if not minimized.failed:
+            return False, (
+                f"selftest: minimization of {name} lost the failure "
+                f"(schedule {failing.schedule})"
+            )
+        path = write_repro(minimized, out_dir)
+        clean = run_schedule(scenario, schedule=minimized.schedule, mutate=None)
+        if clean.failed:
+            return False, (
+                f"selftest: {name} fails even without the mutation "
+                f"({clean.reason}) -- not the mutation's doing"
+            )
+        elapsed = time.monotonic() - start
+        return True, (
+            f"selftest OK: publish-exclusion mutation caught on {name} in "
+            f"{elapsed:.1f}s, minimized to {len(minimized.schedule)} decisions "
+            f"({minimized.reason}); repro: {path}"
+        )
+    return False, (
+        f"selftest FAILED: no violation found under the publish-exclusion "
+        f"mutation in {budget} runs per scenario -- the oracle is blind"
+    )
+
+
+def _report(result: ExploreResult, out_dir: str, verbose: bool) -> list[str]:
+    lines = []
+    coverage = "complete" if result.complete else "truncated (bounded)"
+    lines.append(
+        f"{result.scenario}: {result.mode}, {result.runs} runs, {coverage}, "
+        f"{len(result.failures)} failure(s)"
+    )
+    for failing in result.failures:
+        scenario = SCENARIOS[result.scenario]
+        minimized = minimize(scenario, failing)
+        path = write_repro(minimized if minimized.failed else failing, out_dir)
+        lines.append(f"  FAILURE: {failing.reason}")
+        lines.append(
+            f"  minimized schedule: {minimized.schedule} -> repro {path}"
+        )
+        if verbose:
+            for thread, point in minimized.trace:
+                lines.append(f"    {thread:>4} @ {point}")
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="explore",
+        description="deterministic interleaving explorer + serializability oracle",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="scenario to explore (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("auto", "exhaustive", "random"),
+        default="auto",
+        help="auto = exhaustive for 2-txn scenarios, random for larger ones",
+    )
+    parser.add_argument(
+        "--max-runs",
+        type=int,
+        default=None,
+        help="schedule budget per scenario (default 400; 120 with --smoke)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="base seed for random schedules (default: $REPRO_TEST_SEED or 0)",
+    )
+    parser.add_argument(
+        "--mutate",
+        choices=MUTATIONS,
+        default=None,
+        help="run with a deliberate kernel mutation enabled",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="mutation self-test: the oracle must catch the planted bug",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI gate: selftest + capped exhaustive"
+    )
+    parser.add_argument(
+        "--replay", metavar="FILE", default=None, help="re-run a repro JSON file"
+    )
+    parser.add_argument(
+        "--out",
+        default="explore-failures",
+        metavar="DIR",
+        help="directory for minimized-failure repro files",
+    )
+    parser.add_argument("--list", action="store_true", help="list scenarios and exit")
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for scenario in SCENARIOS.values():
+            kind = "exhaustive" if scenario.small else "random"
+            print(f"{scenario.name:>20}  [{kind}]  {scenario.doc}")
+        return 0
+
+    seed = args.seed if args.seed is not None else _default_seed()
+    max_runs = args.max_runs if args.max_runs is not None else (
+        120 if args.smoke else 400
+    )
+    failed = False
+
+    if args.replay:
+        name, schedule, mutation = load_repro(args.replay)
+        if name not in SCENARIOS:
+            print(f"replay: unknown scenario {name!r}", file=sys.stderr)
+            return 2
+        outcome = run_schedule(SCENARIOS[name], schedule=schedule, mutate=mutation)
+        print(f"{name}: {outcome.reason}")
+        if args.verbose:
+            for thread, point in outcome.trace:
+                print(f"  {thread:>4} @ {point}")
+        return 1 if outcome.failed else 0
+
+    if args.selftest or args.smoke:
+        ok, summary = run_selftest(seed, args.out, verbose=args.verbose)
+        print(summary)
+        failed = failed or not ok
+        if args.selftest and not args.smoke:
+            return 1 if failed else 0
+
+    if args.scenario:
+        unknown = [n for n in args.scenario if n not in SCENARIOS]
+        if unknown:
+            print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        chosen = [SCENARIOS[n] for n in args.scenario]
+    elif args.smoke:
+        chosen = small_scenarios()
+    else:
+        chosen = list(SCENARIOS.values())
+
+    for scenario in chosen:
+        if args.mode == "auto":
+            mode = "exhaustive" if scenario.small else "random"
+        else:
+            mode = args.mode
+        result = explore(
+            scenario,
+            mode=mode,
+            max_runs=max_runs,
+            seed=seed,
+            mutate=args.mutate,
+            stop_on_failure=True,
+        )
+        for line in _report(result, args.out, args.verbose):
+            print(line)
+        failed = failed or not result.ok
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Scheduling hooks for deterministic interleaving exploration.
+
+The kernel's concurrency-sensitive paths call :func:`sched_point` at named
+yield points (lock acquire, commit publish, snapshot pin, WAL flush, ...).
+With no scheduler attached -- the production case and every ordinary test
+run -- a hook is one global load plus a ``None`` check, the same shape as
+:mod:`repro.storage.faults` failpoints, so instrumentation costs nothing
+measurable.  With a scheduler attached (see
+:class:`repro.verify.scheduler.CooperativeScheduler`) each hook becomes a
+cooperative yield: the calling thread parks until the scheduler grants it
+the next step, which makes every interleaving of the registered threads a
+deterministic function of the scheduler's decision sequence.
+
+Three hook shapes exist:
+
+``sched_point(name)``
+    A plain yield point.  Registered threads park here awaiting a grant;
+    everything else (unregistered threads, no scheduler) falls through.
+
+``cond_wait(cond, timeout)``
+    Replaces ``cond.wait(timeout)`` inside the lock manager.  Under a
+    scheduler the thread releases ``cond``, parks as *blocked* (not
+    runnable until some release event wakes it), and re-acquires ``cond``
+    before returning -- the caller's wait loop then re-checks its
+    condition exactly as after a real wait.
+
+``sched_notify()``
+    Placed after each ``cond.notify_all()`` / lock release.  Marks blocked
+    threads wake-pending so the scheduler may grant them a retry.
+
+This module must stay import-light (no other ``repro`` imports): the core
+modules import it, and it is loaded on every database open.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+#: The attached scheduler, or None.  Process-global, like faults._active.
+_scheduler: Any = None
+
+
+def sched_point(name: str) -> None:
+    """Named yield point.  No-op unless a scheduler is attached."""
+    sched = _scheduler
+    if sched is not None:
+        sched.on_point(name)
+
+
+def cond_wait(cond: threading.Condition, timeout: float | None) -> bool:
+    """``cond.wait(timeout)``, made schedulable.
+
+    Without a scheduler this *is* ``cond.wait(timeout)``.  With one, the
+    calling thread (if registered) parks as blocked and only resumes when
+    granted a retry after a wake event; the condition lock is released
+    while parked and re-acquired before returning, so the caller's
+    re-check loop sees the same protocol as a native wait.
+    """
+    sched = _scheduler
+    if sched is None:
+        return cond.wait(timeout)
+    return sched.on_cond_wait(cond, timeout)
+
+
+def sched_notify() -> None:
+    """Signal that blocked threads may now make progress."""
+    sched = _scheduler
+    if sched is not None:
+        sched.on_notify()
+
+
+def attach(scheduler: Any) -> None:
+    """Install ``scheduler`` as the process-global schedule authority."""
+    global _scheduler
+    if _scheduler is not None and _scheduler is not scheduler:
+        raise RuntimeError("a scheduler is already attached")
+    _scheduler = scheduler
+
+
+def detach() -> None:
+    """Remove the attached scheduler (idempotent)."""
+    global _scheduler
+    _scheduler = None
+
+
+def attached() -> Any:
+    """The currently attached scheduler, or None."""
+    return _scheduler

@@ -1,0 +1,258 @@
+"""Sequential reference model of the paper's versioning semantics.
+
+A deliberately naive, pure in-memory re-implementation of what the kernel
+*means*: generic reference => temporally latest version, version id =>
+that pinned version, ``newversion`` derives from its base and becomes the
+latest, ``pdelete`` of a version splices both the temporal chain and the
+derivation tree (children re-parent to the deleted version's parent),
+``version_as_of`` answers by creation time.  No locks, no WAL, no caches,
+no threads -- every operation is a few dict/list manipulations, written
+independently of :mod:`repro.core.vgraph` (linear scans instead of
+bisects, no shared code) so that agreement between the two is evidence,
+not tautology.
+
+The oracle (:mod:`repro.verify.oracle`) replays recorded transaction
+histories against this model to decide serializability; the property
+tests (``tests/core/test_vgraph_properties.py``) drive it in lockstep
+with the real kernel under random operation sequences.
+
+Objects are keyed by arbitrary hashable names chosen by the caller
+(scenario-level keys, oids, whatever).  Creation times default to a
+logical op counter; pass explicit ``ctime`` values to mirror a real run
+(they are clamped to the newest live version's ctime exactly as
+``VersionGraph.create`` clamps a rewound wall clock).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable
+
+Key = Hashable
+
+
+class ModelError(Exception):
+    """An operation the reference semantics reject (unknown key/serial...)."""
+
+
+class _MVersion:
+    __slots__ = ("serial", "dprev", "ctime", "value")
+
+    def __init__(self, serial: int, dprev: int | None, ctime: float, value: Any) -> None:
+        self.serial = serial
+        self.dprev = dprev
+        self.ctime = ctime
+        self.value = value
+
+
+class _MObject:
+    __slots__ = ("versions", "max_serial")
+
+    def __init__(self) -> None:
+        self.versions: dict[int, _MVersion] = {}
+        self.max_serial = 0
+
+
+class ModelStore:
+    """The reference implementation.  All operations are sequential."""
+
+    def __init__(self) -> None:
+        self._objects: dict[Key, _MObject] = {}
+        self._clock = 0.0
+
+    # -- internals -------------------------------------------------------------
+
+    def _object(self, key: Key) -> _MObject:
+        try:
+            return self._objects[key]
+        except KeyError:
+            raise ModelError(f"no object {key!r}") from None
+
+    def _version(self, key: Key, serial: int) -> _MVersion:
+        obj = self._object(key)
+        try:
+            return obj.versions[serial]
+        except KeyError:
+            raise ModelError(f"no live version {serial} of {key!r}") from None
+
+    def _chain(self, key: Key) -> list[int]:
+        """Live serials in temporal order == ascending serial order."""
+        return sorted(self._object(key).versions)
+
+    def _tick(self, ctime: float | None, obj: _MObject) -> float:
+        if ctime is None:
+            self._clock += 1.0
+            ctime = self._clock
+        chain = sorted(obj.versions)
+        if chain:
+            newest = obj.versions[chain[-1]].ctime
+            if ctime < newest:  # rewound clock: clamp, like vgraph.create
+                ctime = newest
+        return ctime
+
+    # -- kernel operations -----------------------------------------------------
+
+    def pnew(self, key: Key, value: Any, ctime: float | None = None) -> int:
+        """Create object ``key`` with one version holding ``value``."""
+        if key in self._objects:
+            raise ModelError(f"object {key!r} already exists")
+        obj = _MObject()
+        self._objects[key] = obj
+        serial = 1
+        obj.versions[serial] = _MVersion(serial, None, self._tick(ctime, obj), value)
+        obj.max_serial = serial
+        return serial
+
+    def newversion(
+        self, key: Key, base: int | None = None, ctime: float | None = None
+    ) -> tuple[int, int]:
+        """Derive a new version; returns ``(serial, dprev)``.
+
+        ``base=None`` is the generic-reference case: derive from the
+        temporally latest version.  An explicit base serial is the
+        specific-reference case (deriving from a non-latest base creates
+        an alternative).
+        """
+        obj = self._object(key)
+        if base is None:
+            base = self.latest(key)
+        elif base not in obj.versions:
+            raise ModelError(f"no live version {base} of {key!r}")
+        serial = obj.max_serial + 1
+        obj.versions[serial] = _MVersion(
+            serial, base, self._tick(ctime, obj), obj.versions[base].value
+        )
+        obj.max_serial = serial
+        return serial, base
+
+    def write(self, key: Key, value: Any, serial: int | None = None) -> int:
+        """Overwrite a version's contents (latest when ``serial`` is None)."""
+        if serial is None:
+            serial = self.latest(key)
+        self._version(key, serial).value = value
+        return serial
+
+    def read(self, key: Key, serial: int | None = None) -> Any:
+        """A version's contents (the latest when ``serial`` is None)."""
+        if serial is None:
+            serial = self.latest(key)
+        return self._version(key, serial).value
+
+    def vdelete(self, key: Key, serial: int) -> None:
+        """Delete one version (paper §4.4): children re-parent to its parent.
+
+        Deleting the only version deletes the object, as ``pdelete`` does.
+        """
+        obj = self._object(key)
+        victim = self._version(key, serial)
+        if len(obj.versions) == 1:
+            del self._objects[key]
+            return
+        for other in obj.versions.values():
+            if other.dprev == serial:
+                other.dprev = victim.dprev
+        del obj.versions[serial]
+
+    def odelete(self, key: Key) -> None:
+        """Delete the whole object (every version)."""
+        self._object(key)
+        del self._objects[key]
+
+    # -- queries ---------------------------------------------------------------
+
+    def exists(self, key: Key) -> bool:
+        return key in self._objects
+
+    def keys(self) -> list[Key]:
+        return sorted(self._objects, key=repr)
+
+    def serials(self, key: Key) -> list[int]:
+        return self._chain(key)
+
+    def latest(self, key: Key) -> int:
+        chain = self._chain(key)
+        if not chain:
+            raise ModelError(f"object {key!r} has no versions")
+        return chain[-1]
+
+    def version_count(self, key: Key) -> int:
+        return len(self._object(key).versions)
+
+    # -- traversals (paper §4) -------------------------------------------------
+
+    def dprevious(self, key: Key, serial: int) -> int | None:
+        return self._version(key, serial).dprev
+
+    def dnext(self, key: Key, serial: int) -> list[int]:
+        self._version(key, serial)
+        obj = self._object(key)
+        return sorted(s for s, v in obj.versions.items() if v.dprev == serial)
+
+    def tprevious(self, key: Key, serial: int) -> int | None:
+        self._version(key, serial)
+        older = [s for s in self._chain(key) if s < serial]
+        return older[-1] if older else None
+
+    def tnext(self, key: Key, serial: int) -> int | None:
+        self._version(key, serial)
+        newer = [s for s in self._chain(key) if s > serial]
+        return newer[0] if newer else None
+
+    def history(self, key: Key, serial: int) -> list[int]:
+        """Derivation path of ``serial``, newest first."""
+        path: list[int] = []
+        current: int | None = serial
+        while current is not None:
+            path.append(current)
+            current = self._version(key, current).dprev
+        return path
+
+    def leaves(self, key: Key) -> list[int]:
+        obj = self._object(key)
+        parents = {v.dprev for v in obj.versions.values() if v.dprev is not None}
+        return [s for s in self._chain(key) if s not in parents]
+
+    def alternatives(self, key: Key) -> list[list[int]]:
+        paths = [list(reversed(self.history(key, leaf))) for leaf in self.leaves(key)]
+        paths.sort()
+        return paths
+
+    def version_as_of(self, key: Key, timestamp: float) -> int | None:
+        """Newest live version created at or before ``timestamp``."""
+        best: int | None = None
+        obj = self._object(key)
+        for serial in self._chain(key):
+            if obj.versions[serial].ctime <= timestamp:
+                best = serial
+        return best
+
+    # -- state -----------------------------------------------------------------
+
+    def clone(self) -> "ModelStore":
+        copy = ModelStore()
+        copy._clock = self._clock
+        for key, obj in self._objects.items():
+            twin = _MObject()
+            twin.max_serial = obj.max_serial
+            for serial, v in obj.versions.items():
+                twin.versions[serial] = _MVersion(v.serial, v.dprev, v.ctime, v.value)
+            copy._objects[key] = twin
+        return copy
+
+    def fingerprint(self, keys: Iterable[Key] | None = None) -> tuple:
+        """Canonical comparable state: per key, the live ``(serial, dprev,
+        value)`` rows plus the latest serial.  Creation times are excluded
+        (the real kernel stamps wall-clock time; the model a logical one).
+        """
+        chosen = self.keys() if keys is None else sorted(keys, key=repr)
+        out = []
+        for key in chosen:
+            if key not in self._objects:
+                out.append((key, None))
+                continue
+            obj = self._objects[key]
+            rows = tuple(
+                (s, obj.versions[s].dprev, obj.versions[s].value)
+                for s in self._chain(key)
+            )
+            out.append((key, (rows, self.latest(key))))
+        return tuple(out)

@@ -2,9 +2,44 @@
 
 from __future__ import annotations
 
+import os
+import random
+
 import pytest
 
 from repro import Database, PersistentObject, StoragePolicy, persistent
+from repro.storage import faults
+from repro.verify import hooks
+
+#: Session seed for randomized tests: override with REPRO_TEST_SEED=<int>
+#: to replay a failing run; printed in the pytest header either way.
+TEST_SEED = int(os.environ.get("REPRO_TEST_SEED", "0") or "0")
+
+
+def pytest_report_header(config):
+    return f"REPRO_TEST_SEED={TEST_SEED} (set the env var to replay)"
+
+
+@pytest.fixture(autouse=True)
+def _isolate_process_globals():
+    """Reset cross-test process-global state, before and after each test.
+
+    The fault injector, failpoint hit counters, and the verify scheduler
+    hook are process globals by design (zero-overhead when inactive); a
+    test that fails mid-setup must not leak them into the next test.
+    """
+    faults.deactivate()
+    hooks.detach()
+    yield
+    faults.deactivate()
+    hooks.detach()
+
+
+@pytest.fixture
+def test_seed():
+    """The session seed; also reseeds ``random`` for the test body."""
+    random.seed(TEST_SEED)
+    return TEST_SEED
 
 
 @persistent(name="tests.Part")

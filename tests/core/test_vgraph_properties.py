@@ -1,0 +1,107 @@
+"""Property-based tests: VersionGraph vs the sequential reference model.
+
+Hypothesis drives random operation sequences through the real
+:class:`~repro.core.vgraph.VersionGraph` and the independently written
+:class:`~repro.verify.model.ModelStore` in lockstep, then checks that
+every traversal the paper defines agrees between the two, plus the
+graph's own structural invariants (``validate()`` covers acyclicity,
+temporal-chain/serial agreement, and parent-child symmetry).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.vgraph import VersionGraph
+from repro.verify.model import ModelStore
+
+# An operation program: each step either derives a new version from a
+# (possibly stale) base, deletes a version, or just advances the clock.
+# Base/victim picks are indices into the live-serial list so that the
+# generated programs stay valid no matter how earlier steps went.
+_STEP = st.tuples(
+    st.sampled_from(["derive", "delete", "tick"]),
+    st.integers(min_value=0, max_value=7),
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+
+
+def _run_program(steps):
+    """Apply ``steps`` to both implementations; returns (graph, model)."""
+    graph = VersionGraph()
+    model = ModelStore()
+    clock = 1.0
+    model.pnew("x", 0, ctime=clock)
+    graph.create(1, None, clock)
+    for op, pick, dt in steps:
+        clock += dt
+        live = sorted(model.serials("x"))
+        if op == "derive":
+            base = live[pick % len(live)]
+            serial, dprev = model.newversion("x", base=base, ctime=clock)
+            graph.create(serial, dprev, clock)
+        elif op == "delete" and len(live) > 1:
+            victim = live[pick % len(live)]
+            model.vdelete("x", victim)
+            graph.remove(victim)
+        # "tick" (and a delete of the last version) only advances time
+    return graph, model
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_STEP, max_size=24))
+def test_graph_and_model_agree_on_every_traversal(steps):
+    graph, model = _run_program(steps)
+    graph.validate()  # acyclicity + structural invariants
+
+    serials = model.serials("x")
+    assert graph.serials() == serials
+    assert graph.latest() == model.latest("x")
+    assert graph.max_serial >= max(serials)
+
+    for serial in serials:
+        assert graph.dprevious(serial) == model.dprevious("x", serial)
+        assert graph.dnext(serial) == model.dnext("x", serial)
+        assert graph.tprevious(serial) == model.tprevious("x", serial)
+        assert graph.tnext(serial) == model.tnext("x", serial)
+        assert graph.history(serial) == model.history("x", serial)
+    assert graph.leaves() == model.leaves("x")
+    assert graph.alternatives() == model.alternatives("x")
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_STEP, max_size=24))
+def test_dprevious_dnext_symmetry(steps):
+    graph, model = _run_program(steps)
+    for serial in graph.serials():
+        parent = graph.dprevious(serial)
+        if parent is not None:
+            assert serial in graph.dnext(parent)
+        for child in graph.dnext(serial):
+            assert graph.dprevious(child) == serial
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_STEP, max_size=24))
+def test_temporal_chain_is_a_total_order_by_ctime(steps):
+    graph, model = _run_program(steps)
+    chain = graph.serials()
+    # Serial order == temporal order, and creation times never decrease
+    # along it (the clamp guarantees this even for rewound clocks).
+    assert chain == sorted(chain)
+    ctimes = [graph.node(s).ctime for s in chain]
+    assert ctimes == sorted(ctimes)
+    # Tprevious/Tnext walk exactly this chain.
+    for before, after in zip(chain, chain[1:]):
+        assert graph.tnext(before) == after
+        assert graph.tprevious(after) == before
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(_STEP, max_size=24),
+    st.floats(min_value=0.0, max_value=3000.0, allow_nan=False),
+)
+def test_version_as_of_matches_model(steps, timestamp):
+    graph, model = _run_program(steps)
+    assert graph.latest_at(timestamp) == model.version_as_of("x", timestamp)
