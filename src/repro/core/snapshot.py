@@ -77,16 +77,58 @@ _MISS = object()
 #: Entry budget for each snapshot's private decoded-object cache.
 _SNAPSHOT_DECODED_ENTRIES = 256
 
+#: Entry budget for the decoded-object cache shared by every snapshot
+#: pinned at the same epoch.  Same-epoch snapshots see identical bytes
+#: for every vid (publication bumps the epoch before any committed
+#: content moves, and pre-images of uncommitted rewrites are stashed
+#: first-wins), so one decode can serve a whole swarm of readers.
+_SHARED_DECODED_ENTRIES = 4096
+
+
+class _EpochDecodedCache:
+    """Decoded-object cache shared by every snapshot of one epoch.
+
+    Reads are a bare ``dict.get`` -- GIL-atomic, no lock, no recency
+    bookkeeping -- because this sits on the network server's inline
+    read path, once per wire request.  When the map outgrows its budget
+    it is dropped wholesale and rebuilt on demand: epoch caches are
+    short-lived, so a reset beats per-entry LRU accounting here.
+    """
+
+    __slots__ = ("_entries", "_budget")
+
+    def __init__(self, budget: int) -> None:
+        self._entries: dict = {}
+        self._budget = budget
+
+    def get(self, key, default=None):
+        return self._entries.get(key, default)
+
+    def put(self, key, value) -> None:
+        entries = self._entries
+        if len(entries) >= self._budget:
+            self._entries = entries = {}
+        entries[key] = value
+
 
 class SnapshotEntry:
-    """Frozen object-table row published into the committed table."""
+    """Frozen object-table row published into the committed table.
 
-    __slots__ = ("type_name", "graph", "latest_serial")
+    ``latest_decoded`` is the one mutable field: a decode memo for the
+    entry's latest version, filled lazily by the wire-read fast path.
+    It is sound because an entry instance's content never changes --
+    every publish that touches the oid installs a *new* entry, and
+    pre-images of in-flight rewrites are stashed before the heap moves
+    -- so whoever decodes first stores what every reader would decode.
+    """
+
+    __slots__ = ("type_name", "graph", "latest_serial", "latest_decoded")
 
     def __init__(self, type_name: str, graph: "VersionGraph", latest_serial: int) -> None:
         self.type_name = type_name
         self.graph = graph
         self.latest_serial = latest_serial
+        self.latest_decoded: Any = None
 
 
 class SnapshotRegistry:
@@ -113,6 +155,11 @@ class SnapshotRegistry:
         self.stashes = 0
         #: Reads served entirely without the storage mutex or object locks.
         self.lockfree_hits = 0
+        #: Decoded-object cache shared across snapshots of one epoch;
+        #: replaced (not mutated) whenever the epoch advances, since a
+        #: vid's bytes may legitimately differ between epochs.
+        self._decoded_epoch = -1
+        self._decoded_shared: _EpochDecodedCache | None = None
 
     # -- counters -----------------------------------------------------------
 
@@ -238,8 +285,18 @@ class SnapshotRegistry:
         hooks.sched_point("snap.pin")
         with self._lock:
             self.pins += 1
+            if self._decoded_epoch != self.epoch:
+                self._decoded_epoch = self.epoch
+                self._decoded_shared = _EpochDecodedCache(
+                    _SHARED_DECODED_ENTRIES
+                )
             snap = Snapshot(
-                store, self, self.epoch, dict(self._pending_bytes), index_source
+                store,
+                self,
+                self.epoch,
+                dict(self._pending_bytes),
+                index_source,
+                decoded=self._decoded_shared,
             )
             self._pinned[id(snap)] = snap
             return snap
@@ -272,6 +329,7 @@ class Snapshot:
         epoch: int,
         bytes_overlay: dict[Vid, bytes],
         index_source: Any = None,
+        decoded: _EpochDecodedCache | None = None,
     ) -> None:
         self._store = store
         self._registry = registry
@@ -279,7 +337,13 @@ class Snapshot:
         self._bytes_overlay = bytes_overlay
         self._entry_overlay: dict[Oid, SnapshotEntry | None] = {}
         self._type_overlay: dict[str, tuple[Oid, ...]] = {}
-        self._decoded = BudgetedLRU(_SNAPSHOT_DECODED_ENTRIES, lambda _o: 1)
+        # ``decoded`` lets the registry hand every same-epoch snapshot
+        # one shared cache; a standalone snapshot gets a private one.
+        self._decoded = (
+            decoded
+            if decoded is not None
+            else BudgetedLRU(_SNAPSHOT_DECODED_ENTRIES, lambda _o: 1)
+        )
         #: Per-snapshot memo of index resolutions (the satellite fix for
         #: Query._indexed_domain re-walking the index every iteration).
         self._domain_cache: dict[Any, list[Oid] | None] = {}
@@ -480,6 +544,28 @@ class Snapshot:
             content = self._version_bytes(entry, vid.oid, vid.serial)
             obj = serialization.decode(content)
             self._decoded.put(vid, obj)
+        self._registry.lockfree_hits += 1
+        value = getattr(obj, name)
+        if _inspect.ismethod(value) and value.__self__ is obj:
+            return READ_MISS
+        if self._is_shareable(value):
+            return value
+        return READ_MISS
+
+    def read_latest_attr(self, oid: Oid, name: str) -> Any:
+        """``read_attr(latest_vid(oid), name)`` with one entry resolution.
+
+        The network server's inline read lane calls this once per wire
+        request, so the oid -> entry probe, the epoch counter bump and
+        the decoded-cache lookup are fused into a single pass.
+        """
+        hooks.sched_point("snap.read")
+        entry = self._deref_entry(oid)
+        obj = entry.latest_decoded
+        if obj is None:
+            content = self._version_bytes(entry, oid, entry.latest_serial)
+            obj = serialization.decode(content)
+            entry.latest_decoded = obj
         self._registry.lockfree_hits += 1
         value = getattr(obj, name)
         if _inspect.ismethod(value) and value.__self__ is obj:

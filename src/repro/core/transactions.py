@@ -389,6 +389,10 @@ class Transaction:
         #: True for snapshot-read transactions: every mutation fails fast
         #: with :class:`~repro.errors.ReadOnlySnapshotError`.
         self.read_only = False
+        #: The owning :class:`~repro.core.session.Session` (set by the
+        #: database facade); the transaction's operations may execute on
+        #: any thread that has the session activated.
+        self.session = None
         self._log = log
         self._locks = lock_manager
         self._heap_resolver = heap_resolver

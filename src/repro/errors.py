@@ -152,6 +152,49 @@ class DatabaseDegradedError(OdeError):
 
 
 # ---------------------------------------------------------------------------
+# Network service layer
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(OdeError):
+    """Base class for errors raised by the network service layer."""
+
+
+class SessionStateError(NetworkError):
+    """A session was used illegally (closed, or active on two threads)."""
+
+
+class ProtocolError(NetworkError):
+    """A wire frame could not be parsed (bad magic, malformed header/body)."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame declared a payload larger than the negotiated maximum.
+
+    The server answers with a clean error frame before closing the
+    connection, so a misbehaving client learns why it was dropped.
+    """
+
+
+class ConnectionClosedError(NetworkError):
+    """The connection closed while requests were still in flight."""
+
+
+class RemoteError(NetworkError):
+    """The server reported an error that has no local exception class.
+
+    Known kernel errors (``DeadlockError``, ``UnknownObjectError``, ...)
+    are re-raised client-side as their real classes; this is the fallback
+    carrier for anything else.  ``error_name`` holds the server-side
+    class name.
+    """
+
+    def __init__(self, message: str, error_name: str = "RemoteError") -> None:
+        super().__init__(message)
+        self.error_name = error_name
+
+
+# ---------------------------------------------------------------------------
 # Policies and baselines
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,40 @@
+"""Network service layer: the versioned object store as a server.
+
+The kernel is embedded -- one process, direct calls.  This package puts
+it behind a socket so many clients can share one database:
+
+* :mod:`repro.net.protocol` -- the length-prefixed binary wire format
+  (frames, opcodes, the error envelope), built on the storage layer's
+  stable codec so any persistable value travels as-is;
+* :mod:`repro.net.server` -- an asyncio server that runs kernel calls on
+  a worker thread pool, serves read-only requests through the lock-free
+  snapshot path, and groups concurrent commits into the WAL's
+  group-commit window;
+* :mod:`repro.net.client` -- an asyncio client with connection pooling
+  and request pipelining (many correlated requests in flight per
+  connection, out-of-order completion).
+
+Each connection gets one :class:`~repro.core.session.Session`; the wire
+opcodes map 1:1 onto the session-scoped kernel surface (begin / commit /
+abort / read / write / newversion / query / snapshot).
+"""
+
+from repro.net.client import OdeClient, OdeConnection
+from repro.net.protocol import (
+    FrameDecoder,
+    MAX_FRAME_BYTES,
+    build_frame,
+    parse_frame,
+)
+from repro.net.server import OdeServer, ServerThread
+
+__all__ = [
+    "FrameDecoder",
+    "MAX_FRAME_BYTES",
+    "OdeClient",
+    "OdeConnection",
+    "OdeServer",
+    "ServerThread",
+    "build_frame",
+    "parse_frame",
+]

@@ -1,0 +1,380 @@
+"""Asyncio client: pooled connections, pipelined correlated requests.
+
+An :class:`OdeConnection` is one socket and one server-side session.
+Every request gets a fresh correlation id; the response resolves the
+matching future, so **many requests may be in flight at once** and may
+complete out of order -- pipelining is just ``asyncio.gather`` over
+plain :meth:`OdeConnection.request` calls::
+
+    conn = await OdeConnection.open(host, port)
+    vals = await asyncio.gather(*(conn.read(oid, "n") for oid in oids))
+
+An :class:`OdeClient` pools N connections.  Stateless requests
+round-robin across the pool; transactional sequences must stick to one
+connection (the transaction lives on its session), so they run through
+:meth:`OdeClient.lease`::
+
+    async with client.lease() as conn:
+        await conn.begin()
+        v = await conn.read(oid, "n")
+        await conn.write(oid, "n", v + 1)
+        await conn.commit()
+
+Do not pipeline *across* a transaction boundary on one connection: the
+server serves reads outside a transaction from the lock-free snapshot
+lane, so a read racing its own session's BEGIN may resolve against the
+snapshot instead of the transaction.  Within a transaction, ops execute
+in send order (the server serializes per-session, FIFO).
+
+Server-side errors come back typed: the error envelope names the
+exception class, and known kernel errors re-raise as themselves
+(``except DeadlockError`` works across the wire); everything else
+raises :class:`~repro.errors.RemoteError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from contextlib import asynccontextmanager
+from typing import Any, AsyncIterator
+
+from repro.core.identity import Oid, Vid
+from repro.errors import ConnectionClosedError, NetworkError
+from repro.net import protocol
+from repro.net.protocol import (
+    OP_ABORT,
+    OP_BEGIN,
+    OP_COMMIT,
+    OP_NEWVERSION,
+    OP_PDELETE,
+    OP_PING,
+    OP_PNEW,
+    OP_QUERY,
+    OP_READ,
+    OP_SNAPSHOT,
+    OP_STATS,
+    OP_WRITE,
+    RESP_ERR,
+    RESP_OK,
+)
+
+_RECV_CHUNK = 256 * 1024
+
+#: Cork limit: a pipelined burst whose corked frames exceed this many
+#: bytes is flushed (and drained) immediately instead of waiting for the
+#: end of the loop iteration, bounding client-side buffering.
+_FLUSH_BYTES = 128 * 1024
+
+
+class OdeConnection:
+    """One socket, one server session, any number of in-flight requests."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_frame: int = protocol.MAX_FRAME_BYTES,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._cids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._decoder = protocol.FrameDecoder(max_frame)
+        self._closed = False
+        self._close_reason: BaseException | None = None
+        self._outbuf = bytearray()
+        self._flush_handle: asyncio.Handle | None = None
+        #: Highest number of simultaneously in-flight requests seen.
+        self.pipeline_max = 0
+        self._loop = asyncio.get_running_loop()
+        self._recv_task = self._loop.create_task(self._recv_loop())
+
+    @classmethod
+    async def open(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_frame: int = protocol.MAX_FRAME_BYTES,
+    ) -> "OdeConnection":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, max_frame)
+
+    # -- the pipe -----------------------------------------------------------
+
+    async def _recv_loop(self) -> None:
+        reason: BaseException | None = None
+        try:
+            while True:
+                data = await self._reader.read(_RECV_CHUNK)
+                if not data:
+                    break
+                for opcode, cid, payload in self._decoder.feed(data):
+                    self._complete(opcode, cid, payload)
+        except (ConnectionResetError, asyncio.CancelledError):
+            pass
+        except BaseException as exc:  # noqa: BLE001 - delivered to waiters
+            reason = exc
+        finally:
+            self._fail_pending(reason)
+
+    def _complete(self, opcode: int, cid: int, payload: Any) -> None:
+        if cid == 0 and opcode == RESP_ERR:
+            # Connection-level error (e.g. our frame was oversized): the
+            # server is about to hang up; fail everything in flight.
+            self._close_reason = _remote_exception(payload)
+            return
+        future = self._pending.pop(cid, None)
+        if future is None or future.done():
+            return  # response to a cancelled/timed-out request
+        if opcode == RESP_OK:
+            future.set_result(payload)
+        else:
+            future.set_exception(_remote_exception(payload))
+
+    def _fail_pending(self, reason: BaseException | None) -> None:
+        self._closed = True
+        if reason is None:
+            reason = self._close_reason
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(
+                    ConnectionClosedError(
+                        f"connection closed with request in flight"
+                        + (f" ({reason!r})" if reason else "")
+                    )
+                )
+        self._pending.clear()
+
+    # -- requests ------------------------------------------------------------
+
+    def send(self, opcode: int, payload: Any = None) -> "asyncio.Future[Any]":
+        """Issue one request; return the future of its response.
+
+        This is the raw pipelining primitive: it assigns a correlation
+        id, corks the frame, and returns immediately -- no coroutine, no
+        task.  Every frame corked in the same event-loop iteration
+        coalesces into a single socket write, so a burst of N pipelined
+        requests costs one syscall, not N.  Responses resolve their
+        futures in whatever order the server finishes them.
+        """
+        if self._closed:
+            raise ConnectionClosedError("connection is closed")
+        cid = next(self._cids)
+        future = self._loop.create_future()
+        self._pending[cid] = future
+        if len(self._pending) > self.pipeline_max:
+            self.pipeline_max = len(self._pending)
+        try:
+            protocol.build_frame_into(self._outbuf, opcode, cid, payload)
+        except BaseException:
+            self._pending.pop(cid, None)
+            raise
+        if len(self._outbuf) >= _FLUSH_BYTES:
+            self._flush()
+        elif self._flush_handle is None:
+            self._flush_handle = self._loop.call_soon(self._flush)
+        return future
+
+    async def request(self, opcode: int, payload: Any = None) -> Any:
+        """Send one frame, await its correlated response (see :meth:`send`).
+
+        A cancelled request leaves its entry in the pending map; the
+        response (servers always answer) pops it and is discarded.
+        """
+        return await self.send(opcode, payload)
+
+    def _flush(self) -> None:
+        """Push the corked frames to the transport in one write."""
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        if self._outbuf and not self._writer.is_closing():
+            buf, self._outbuf = self._outbuf, bytearray()
+            self._writer.write(buf)  # buffer handed off: no copy
+
+    async def close(self) -> None:
+        """Close the socket; the server aborts the session's open txn."""
+        if not self._closed:
+            self._closed = True
+            self._flush()
+            self._writer.close()
+        self._recv_task.cancel()
+        try:
+            await self._recv_task
+        except asyncio.CancelledError:
+            pass
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "OdeConnection":
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+    # -- op helpers ----------------------------------------------------------
+
+    async def ping(self, payload: Any = None) -> Any:
+        return await self.request(OP_PING, payload)
+
+    async def begin(self, *, snapshot_reads: bool = False) -> int:
+        """Open this session's transaction; returns the txid."""
+        return await self.request(OP_BEGIN, {"snapshot_reads": snapshot_reads})
+
+    async def commit(self) -> None:
+        await self.request(OP_COMMIT)
+
+    async def abort(self) -> None:
+        await self.request(OP_ABORT)
+
+    async def pnew(self, obj: Any) -> Oid:
+        """Create a persistent object server-side; returns its Oid."""
+        return await self.request(OP_PNEW, obj)
+
+    async def newversion(self, target: Oid | Vid) -> Vid:
+        return await self.request(OP_NEWVERSION, target)
+
+    async def pdelete(self, target: Oid | Vid) -> None:
+        await self.request(OP_PDELETE, target)
+
+    async def read(self, target: Oid | Vid, attr: str | None = None) -> Any:
+        """Materialize the target version, or read one attribute of it."""
+        return await self.request(OP_READ, (target, attr))
+
+    async def write(self, target: Oid | Vid, attr: str, value: Any) -> None:
+        """In-place update of one attribute of the target version."""
+        await self.request(OP_WRITE, (target, attr, value))
+
+    async def write_obj(self, target: Oid | Vid, obj: Any) -> None:
+        """Replace the target version's whole state."""
+        await self.request(OP_WRITE, (target, None, obj))
+
+    async def query(
+        self, type_name: str, where: tuple[str, Any] | None = None
+    ) -> list[Oid]:
+        """Cluster scan with optional equality filter; returns oids."""
+        return await self.request(OP_QUERY, (type_name, where))
+
+    async def snapshot(self, pin: bool = True) -> int | None:
+        """Pin (or release) the session's snapshot read context.
+
+        While pinned, reads outside transactions resolve lock-free
+        against the pinned epoch (the server re-pins automatically when
+        publication advances).  Returns the pinned epoch.
+        """
+        return await self.request(OP_SNAPSHOT, {"pin": pin})
+
+    async def stats(self) -> dict[str, Any]:
+        """The server database's stats(), including ``net.*`` counters."""
+        return await self.request(OP_STATS)
+
+
+class OdeClient:
+    """A pool of connections to one server.
+
+    ``pool_size`` connections are opened up front; stateless helpers
+    round-robin across them, :meth:`lease` checks one out for a
+    transactional sequence (returned on exit, even on error -- with the
+    transaction aborted if the caller left it open).
+    """
+
+    def __init__(self) -> None:
+        self._conns: list[OdeConnection] = []
+        self._free: asyncio.Queue[OdeConnection] | None = None
+        self._rr = itertools.count()
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 0, *, pool_size: int = 4
+    ) -> "OdeClient":
+        client = cls()
+        client._conns = list(
+            await asyncio.gather(
+                *(OdeConnection.open(host, port) for _ in range(pool_size))
+            )
+        )
+        client._free = asyncio.Queue()
+        for conn in client._conns:
+            client._free.put_nowait(conn)
+        return client
+
+    @property
+    def connections(self) -> list[OdeConnection]:
+        """The pool (exposed for benchmarks driving raw connections)."""
+        return self._conns
+
+    def _any(self) -> OdeConnection:
+        if not self._conns:
+            raise NetworkError("client is not connected")
+        return self._conns[next(self._rr) % len(self._conns)]
+
+    @asynccontextmanager
+    async def lease(self) -> AsyncIterator[OdeConnection]:
+        """Check a connection out of the pool for a transactional run."""
+        assert self._free is not None, "client is not connected"
+        conn = await self._free.get()
+        try:
+            yield conn
+        except BaseException:
+            # Leave no open transaction behind on the shared connection.
+            try:
+                await conn.abort()
+            except Exception:
+                pass
+            raise
+        finally:
+            self._free.put_nowait(conn)
+
+    # Stateless conveniences (round-robin; do not call begin/commit here).
+
+    async def ping(self, payload: Any = None) -> Any:
+        return await self._any().ping(payload)
+
+    async def pnew(self, obj: Any) -> Oid:
+        return await self._any().pnew(obj)
+
+    async def read(self, target: Oid | Vid, attr: str | None = None) -> Any:
+        return await self._any().read(target, attr)
+
+    async def write(self, target: Oid | Vid, attr: str, value: Any) -> None:
+        await self._any().write(target, attr, value)
+
+    async def newversion(self, target: Oid | Vid) -> Vid:
+        return await self._any().newversion(target)
+
+    async def query(
+        self, type_name: str, where: tuple[str, Any] | None = None
+    ) -> list[Oid]:
+        return await self._any().query(type_name, where)
+
+    async def stats(self) -> dict[str, Any]:
+        return await self._any().stats()
+
+    async def snapshot_all(self, pin: bool = True) -> None:
+        """Pin (or release) the snapshot context on every pooled session."""
+        await asyncio.gather(*(c.snapshot(pin) for c in self._conns))
+
+    async def close(self) -> None:
+        await asyncio.gather(
+            *(c.close() for c in self._conns), return_exceptions=True
+        )
+        self._conns = []
+
+    async def __aenter__(self) -> "OdeClient":
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+
+def _remote_exception(payload: Any) -> BaseException:
+    """Materialize the error envelope as a raisable exception."""
+    try:
+        protocol.raise_remote(payload)
+    except BaseException as exc:  # noqa: BLE001 - this *is* the result
+        return exc
+    return NetworkError(f"malformed error envelope: {payload!r}")

@@ -266,6 +266,18 @@ def _encode_into(out: bytearray, value: Any) -> None:
         _encode_into(out, state)
 
 
+def encode_into(out: bytearray, value: Any) -> None:
+    """Append the stable encoding of ``value`` to ``out`` in place.
+
+    The zero-copy sibling of :func:`encode`: callers assembling a larger
+    buffer (the wire-protocol framer, the WAL) write the payload directly
+    into it instead of paying ``encode()``'s final ``bytes()`` copy.
+    Raises :class:`SerializationError`; on failure ``out`` may hold a
+    partial encoding, so append into a scratch region you can truncate.
+    """
+    _encode_into(out, value)
+
+
 def encode(value: Any) -> bytes:
     """Encode ``value`` to stable bytes.  Raises :class:`SerializationError`."""
     out = bytearray()
@@ -368,3 +380,14 @@ def decode(data: bytes) -> Any:
     if pos != len(data):
         raise SerializationError(f"{len(data) - pos} trailing bytes after value")
     return value
+
+
+def decode_from(data: bytes, pos: int = 0) -> tuple[Any, int]:
+    """Decode one value starting at ``pos``; returns ``(value, end)``.
+
+    The offset sibling of :func:`decode` for callers unpacking a value
+    embedded in a larger buffer (the wire protocol) without slicing a
+    copy first.  No trailing-bytes check -- the enclosing format owns
+    the length accounting.
+    """
+    return _decode_at(data, pos)

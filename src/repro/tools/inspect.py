@@ -55,6 +55,22 @@ class DatabaseSummary:
         lines = [
             f"database: {self.path}",
             f"  health: {health}",
+        ]
+        if "net.connections" in self.counters:
+            # A server is attached (its stats source adds the net.* keys):
+            # surface the service tier next to the kernel's health.
+            get = self.counters.get
+            lines.append(
+                f"  network: {get('net.connections', 0)} connection(s) "
+                f"({get('net.connections_total', 0)} total), "
+                f"{get('net.requests', 0)} requests "
+                f"({get('net.errors', 0)} errors), "
+                f"pipeline depth {get('net.pipeline_max', 0)}, "
+                f"{get('net.snapshot_reads', 0)} lock-free reads, "
+                f"{get('net.commits', 0)} commits "
+                f"({get('net.commits_overlapped', 0)} overlapped)"
+            )
+        lines += [
             f"  policy: {self.storage_policy}",
             f"  data pages: {self.data_pages}  wal bytes: {self.wal_bytes}",
             f"  objects: {self.objects}  versions: {self.versions}",

@@ -23,6 +23,14 @@ workload shapes most likely to deadlock, starve, or lose updates:
   never go backwards for any reader), that every pinned view is
   internally consistent, and -- via a final snapshot -- that no
   acknowledged increment was lost.
+* ``server`` (``--server``) -- the same invariants *over the wire*: an
+  in-process :class:`~repro.net.server.ServerThread` serves 512
+  concurrent client connections, each driving full wire transactions
+  (BEGIN / READ / WRITE / COMMIT) against its own counter, with a
+  lock-free snapshot read after every commit.  Verifies no lost updates
+  per acknowledged wire commit, read-your-acked-writes monotonicity on
+  the lock-free lane, lock quiescence, and that every session is torn
+  down on disconnect.
 
 Every scenario verifies, from per-thread ledgers:
 
@@ -43,14 +51,22 @@ Run it:
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 import tempfile
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro import Database, PersistentObject, persistent
-from repro.errors import SerializationError
+from repro.errors import (
+    DeadlockError,
+    LockTimeoutError,
+    OdeError,
+    SerializationError,
+    TransactionAborted,
+)
 from repro.storage import serialization
 
 #: Lock deadline for stress runs.  Deliberately generous: correct runs
@@ -365,6 +381,140 @@ def _scenario_snapshot_readers(
     return result
 
 
+#: Connection count for the ``server`` scenario.  The acceptance floor
+#: is 500 live sessions; 512 keeps it a round power of two above it.
+SERVER_CONNECTIONS = 512
+
+
+def _scenario_server(path: Path, threads: int, rounds: int) -> ScenarioResult:
+    """A 512-connection client swarm against the in-process server.
+
+    Each connection owns one counter and drives full wire transactions --
+    BEGIN / READ / WRITE / COMMIT frames through the session's stateful
+    lane -- followed by a lock-free snapshot read on the inline lane.
+    Transient transaction errors (deadlock victims, lock timeouts,
+    server-side aborts) are retried client-side with backoff, exactly as
+    a real wire client would.
+
+    Invariants, checked from per-connection ledgers:
+
+    1. **No lost updates over the wire** -- every counter's final value
+       equals that connection's acknowledged wire commits.
+    2. **Read-your-acked-writes** -- the lock-free read after an
+       acknowledged commit never sees fewer increments than were acked.
+    3. **Full swarm concurrency** -- all 512 sessions are live at once.
+    4. **Clean teardown** -- every session reaped on disconnect, no
+       snapshot left pinned, lock table quiescent.
+    """
+    from repro.net.client import OdeConnection
+    from repro.net.server import ServerThread
+
+    connections = SERVER_CONNECTIONS
+    txns = max(2, rounds // 4)
+    result = ScenarioResult("server", connections, txns)
+    retriable = (DeadlockError, LockTimeoutError, TransactionAborted)
+    with Database(
+        path, lock_timeout=LOCK_TIMEOUT, group_commit_window=0.002
+    ) as db:
+        with db.transaction():
+            refs = [db.pnew(Counter(tag=i)) for i in range(connections)]
+        oids = [ref.oid for ref in refs]
+        acked = [0] * connections
+
+        async def drive(idx: int, conn: OdeConnection) -> None:
+            oid = oids[idx]
+            for j in range(txns):
+                for attempt in range(1, 41):
+                    try:
+                        await conn.begin()
+                        val = await conn.read(oid, "val")
+                        await conn.write(oid, "val", val + 1)
+                        await conn.commit()
+                        acked[idx] += 1
+                        break
+                    except retriable:
+                        try:
+                            await conn.abort()
+                        except OdeError:
+                            pass
+                        await asyncio.sleep(0.001 * attempt)
+                else:
+                    result.problems.append(
+                        f"connection {idx}: transaction {j} exhausted retries"
+                    )
+                    return
+                # Outside the transaction the session serves this from
+                # its pinned snapshot -- the lock-free inline lane.
+                got = await conn.read(oid, "val")
+                if got < acked[idx]:
+                    result.problems.append(
+                        f"connection {idx}: lock-free read saw {got} after "
+                        f"{acked[idx]} acknowledged commits"
+                    )
+                    return
+
+        with ServerThread(db) as server:
+
+            async def swarm() -> int:
+                conns = await asyncio.gather(
+                    *(
+                        OdeConnection.open(server.host, server.port)
+                        for _ in range(connections)
+                    )
+                )
+                try:
+                    # The client-side opens complete before the server
+                    # loop has processed every accept; poll briefly for
+                    # the swarm's true peak.
+                    peak = 0
+                    deadline = time.monotonic() + 5.0
+                    while peak < connections and time.monotonic() < deadline:
+                        peak = max(peak, db.stats()["net.connections"])
+                        await asyncio.sleep(0.02)
+                    await asyncio.gather(*(drive(i, c) for i, c in enumerate(conns)))
+                finally:
+                    await asyncio.gather(
+                        *(c.close() for c in conns), return_exceptions=True
+                    )
+                return peak
+
+            peak = asyncio.run(swarm())
+            if peak < 500:
+                result.problems.append(
+                    f"only {peak} concurrent sessions (need >= 500)"
+                )
+            deadline = time.monotonic() + 10.0
+            while db.stats()["net.connections"] and time.monotonic() < deadline:
+                time.sleep(0.02)
+            # Snapshot the counters before the server detaches its
+            # stats source on shutdown.
+            stats = db.stats()
+
+        if stats["net.connections"] != 0:
+            result.problems.append(
+                f"{stats['net.connections']} session(s) not torn down on disconnect"
+            )
+        if stats["snap.pinned"] != 0:
+            result.problems.append(
+                f"{stats['snap.pinned']} snapshot(s) left pinned after the swarm"
+            )
+        if stats["net.snapshot_reads"] == 0:
+            result.problems.append(
+                "no lock-free wire reads recorded -- inline lane never used?"
+            )
+        result.commits = sum(acked)
+        with db.snapshot() as snap:
+            for idx, oid in enumerate(oids):
+                got = snap.read_attr(snap.latest_vid(oid), "val")
+                if got != acked[idx]:
+                    result.problems.append(
+                        f"counter {idx}: value {got} != {acked[idx]} acknowledged "
+                        f"wire commits (lost update)"
+                    )
+        _finish(db, result)
+    return result
+
+
 _SCENARIOS = {
     "hotspot": _scenario_hotspot,
     "upgrade_storm": _scenario_upgrade_storm,
@@ -376,6 +526,12 @@ _SCENARIOS = {
 #: is unchanged.
 _SNAPSHOT_SCENARIOS = {
     "snapshot_readers": _scenario_snapshot_readers,
+}
+
+#: Opt-in (``--server``): the wire-protocol swarm.  Kept separate for the
+#: same reason as the snapshot scenarios -- the default set is stable.
+_SERVER_SCENARIOS = {
+    "server": _scenario_server,
 }
 
 
@@ -407,11 +563,13 @@ def run_stress(
     rounds: int = 30,
     verbose: bool = False,
     snapshots: bool = False,
+    server: bool = False,
 ) -> StressReport:
     """Run every scenario against a fresh database directory.
 
-    ``snapshots=True`` adds the readers-vs-writers snapshot scenarios on
-    top of the default set.
+    ``snapshots=True`` adds the readers-vs-writers snapshot scenarios;
+    ``server=True`` adds the 512-connection wire-protocol swarm.  Both
+    ride on top of the default set.
     """
     report = StressReport()
     tmp = None
@@ -421,6 +579,8 @@ def run_stress(
     scenarios = dict(_SCENARIOS)
     if snapshots:
         scenarios.update(_SNAPSHOT_SCENARIOS)
+    if server:
+        scenarios.update(_SERVER_SCENARIOS)
     try:
         for name, scenario in scenarios.items():
             result = scenario(base_dir / name, threads, rounds)
@@ -449,6 +609,10 @@ def main(argv: list[str] | None = None) -> int:
         "--snapshots", action="store_true",
         help="also run the snapshot readers-vs-writers scenarios",
     )
+    parser.add_argument(
+        "--server", action="store_true",
+        help="also run the 512-connection wire-protocol swarm",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     parser.add_argument(
         "--dir", type=Path, default=None,
@@ -459,7 +623,7 @@ def main(argv: list[str] | None = None) -> int:
     rounds = args.rounds if args.rounds is not None else (10 if args.smoke else 30)
     report = run_stress(
         args.dir, threads=threads, rounds=rounds,
-        verbose=args.verbose, snapshots=args.snapshots,
+        verbose=args.verbose, snapshots=args.snapshots, server=args.server,
     )
     print(report.render())
     return 0 if report.ok else 1
