@@ -50,7 +50,13 @@ from repro.core.query import Query
 from repro.core.session import Session
 from repro.core.snapshot import Snapshot
 from repro.core.store import StoragePolicy, VersionStore
-from repro.core.transactions import EXCLUSIVE, SHARED, LockManager, Transaction
+from repro.core.transactions import (
+    EXCLUSIVE,
+    SHARED,
+    LockManager,
+    Transaction,
+    undo_operations,
+)
 from repro.core.triggers import TriggerManager
 from repro.core.vgraph import VersionGraph
 from repro.storage import faults
@@ -59,7 +65,18 @@ from repro.storage.catalog import Catalog
 from repro.storage.disk import DiskManager
 from repro.storage.heap import HeapFile
 from repro.storage.stripes import StripedLock
-from repro.storage.wal import LogManager, RecoveryReport, recover
+from repro.storage import serialization
+from repro.storage.wal import (
+    ABORT_END,
+    COMMIT,
+    COORD_COMMIT,
+    COORD_END,
+    InDoubtTransaction,
+    LogManager,
+    LogRecord,
+    RecoveryReport,
+    recover,
+)
 from repro.verify import hooks
 
 _DATA_FILE = "data.odb"
@@ -149,6 +166,8 @@ class Database:
         group_commit_window: float = 0.0,
         deadlock_detection: bool = True,
         degrade_after: int = 3,
+        oid_stride: int = 1,
+        oid_residue: int = 0,
     ) -> None:
         self._path = os.fspath(path)
         os.makedirs(self._path, exist_ok=True)
@@ -160,11 +179,30 @@ class Database:
         self._pool.before_write = self._log.flush  # write-ahead rule
         self.last_recovery: RecoveryReport | None = None
         self._recover_if_needed()
+        # Two-phase commit bookkeeping (see repro.shard): prepared
+        # participants awaiting a verdict, and coordinator decisions not
+        # yet acknowledged by every participant.  While either is
+        # non-empty the WAL must not truncate -- the records *are* the
+        # evidence recovery needs.
+        report = self.last_recovery
+        self._in_doubt: dict[int, InDoubtTransaction] = (
+            dict(report.in_doubt) if report else {}
+        )
+        self._coord_decisions: dict[tuple, tuple[int, ...]] = (
+            dict(report.coord_decisions) if report else {}
+        )
+        self._twopc_mutex = threading.Lock()
         # Striped page locks guard the short fetch-copy-unpin windows of
         # heap physical ops against lock-free snapshot readers.
         self._page_locks = StripedLock()
         self._catalog = Catalog(self._disk, self._pool, page_locks=self._page_locks)
-        self._store = VersionStore(self._catalog, policy, cache_budget=cache_budget)
+        self._store = VersionStore(
+            self._catalog,
+            policy,
+            cache_budget=cache_budget,
+            oid_stride=oid_stride,
+            oid_residue=oid_residue,
+        )
         self._locks = LockManager(lock_timeout, detect_deadlocks=deadlock_detection)
         self._locks.work_of = self._txn_work
         self._triggers = TriggerManager(type_resolver=self._store.type_name)
@@ -222,8 +260,106 @@ class Database:
         self.last_recovery = recover(self._log, resolver)
         self._pool.flush_all()
         self._disk.sync()
-        self._log.truncate()
+        if not (self.last_recovery.in_doubt or self.last_recovery.coord_decisions):
+            # In-doubt undo images and coordinator verdicts live only in
+            # the WAL; truncating now would erase the evidence resolution
+            # needs.  The log is truncated at the checkpoint that follows
+            # resolution instead.
+            self._log.truncate()
         self._pool.drop_clean()
+
+    # -- two-phase commit surface (used by repro.shard) ------------------------
+
+    def in_doubt_txns(self) -> dict[int, InDoubtTransaction]:
+        """Prepared-but-undecided participants recovered at open.
+
+        Keyed by local txid.  Each must be fed to :meth:`resolve_in_doubt`
+        before this shard's WAL can truncate again.
+        """
+        with self._twopc_mutex:
+            return dict(self._in_doubt)
+
+    def coordinator_decisions(self) -> dict[tuple, tuple[int, ...]]:
+        """Surviving coordinator commit verdicts: gtxid -> participants.
+
+        A gtxid present here was *decided committed*; in-doubt
+        participants of any gtxid absent from every shard's decisions are
+        resolved by presumed abort.
+        """
+        with self._twopc_mutex:
+            return dict(self._coord_decisions)
+
+    def log_coordinator_decision(
+        self, gtxid: tuple, participants: tuple[int, ...]
+    ) -> None:
+        """Durably journal the global commit verdict in this shard's WAL.
+
+        This is the 2PC commit point: once the flush returns, every
+        prepared participant of ``gtxid`` *will* commit, crash or no
+        crash.  The decision is tracked so the WAL cannot truncate until
+        :meth:`forget_coordinator_decision` confirms phase two finished.
+        """
+        self._check_writable()
+        with self._twopc_mutex:
+            self._coord_decisions[gtxid] = tuple(participants)
+        try:
+            self._log.append(
+                LogRecord(
+                    COORD_COMMIT,
+                    0,
+                    payload=serialization.encode((gtxid, tuple(participants))),
+                )
+            )
+            self._log.flush()
+        except BaseException:
+            # Not durable: the verdict never happened (presumed abort).
+            with self._twopc_mutex:
+                self._coord_decisions.pop(gtxid, None)
+            raise
+
+    def forget_coordinator_decision(self, gtxid: tuple) -> None:
+        """Phase two finished everywhere: release the decision record.
+
+        Appends ``COORD_END`` (lazily flushed -- losing it merely makes a
+        future recovery re-deliver an already-applied commit verdict,
+        which resolution handles idempotently) and lifts the truncation
+        hold once no decisions remain.
+        """
+        with self._twopc_mutex:
+            self._coord_decisions.pop(gtxid, None)
+        self._log.append(
+            LogRecord(COORD_END, 0, payload=serialization.encode(gtxid))
+        )
+
+    def resolve_in_doubt(self, txid: int, commit: bool) -> None:
+        """Decide a recovered in-doubt participant: commit or roll back.
+
+        Commit appends the missing ``COMMIT`` record; abort applies the
+        retained undo images in reverse (logging compensations, exactly
+        like a live abort) and appends ``ABORT_END``.  Either way the
+        transaction stops being in-doubt and, once none remain, the WAL
+        may truncate again.
+        """
+        with self._twopc_mutex:
+            info = self._in_doubt.pop(txid, None)
+        if info is None:
+            raise TransactionStateError(f"transaction {txid} is not in-doubt")
+        if commit:
+            self._log.append(LogRecord(COMMIT, txid))
+            self._log.flush()
+            return
+        with self._storage_mutex:
+            undo_operations(
+                info.ops, self._catalog.heap_by_id, self._log, txid
+            )
+            self._log.append(LogRecord(ABORT_END, txid))
+            self._log.flush()
+            # The heaps changed underneath the in-memory table: rebuild,
+            # as an aborting transaction's reload does.
+            self._catalog.reload()
+            self._store.reload()
+            self._indexes.rebuild()
+            self._store.publish_snapshot(exclude=self._active_touched(), full=True)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -268,7 +404,8 @@ class Database:
             self._log.flush()
             self._pool.flush_all()
             self._disk.sync()
-            self._log.truncate()
+            if not (self._in_doubt or self._coord_decisions):
+                self._log.truncate()
 
     def close(self) -> None:
         """Checkpoint and close all files.  Idempotent.
@@ -494,7 +631,9 @@ class Database:
                 and self._log.size() > self._checkpoint_threshold
             ):
                 with self._txn_mutex:
-                    if not self._active:
+                    if not (
+                        self._active or self._in_doubt or self._coord_decisions
+                    ):
                         self._log.flush()
                         self._pool.flush_all()
                         self._disk.sync()
@@ -641,7 +780,15 @@ class Database:
         with self._txn_mutex:
             out: set[Oid] = set()
             for txn in self._active.values():
-                out |= txn.touched_oids
+                # The owning thread grows touched_oids without _txn_mutex;
+                # a resize mid-union raises, and re-reading picks up the
+                # racing oid (which must be excluded -- its txn is active).
+                while True:
+                    try:
+                        out |= txn.touched_oids
+                        break
+                    except RuntimeError:  # set changed size during iteration
+                        continue
             return out
 
     def snapshot(self) -> Snapshot:

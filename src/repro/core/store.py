@@ -173,9 +173,17 @@ class VersionStore:
         policy: StoragePolicy | None = None,
         cache_budget: int = DEFAULT_BYTES_BUDGET,
         decoded_entries: int = DEFAULT_DECODED_ENTRIES,
+        oid_stride: int = 1,
+        oid_residue: int = 0,
     ) -> None:
         self._catalog = catalog
         self._policy = policy or StoragePolicy()
+        #: Oid allocation slice: this store only hands out oids congruent
+        #: to ``oid_residue`` modulo ``oid_stride``.  Shard N of a sharded
+        #: deployment gets (stride=nshards, residue=N), so placement can
+        #: locate any oid's home shard arithmetically.
+        self._oid_stride = oid_stride
+        self._oid_residue = oid_residue
         self._objects: HeapFile = catalog.ensure_heap(OBJECTS_HEAP)
         self._versions: HeapFile = catalog.ensure_heap(VERSIONS_HEAP)
         self._clusters: HeapFile = catalog.ensure_heap(CLUSTERS_HEAP)
@@ -275,8 +283,19 @@ class VersionStore:
         return entry.graph
 
     def has_unpublished_changes(self, exclude: "frozenset[Oid] | set[Oid]" = frozenset()) -> bool:
-        """True when a publish (ignoring ``exclude``) would advance the epoch."""
-        return any(oid not in exclude for oid in self._dirty_oids)
+        """True when a publish (ignoring ``exclude``) would advance the epoch.
+
+        Deliberately lock-free (the snapshot pin path must not queue
+        behind writers holding the storage mutex), so the dirty set can
+        be resized mid-scan by a concurrent writer; re-probe when that
+        happens.  Either answer is sound during a race: a freshly dirtied
+        oid belongs to a still-active transaction and is excluded anyway.
+        """
+        while True:
+            try:
+                return any(oid not in exclude for oid in self._dirty_oids)
+            except RuntimeError:  # set changed size during iteration
+                continue
 
     def publish_snapshot(
         self,
@@ -534,7 +553,14 @@ class VersionStore:
                 except serialization.SerializationError:
                     suffix += 1
                     type_name = f"{base_name}#{suffix}"
-        oid = Oid(self._catalog.next_value("ode.oid", log_op))
+        oid = Oid(
+            self._catalog.next_value(
+                "ode.oid",
+                log_op,
+                stride=self._oid_stride,
+                residue=self._oid_residue,
+            )
+        )
         graph = VersionGraph()
         entry = _Entry(oid, type_name, graph, None, None)
         content = self._encode_object(obj)

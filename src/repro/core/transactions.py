@@ -41,6 +41,7 @@ from repro.storage.wal import (
     OP_DELETE,
     OP_INSERT,
     OP_UPDATE,
+    PREPARE,
     LogManager,
     LogRecord,
 )
@@ -352,6 +353,63 @@ class LockManager:
             }
 
 
+def undo_operations(
+    records: "list[LogRecord] | tuple[LogRecord, ...]",
+    heap_resolver: Callable[[int], "HeapFile"],
+    log: LogManager,
+    txid: int,
+) -> None:
+    """Apply undo images for ``records`` in reverse, logging compensations.
+
+    The compensation ops are ordinary ``OP_*`` records under ``txid``, so
+    crash recovery repeats the rollback instead of re-deriving it.  Used
+    by :meth:`Transaction.abort`/:meth:`Transaction.rollback_to` and by
+    presumed-abort resolution of in-doubt 2PC participants (which rolls
+    back a transaction recovered from the WAL, not a live one).
+    """
+    for record in reversed(records):
+        heap = heap_resolver(record.file_id)
+        if record.kind == OP_INSERT:
+            heap.replay_delete(record.page_id, record.slot)
+            log.append(
+                LogRecord(
+                    OP_DELETE,
+                    txid,
+                    record.file_id,
+                    record.page_id,
+                    record.slot,
+                    b"",
+                    record.payload,
+                )
+            )
+        elif record.kind == OP_UPDATE:
+            heap.replay_update(record.page_id, record.slot, record.undo_payload)
+            log.append(
+                LogRecord(
+                    OP_UPDATE,
+                    txid,
+                    record.file_id,
+                    record.page_id,
+                    record.slot,
+                    record.undo_payload,
+                    record.payload,
+                )
+            )
+        else:  # OP_DELETE
+            heap.replay_insert(record.page_id, record.slot, record.undo_payload)
+            log.append(
+                LogRecord(
+                    OP_INSERT,
+                    txid,
+                    record.file_id,
+                    record.page_id,
+                    record.slot,
+                    record.undo_payload,
+                    b"",
+                )
+            )
+
+
 class Transaction:
     """One atomic unit of work against the database.
 
@@ -389,6 +447,10 @@ class Transaction:
         #: True for snapshot-read transactions: every mutation fails fast
         #: with :class:`~repro.errors.ReadOnlySnapshotError`.
         self.read_only = False
+        #: True once :meth:`prepare` has made the prepare promise durable;
+        #: from then on the transaction never aborts itself on a failed
+        #: commit (the coordinator or restart recovery owns its fate).
+        self.prepared = False
         #: The owning :class:`~repro.core.session.Session` (set by the
         #: database facade); the transaction's operations may execute on
         #: any thread that has the session activated.
@@ -466,6 +528,27 @@ class Transaction:
 
     # -- outcome --------------------------------------------------------------
 
+    def prepare(self, meta: bytes) -> None:
+        """Phase one of two-phase commit: promise that commit cannot fail.
+
+        Appends a ``PREPARE`` record carrying ``meta`` (the coordinator's
+        encoded ``(gtxid, coordinator, participants)``) and flushes through
+        it.  After this returns, the transaction's ops and the promise are
+        durable: a crash before the decision leaves it *in-doubt*, and
+        restart recovery keeps its effects until the coordinator's verdict
+        is known.  The transaction stays active and keeps its locks; the
+        owner must follow with :meth:`commit` or :meth:`abort`.
+        """
+        self._require_active()
+        if self.prepared:
+            raise TransactionStateError(
+                f"transaction {self.txid} is already prepared"
+            )
+        hooks.sched_point("txn.prepare")
+        self._log.append(LogRecord(PREPARE, self.txid, payload=meta))
+        self._log.flush()
+        self.prepared = True
+
     def commit(self) -> None:
         """Make every logged operation durable, then release locks.
 
@@ -475,6 +558,13 @@ class Transaction:
         propagates.  Whatever happens, the locks are released: a
         transaction must never exit this method still holding locks, or
         every other transaction contending on them stalls until timeout.
+
+        Exception: a *prepared* participant must never abort unilaterally
+        -- by the time phase two runs, the global decision may already be
+        durable in the coordinator's WAL, and a self-abort here would
+        contradict it.  A prepared commit that fails keeps the transaction
+        active (locks held, effects in place) so the caller can retry or
+        leave resolution to restart recovery.
         """
         self._require_active()
         hooks.sched_point("txn.commit")
@@ -482,6 +572,8 @@ class Transaction:
             self._log.append(LogRecord(COMMIT, self.txid))
             self._log.flush()
         except BaseException:
+            if self.prepared:
+                raise
             try:
                 if not faults.is_crashed():
                     self.abort()
@@ -529,47 +621,7 @@ class Transaction:
         self._undo_records(self._ops)
 
     def _undo_records(self, records: list[LogRecord]) -> None:
-        for record in reversed(records):
-            heap = self._heap_resolver(record.file_id)
-            if record.kind == OP_INSERT:
-                heap.replay_delete(record.page_id, record.slot)
-                self._log.append(
-                    LogRecord(
-                        OP_DELETE,
-                        self.txid,
-                        record.file_id,
-                        record.page_id,
-                        record.slot,
-                        b"",
-                        record.payload,
-                    )
-                )
-            elif record.kind == OP_UPDATE:
-                heap.replay_update(record.page_id, record.slot, record.undo_payload)
-                self._log.append(
-                    LogRecord(
-                        OP_UPDATE,
-                        self.txid,
-                        record.file_id,
-                        record.page_id,
-                        record.slot,
-                        record.undo_payload,
-                        record.payload,
-                    )
-                )
-            else:  # OP_DELETE
-                heap.replay_insert(record.page_id, record.slot, record.undo_payload)
-                self._log.append(
-                    LogRecord(
-                        OP_INSERT,
-                        self.txid,
-                        record.file_id,
-                        record.page_id,
-                        record.slot,
-                        record.undo_payload,
-                        b"",
-                    )
-                )
+        undo_operations(records, self._heap_resolver, self._log, self.txid)
 
     def _finish(self) -> None:
         hooks.sched_point("txn.release")

@@ -122,8 +122,13 @@ class OdeConnection:
     def _complete(self, opcode: int, cid: int, payload: Any) -> None:
         if cid == 0 and opcode == RESP_ERR:
             # Connection-level error (e.g. our frame was oversized): the
-            # server is about to hang up; fail everything in flight.
+            # server is hanging up.  Fail everything in flight *now* --
+            # the requests' own responses are never coming, and waiting
+            # for the reader to observe EOF would leave every caller
+            # hanging until the server's half-close completes (or
+            # forever, if it never does).
             self._close_reason = _remote_exception(payload)
+            self._fail_pending(self._close_reason)
             return
         future = self._pending.pop(cid, None)
         if future is None or future.done():
@@ -137,6 +142,8 @@ class OdeConnection:
         self._closed = True
         if reason is None:
             reason = self._close_reason
+        elif self._close_reason is None:
+            self._close_reason = reason
         for future in self._pending.values():
             if not future.done():
                 future.set_exception(
@@ -146,6 +153,11 @@ class OdeConnection:
                     )
                 )
         self._pending.clear()
+
+    @property
+    def closed(self) -> bool:
+        """True once the connection is unusable (closed or reset)."""
+        return self._closed or self._writer.is_closing()
 
     # -- requests ------------------------------------------------------------
 
@@ -159,8 +171,14 @@ class OdeConnection:
         requests costs one syscall, not N.  Responses resolve their
         futures in whatever order the server finishes them.
         """
-        if self._closed:
-            raise ConnectionClosedError("connection is closed")
+        if self._closed or self._writer.is_closing():
+            # Fail eagerly: corking a frame onto a dead transport would
+            # park the caller on a future no response can ever resolve.
+            reason = self._close_reason
+            raise ConnectionClosedError(
+                "connection is closed"
+                + (f" ({reason!r})" if reason is not None else "")
+            )
         cid = next(self._cids)
         future = self._loop.create_future()
         self._pending[cid] = future
@@ -190,15 +208,30 @@ class OdeConnection:
         if self._flush_handle is not None:
             self._flush_handle.cancel()
             self._flush_handle = None
-        if self._outbuf and not self._writer.is_closing():
-            buf, self._outbuf = self._outbuf, bytearray()
-            self._writer.write(buf)  # buffer handed off: no copy
+        if not self._outbuf:
+            return
+        if self._writer.is_closing():
+            # The transport died between send() and the flush: these
+            # frames will never reach the server, so their futures must
+            # fail now rather than wait on responses that cannot come.
+            self._outbuf = bytearray()
+            self._fail_pending(self._close_reason)
+            return
+        buf, self._outbuf = self._outbuf, bytearray()
+        self._writer.write(buf)  # buffer handed off: no copy
 
     async def close(self) -> None:
-        """Close the socket; the server aborts the session's open txn."""
+        """Close the socket; the server aborts the session's open txn.
+
+        ``_closed`` may already be True for a *condemned* connection
+        (receive loop exited, or a connection-level error frame arrived);
+        the transport must still be torn down, or ``wait_closed`` below
+        would wait on a close that never happens.
+        """
         if not self._closed:
             self._closed = True
             self._flush()
+        if not self._writer.is_closing():
             self._writer.close()
         self._recv_task.cancel()
         try:
@@ -286,12 +319,18 @@ class OdeClient:
         self._conns: list[OdeConnection] = []
         self._free: asyncio.Queue[OdeConnection] | None = None
         self._rr = itertools.count()
+        self._host = "127.0.0.1"
+        self._port = 0
+        #: Dead connections replaced by the pool's self-healing.
+        self.heals = 0
 
     @classmethod
     async def connect(
         cls, host: str = "127.0.0.1", port: int = 0, *, pool_size: int = 4
     ) -> "OdeClient":
         client = cls()
+        client._host = host
+        client._port = port
         client._conns = list(
             await asyncio.gather(
                 *(OdeConnection.open(host, port) for _ in range(pool_size))
@@ -302,6 +341,31 @@ class OdeClient:
             client._free.put_nowait(conn)
         return client
 
+    async def _heal(self, dead: OdeConnection) -> OdeConnection:
+        """Replace a dead pooled connection with a freshly opened one.
+
+        The dead socket is retired from the pool either way; if the
+        reconnect fails, the pool shrinks by one and the error
+        propagates (the server is presumably down -- a permanently dead
+        connection circulating in the pool would fail every future
+        lease instead of just this one).
+        """
+        try:
+            dead._recv_task.cancel()
+            if dead in self._conns:
+                self._conns.remove(dead)
+            replacement = await OdeConnection.open(self._host, self._port)
+        except ConnectionClosedError:
+            raise
+        except OSError as exc:
+            raise NetworkError(
+                f"pooled connection died and reconnect to "
+                f"{self._host}:{self._port} failed: {exc!r}"
+            ) from exc
+        self._conns.append(replacement)
+        self.heals += 1
+        return replacement
+
     @property
     def connections(self) -> list[OdeConnection]:
         """The pool (exposed for benchmarks driving raw connections)."""
@@ -310,23 +374,54 @@ class OdeClient:
     def _any(self) -> OdeConnection:
         if not self._conns:
             raise NetworkError("client is not connected")
+        # Round-robin, skipping dead connections when a live one exists
+        # (the dead one still gets surfaced -- and healed -- by lease()).
+        for _ in range(len(self._conns)):
+            conn = self._conns[next(self._rr) % len(self._conns)]
+            if not conn.closed:
+                return conn
         return self._conns[next(self._rr) % len(self._conns)]
 
     @asynccontextmanager
     async def lease(self) -> AsyncIterator[OdeConnection]:
-        """Check a connection out of the pool for a transactional run."""
+        """Check a connection out of the pool for a transactional run.
+
+        The pool self-heals: a connection that died while parked is
+        replaced before the caller sees it, and one that died during
+        the lease is replaced before going back -- a dead socket never
+        recirculates, so one connection loss costs one reconnect, not a
+        permanently poisoned pool slot.
+        """
         assert self._free is not None, "client is not connected"
         conn = await self._free.get()
+        if conn.closed:
+            try:
+                conn = await self._heal(conn)
+            except BaseException:
+                # Reconnect failed: the drawn slot is gone; give the
+                # queue its ticket back so the pool cannot deadlock.
+                self._free.put_nowait(conn)
+                raise
         try:
             yield conn
         except BaseException:
             # Leave no open transaction behind on the shared connection.
-            try:
-                await conn.abort()
-            except Exception:
-                pass
+            if not conn.closed:
+                try:
+                    await conn.abort()
+                except Exception:
+                    pass
             raise
         finally:
+            if conn.closed:
+                # Replace the casualty now if the server is reachable;
+                # otherwise re-queue the dead connection as a ticket --
+                # the next lease retries the reconnect and reports the
+                # outage instead of silently shrinking the pool.
+                try:
+                    conn = await self._heal(conn)
+                except Exception:
+                    pass
             self._free.put_nowait(conn)
 
     # Stateless conveniences (round-robin; do not call begin/commit here).

@@ -1,0 +1,14 @@
+"""Horizontal sharding: the oid space partitioned across N databases.
+
+A :class:`ShardedDatabase` routes every operation to the shard that owns
+the target oid (see :mod:`repro.shard.placement`), keeps single-shard
+transactions on the embedded fast path, and runs cross-shard transactions
+through two-phase commit (:mod:`repro.shard.coordinator`) with restart
+resolution of in-doubt participants (:mod:`repro.shard.recovery`).
+"""
+
+from repro.shard.placement import ModuloPlacement
+from repro.shard.recovery import ResolutionReport
+from repro.shard.router import ShardedDatabase
+
+__all__ = ["ModuloPlacement", "ResolutionReport", "ShardedDatabase"]

@@ -1,0 +1,237 @@
+"""Two-phase commit across shards.
+
+The router funnels a :class:`GlobalTransaction`'s commit here.  With one
+participant (or none) the global commit *is* the local commit -- the
+single-shard fast path pays no protocol cost.  With two or more:
+
+1. **Prepare.**  Every participant's local transaction appends a
+   ``PREPARE`` record (carrying the global txid, the coordinator shard,
+   and the full participant list) and flushes through it.  A participant
+   that crashes after this point is *in-doubt*: its effects are durable
+   and recovery keeps them until the verdict is known.  Any prepare
+   failure aborts the whole global transaction -- legal, because no
+   verdict exists yet (presumed abort).
+
+2. **Decide.**  The coordinator shard -- the lowest participant index, so
+   the choice is deterministic and needs no extra WAL traffic to record
+   -- journals ``COORD_COMMIT(gtxid, participants)`` and flushes.  This
+   single fsync is the commit point for the whole global transaction.
+
+3. **Commit.**  Each participant's local transaction commits (appending
+   its ordinary ``COMMIT`` record).  A prepared participant never aborts
+   itself on failure here (see :meth:`Transaction.commit`); a crash
+   leaves it in-doubt and restart resolution consults the coordinator's
+   decision.
+
+4. **Forget.**  With every participant's commit durable, the decision
+   record is released (``COORD_END``) so the coordinator shard's WAL can
+   truncate again.  Losing the forget costs nothing but an idempotent
+   re-delivery of the verdict on the next restart.
+
+Recovery resolves the other direction: an in-doubt participant commits
+iff its gtxid has a durable ``COORD_COMMIT`` somewhere, otherwise
+*presumed abort* -- no decision record means step 2 never completed, so
+no participant can have committed.
+
+Failpoints (``shard.2pc.*``) bracket every window so the crash matrix
+can kill the process at each protocol step and assert recovery holds.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import TransactionStateError
+from repro.storage import faults, serialization
+
+if TYPE_CHECKING:
+    from repro.core.transactions import Transaction
+    from repro.shard.router import RouterSession, ShardedDatabase
+
+#: GlobalTransaction states (mirrors the local transaction's spellings so
+#: the wire server's state checks work unchanged).
+ACTIVE = "active"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+
+class GlobalTransaction:
+    """One transaction spanning any number of shards.
+
+    Local per-shard transactions are created lazily by the router the
+    first time an operation touches a shard, so a transaction that only
+    ever touches one shard is indistinguishable -- in cost and in WAL
+    traffic -- from an embedded single-database transaction.
+    """
+
+    def __init__(
+        self,
+        router: "ShardedDatabase",
+        session: "RouterSession",
+        txid: int,
+        read_only: bool = False,
+    ) -> None:
+        self.router = router
+        self.session = session
+        #: Router-level id (returned over the wire); local per-shard txids
+        #: are independent counters and never leave their shard.
+        self.txid = txid
+        self.state = ACTIVE
+        #: Snapshot-read global transaction: every shard-local transaction
+        #: is opened with ``snapshot_reads=True`` (lock-free pinned reads,
+        #: mutations raise ReadOnlySnapshotError).
+        self.read_only = read_only
+        #: Kept None so the wire server's inline-lane probe (which checks
+        #: ``session.txn``) and state checks treat this like a local txn.
+        self.snapshot = None
+        #: shard index -> live local Transaction.
+        self.locals: dict[int, "Transaction"] = {}
+        #: True once the commit verdict is durable in the coordinator
+        #: shard's WAL: from then on the global transaction *will* commit
+        #: and may no longer be aborted.
+        self.decided = False
+        self.gtxid: tuple | None = None
+        #: Per-shard lock deadline override, inherited by every local
+        #: transaction the router begins on this transaction's behalf.
+        self.lock_timeout: float | None = None
+
+    @property
+    def participants(self) -> tuple[int, ...]:
+        """Sorted indices of the shards this transaction touched."""
+        return tuple(sorted(self.locals))
+
+    def commit(self) -> None:
+        """Commit everywhere: fast path for <= 1 shard, else 2PC."""
+        if self.state != ACTIVE:
+            raise TransactionStateError(
+                f"global transaction {self.txid} is {self.state}, not active"
+            )
+        commit_global(self.router, self)
+
+    def abort(self) -> None:
+        """Abort every participant.  Refused once the verdict is durable."""
+        if self.state != ACTIVE:
+            raise TransactionStateError(
+                f"global transaction {self.txid} is {self.state}, not active"
+            )
+        if self.decided:
+            raise TransactionStateError(
+                f"global transaction {self.txid} is decided committed; "
+                "restart recovery will complete it"
+            )
+        abort_global(self.router, self)
+
+    def __repr__(self) -> str:
+        return (
+            f"GlobalTransaction(txid={self.txid}, state={self.state}, "
+            f"shards={list(self.participants)})"
+        )
+
+
+def prepare_meta(
+    gtxid: tuple, coordinator: int, participants: tuple[int, ...]
+) -> bytes:
+    """The PREPARE record payload (decoded again by WAL recovery)."""
+    return serialization.encode((gtxid, coordinator, tuple(participants)))
+
+
+def commit_global(router: "ShardedDatabase", gtxn: GlobalTransaction) -> None:
+    """Run the global commit protocol for ``gtxn``."""
+    counters = router._twopc_counters
+    try:
+        # Read-only participant optimization (presumed abort's classic
+        # companion): a participant that logged nothing has no durable
+        # state at stake, so it commits -- releasing its read locks --
+        # at what would have been its prepare, votes no further, and is
+        # excluded from phase two.  The transaction serializes at the
+        # moment its last reader released.
+        writers = [i for i in gtxn.participants if gtxn.locals[i].op_count > 0]
+        readers = [i for i in gtxn.participants if gtxn.locals[i].op_count == 0]
+        for idx in readers:
+            with gtxn.session.shard_session(idx).activate():
+                gtxn.locals[idx].commit()
+        counters["readonly_participants"] += len(readers)
+
+        if len(writers) <= 1:
+            # Single-shard fast path: the local commit *is* the global
+            # commit; no PREPARE, no decision record, no extra fsync.
+            for idx in writers:
+                with gtxn.session.shard_session(idx).activate():
+                    gtxn.locals[idx].commit()
+            counters["commits_single"] += 1
+            gtxn.state = COMMITTED
+            return
+
+        counters["commits_cross"] += 1
+        parts = tuple(writers)
+        coordinator = parts[0]
+        gtxid = router._next_gtxid()
+        gtxn.gtxid = gtxid
+        meta = prepare_meta(gtxid, coordinator, parts)
+
+        # Phase one: every participant makes the prepare promise durable.
+        try:
+            faults.fire("shard.2pc.pre_prepare")
+            for idx in parts:
+                with gtxn.session.shard_session(idx).activate():
+                    gtxn.locals[idx].prepare(meta)
+                counters["prepares"] += 1
+                faults.fire("shard.2pc.post_prepare")
+            faults.fire("shard.2pc.pre_decision")
+            # The commit point: the verdict survives any crash after this.
+            router.shards[coordinator].log_coordinator_decision(gtxid, parts)
+        except BaseException:
+            # No durable verdict exists (the decision append either never
+            # ran or failed before its fsync): presumed abort.  A
+            # simulated crash skips the cleanup -- a dead process aborts
+            # nothing, that is what restart resolution is for.
+            if not faults.is_crashed():
+                try:
+                    abort_global(router, gtxn)
+                except BaseException:
+                    pass  # the prepare/decision error is the one to surface
+            raise
+        gtxn.decided = True
+        counters["decisions"] += 1
+        faults.fire("shard.2pc.post_decision")
+
+        # Phase two: deliver the verdict to every participant.
+        for idx in parts:
+            with gtxn.session.shard_session(idx).activate():
+                gtxn.locals[idx].commit()
+            faults.fire("shard.2pc.post_ack")
+
+        # Forget: every participant acknowledged; the decision record has
+        # served its purpose and releases the coordinator WAL.
+        faults.fire("shard.2pc.pre_forget")
+        router.shards[coordinator].forget_coordinator_decision(gtxid)
+        counters["forgets"] += 1
+        gtxn.state = COMMITTED
+    finally:
+        if gtxn.state != ACTIVE:
+            router._finish_global(gtxn)
+
+
+def abort_global(router: "ShardedDatabase", gtxn: GlobalTransaction) -> None:
+    """Abort every live participant; always detaches the transaction."""
+    first_error: BaseException | None = None
+    for idx, txn in sorted(gtxn.locals.items()):
+        if txn.state != ACTIVE:
+            continue
+        try:
+            with gtxn.session.shard_session(idx).activate():
+                txn.abort()
+        except BaseException as exc:  # noqa: BLE001 - keep aborting the rest
+            if first_error is None:
+                first_error = exc
+    router._twopc_counters["aborts"] += 1
+    gtxn.state = ABORTED
+    router._finish_global(gtxn)
+    if first_error is not None:
+        raise first_error
+
+
+def resolution_meta(payload: bytes) -> tuple[tuple, int, tuple[int, ...]]:
+    """Decode a PREPARE payload back to (gtxid, coordinator, participants)."""
+    gtxid, coordinator, participants = serialization.decode(payload)
+    return gtxid, coordinator, tuple(participants)

@@ -123,12 +123,26 @@ class Catalog:
 
     # -- counters --------------------------------------------------------------
 
-    def next_value(self, counter: str, log_op: LogOp | None = None) -> int:
+    def next_value(
+        self,
+        counter: str,
+        log_op: LogOp | None = None,
+        *,
+        stride: int = 1,
+        residue: int = 0,
+    ) -> int:
         """Increment and persist the named counter; returns the new value.
 
-        Counters start at 0, so the first call returns 1.
+        Counters start at 0, so the first call returns 1.  With
+        ``stride > 1`` the counter advances to the smallest value above the
+        current one congruent to ``residue`` modulo ``stride`` -- how a
+        shard allocates oids from its own slice of the id space while the
+        persisted counter still equals the last id handed out (the
+        invariant the consistency checker's oid-counter floor relies on).
         """
         value = self._counters.get(counter, 0) + 1
+        if stride > 1:
+            value += (residue - value) % stride
         payload = serialization.encode(("counter", counter, value))
         rid = self._counter_rids.get(counter)
         if rid is None:

@@ -118,6 +118,13 @@ FAILPOINTS: tuple[str, ...] = (
     # -- slotted pages (repro.storage.pages) --------------------------------
     "page.compact",
     "page.update.grow",
+    # -- cross-shard two-phase commit (repro.shard.coordinator) -------------
+    "shard.2pc.pre_prepare",
+    "shard.2pc.post_prepare",
+    "shard.2pc.pre_decision",
+    "shard.2pc.post_decision",
+    "shard.2pc.post_ack",
+    "shard.2pc.pre_forget",
 )
 
 #: Failpoints that wrap an actual file write (torn/short writes possible).

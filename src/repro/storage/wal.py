@@ -38,7 +38,7 @@ import struct
 import threading
 import time
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 from repro.errors import WalError
@@ -54,6 +54,10 @@ ABORT_END = 3
 OP_INSERT = 4
 OP_UPDATE = 5
 OP_DELETE = 6
+# Two-phase commit (cross-shard transactions; see repro.shard).
+PREPARE = 7
+COORD_COMMIT = 8
+COORD_END = 9
 
 
 @dataclass(frozen=True)
@@ -327,6 +331,24 @@ class LogManager:
         self._file.close()
 
 
+@dataclass(frozen=True)
+class InDoubtTransaction:
+    """A participant that crashed between ``PREPARE`` and the decision.
+
+    Its ops were replayed (the prepared state is durable by contract), and
+    they are retained here in log order so a presumed-abort resolution can
+    apply the undo images in reverse.  ``gtxid`` is the global transaction
+    id from the PREPARE payload; ``coordinator`` names the shard whose WAL
+    holds (or never held) the commit decision.
+    """
+
+    txid: int
+    gtxid: tuple
+    coordinator: int
+    participants: tuple[int, ...]
+    ops: tuple[LogRecord, ...]
+
+
 @dataclass
 class RecoveryReport:
     """What :func:`recover` did -- asserted on by the crash-recovery tests."""
@@ -335,6 +357,13 @@ class RecoveryReport:
     ops_replayed: int = 0
     loser_txids: tuple[int, ...] = ()
     ops_undone: int = 0
+    #: Prepared-but-undecided participants keyed by local txid.  The owner
+    #: must resolve each one (commit or presumed abort) before accepting
+    #: new work that could observe the prepared state.
+    in_doubt: dict[int, InDoubtTransaction] = field(default_factory=dict)
+    #: Surviving coordinator commit decisions: gtxid -> participant shards.
+    #: A decision followed by ``COORD_END`` has been forgotten.
+    coord_decisions: dict[tuple, tuple[int, ...]] = field(default_factory=dict)
 
 
 def recover(log: LogManager, heap_resolver) -> RecoveryReport:
@@ -355,24 +384,55 @@ def recover(log: LogManager, heap_resolver) -> RecoveryReport:
     insensitive to how many dirty pages reached disk before the crash: a
     page is never asked to transiently hold both an old and a new
     generation of its records.
+
+    Two-phase commit: a transaction with a ``PREPARE`` record but neither
+    ``COMMIT`` nor ``ABORT_END`` is **in-doubt**, not a loser.  Its ops are
+    replayed like a winner's (the prepare promise is "I can still commit"),
+    its op records are retained in :attr:`RecoveryReport.in_doubt` so the
+    owner can roll it back if the coordinator decided abort, and it keeps
+    the heap out of bounds for truncation until resolved.  ``COORD_COMMIT``
+    records (logged under txid 0, which classification already ignores)
+    surface in :attr:`RecoveryReport.coord_decisions` unless a matching
+    ``COORD_END`` shows the decision was already delivered everywhere.
     """
     records = list(log.records())
     finished: set[int] = set()
     seen: set[int] = set()
+    prepared: dict[int, tuple] = {}
+    decisions: dict[tuple, tuple[int, ...]] = {}
+    ended: set[tuple] = set()
     for rec in records:
         seen.add(rec.txid)
         if rec.kind in (COMMIT, ABORT_END):
             finished.add(rec.txid)
-    losers = tuple(sorted(seen - finished - {0}))
+        elif rec.kind == PREPARE:
+            gtxid, coordinator, participants = serialization.decode(rec.payload)
+            prepared[rec.txid] = (gtxid, coordinator, tuple(participants))
+        elif rec.kind == COORD_COMMIT:
+            gtxid, participants = serialization.decode(rec.payload)
+            decisions[gtxid] = tuple(participants)
+        elif rec.kind == COORD_END:
+            ended.add(serialization.decode(rec.payload))
+    in_doubt_ids = set(prepared) - finished
+    losers = tuple(sorted(seen - finished - in_doubt_ids - {0}))
     loser_set = set(losers)
 
-    report = RecoveryReport(records_scanned=len(records), loser_txids=losers)
+    report = RecoveryReport(
+        records_scanned=len(records),
+        loser_txids=losers,
+        coord_decisions={
+            g: parts for g, parts in decisions.items() if g not in ended
+        },
+    )
+    in_doubt_ops: dict[int, list[LogRecord]] = {t: [] for t in in_doubt_ids}
 
     # rid -> (present, payload, from_undo).  Ordered dict: first-touch order.
     final: dict[tuple[int, int, int], tuple[bool, bytes, bool]] = {}
     for rec in records:
         if not rec.is_op:
             continue
+        if rec.txid in in_doubt_ops:
+            in_doubt_ops[rec.txid].append(rec)
         rid = (rec.file_id, rec.page_id, rec.slot)
         if rec.txid in loser_set:
             if rid in final and final[rid][2]:
@@ -397,4 +457,13 @@ def recover(log: LogManager, heap_resolver) -> RecoveryReport:
             report.ops_undone += 1
         else:
             report.ops_replayed += 1
+    for txid in sorted(in_doubt_ids):
+        gtxid, coordinator, participants = prepared[txid]
+        report.in_doubt[txid] = InDoubtTransaction(
+            txid=txid,
+            gtxid=gtxid,
+            coordinator=coordinator,
+            participants=participants,
+            ops=tuple(in_doubt_ops[txid]),
+        )
     return report

@@ -48,6 +48,7 @@ from pathlib import Path
 from repro import Database, PersistentObject, persistent
 from repro.core.identity import Oid
 from repro.errors import SerializationError
+from repro.shard import ShardedDatabase
 from repro.storage import faults, serialization
 from repro.storage.faults import (
     ERROR_FAILPOINTS,
@@ -601,6 +602,296 @@ def run_matrix(
     return report
 
 
+# -- the 2PC matrix (cross-shard transactions; repro.shard) -------------------
+
+
+@_workload_type("crashmatrix.Account")
+class Account(PersistentObject):
+    """Transfer-workload record: the invariant is the sum of balances."""
+
+    def __init__(self, tag: int = 0, bal: int = 0) -> None:
+        self.tag = tag
+        self.bal = bal
+
+
+_TWOPC_NSHARDS = 3
+_TWOPC_ACCOUNTS = 6
+_TWOPC_BALANCE = 100
+_TWOPC_ROUNDS = 6
+
+#: The windows where the global verdict is already durable: a crash there
+#: MUST resolve to commit (both account writes survive).  Everywhere
+#: earlier, presumed abort MUST roll both back.
+_DECIDED_WINDOWS = frozenset(
+    {"shard.2pc.post_decision", "shard.2pc.post_ack", "shard.2pc.pre_forget"}
+)
+
+#: Crash hit ordinals per 2PC failpoint.  The workload is single-threaded
+#: so ordinals are deterministic: a transfer touches two shards, firing
+#: pre_prepare once, post_prepare twice, post_ack twice, the rest once --
+#: the chosen hits land on the first transfer (one or both participants
+#: prepared / acked) and again deep in the run with history behind it.
+_TWOPC_CRASH_HITS: dict[str, tuple[int, ...]] = {
+    "shard.2pc.pre_prepare": (1, 3),
+    "shard.2pc.post_prepare": (1, 2, 5),
+    "shard.2pc.pre_decision": (1, 3),
+    "shard.2pc.post_decision": (1, 3),
+    "shard.2pc.post_ack": (1, 2, 5),
+    "shard.2pc.pre_forget": (1, 3),
+}
+
+
+def enumerate_twopc_scenarios(smoke: bool = False) -> list[Scenario]:
+    """Crash scenarios covering every cross-shard 2PC window.
+
+    The double-crash entries interrupt restart *resolution* itself: the
+    first one mid-rollback of a presumed-abort participant, the second
+    mid-flush of a resolution commit -- recovery must then succeed on a
+    clean third open (undo of compensation records self-cancels, commit
+    resolution is an idempotent re-append).
+    """
+    scenarios: list[Scenario] = []
+    for failpoint, hits in _TWOPC_CRASH_HITS.items():
+        assert failpoint in FAILPOINTS, failpoint
+        for hit in hits:
+            scenarios.append(Scenario(failpoint, "crash", hit=hit))
+    scenarios.append(
+        Scenario(
+            "shard.2pc.post_prepare", "crash", hit=2,
+            recovery_failpoint="heap.replay_insert",
+        )
+    )
+    scenarios.append(
+        Scenario(
+            "shard.2pc.post_decision", "crash", hit=1,
+            recovery_failpoint="wal.flush.pre_fsync",
+        )
+    )
+    if smoke:
+        picked: dict[str, Scenario] = {}
+        for scenario in scenarios:
+            picked.setdefault(scenario.failpoint, scenario)
+        # Keep one resolution-interrupting double crash in the smoke set.
+        picked["double"] = next(
+            s for s in scenarios if s.recovery_failpoint is not None
+        )
+        scenarios = list(picked.values())
+    return scenarios
+
+
+@dataclass
+class _Transfer:
+    """Ledger entry for one cross-shard transfer."""
+
+    src: int  # account index
+    dst: int
+    #: Post-transfer balances of (src, dst).
+    src_bal: int
+    dst_bal: int
+
+
+class _TransferLedger:
+    """Single-threaded transfer workload state: balances + in-flight op."""
+
+    def __init__(self) -> None:
+        self.oid_values: list[int] = []
+        self.committed: list[int] = [_TWOPC_BALANCE] * _TWOPC_ACCOUNTS
+        self.pending: _Transfer | None = None
+
+    @property
+    def total(self) -> int:
+        return _TWOPC_BALANCE * _TWOPC_ACCOUNTS
+
+
+def _run_twopc_workload(path: Path) -> _TransferLedger:
+    """Cross-shard transfers until done or the armed fault fires."""
+    ledger = _TransferLedger()
+    try:
+        router = ShardedDatabase(path, nshards=_TWOPC_NSHARDS, pool_size=8)
+        refs = [
+            router.pnew(Account(tag=i, bal=_TWOPC_BALANCE))
+            for i in range(_TWOPC_ACCOUNTS)
+        ]
+        ledger.oid_values = [ref.oid.value for ref in refs]
+        router.checkpoint()
+        for j in range(_TWOPC_ROUNDS):
+            src = j % _TWOPC_ACCOUNTS
+            dst = (j + 1) % _TWOPC_ACCOUNTS  # adjacent -> different shards
+            amount = j + 1
+            transfer = _Transfer(
+                src, dst,
+                ledger.committed[src] - amount,
+                ledger.committed[dst] + amount,
+            )
+            ledger.pending = transfer
+            with router.transaction():
+                refs[src].bal = transfer.src_bal
+                refs[dst].bal = transfer.dst_bal
+            ledger.committed[src] = transfer.src_bal
+            ledger.committed[dst] = transfer.dst_bal
+            ledger.pending = None
+        if not faults.is_crashed():
+            router.close()
+    except (SimulatedCrash, InjectedFaultError):
+        pass  # the simulated machine is dead; leave the files as they lie
+    return ledger
+
+
+def _verify_twopc(
+    router: ShardedDatabase,
+    ledger: _TransferLedger,
+    scenario: Scenario,
+    problems: list[str],
+) -> None:
+    """Atomicity, durability and exactness of the recovered balances."""
+    observed: list[int] = []
+    for value in ledger.oid_values:
+        oid = Oid(value)
+        if not router.object_exists(oid):
+            problems.append(f"account oid {value} lost by recovery")
+            return
+        observed.append(router.deref(oid).bal)
+    if sum(observed) != ledger.total:
+        problems.append(
+            f"conservation broken: balances {observed} sum to "
+            f"{sum(observed)}, expected {ledger.total}"
+        )
+    expected = list(ledger.committed)
+    transfer = ledger.pending
+    if transfer is None:
+        if observed != expected:
+            problems.append(
+                f"recovered balances {observed} != committed {expected}"
+            )
+        return
+    # One transfer was in flight.  Both its writes survive or neither --
+    # and which of the two is not a matter of luck: a durable verdict
+    # (crash at/after post_decision) must commit, no verdict must abort.
+    applied = list(expected)
+    applied[transfer.src] = transfer.src_bal
+    applied[transfer.dst] = transfer.dst_bal
+    if scenario.failpoint in _DECIDED_WINDOWS:
+        if observed != applied:
+            problems.append(
+                f"decided transfer lost: recovered {observed}, the durable "
+                f"verdict demands {applied}"
+            )
+    else:
+        if observed != expected:
+            problems.append(
+                f"undecided transfer not presumed-aborted: recovered "
+                f"{observed}, expected rollback to {expected}"
+            )
+
+
+def _twopc_usability_probe(
+    router: ShardedDatabase, ledger: _TransferLedger, problems: list[str]
+) -> None:
+    """The recovered sharded database must accept new cross-shard work."""
+    try:
+        a = router.deref(Oid(ledger.oid_values[0]))
+        b = router.deref(Oid(ledger.oid_values[1]))
+        before = (a.bal, b.bal)
+        with router.transaction():
+            a.bal = before[0] - 1
+            b.bal = before[1] + 1
+        with router.transaction():
+            a.bal = before[0]
+            b.bal = before[1]
+        if (a.bal, b.bal) != before:
+            problems.append("post-recovery transfer probe read back wrong")
+    except Exception as exc:  # noqa: BLE001 - any failure is a finding
+        problems.append(f"post-recovery 2PC probe failed: {exc!r}")
+
+
+def run_twopc_scenario(base_dir: Path, scenario: Scenario) -> ScenarioResult:
+    """One cross-shard workload under ``scenario``'s fault, then recover."""
+    path = base_dir / scenario.name.replace(":", "_").replace("-", "_")
+    injector = faults.activate(scenario.plan())
+    try:
+        ledger = _run_twopc_workload(path)
+        fired = bool(injector.fired)
+        crashed = injector.crashed
+    finally:
+        faults.deactivate()
+
+    result = ScenarioResult(scenario, fired=fired, crashed=crashed)
+    if not fired:
+        result.problems.append(
+            f"failpoint {scenario.failpoint} hit {scenario.hit} never fired"
+        )
+        return result
+
+    # Optional second crash while restart resolution itself runs.
+    if scenario.recovery_failpoint is not None:
+        plan2 = FaultPlan().crash(scenario.recovery_failpoint, hit=1)
+        injector2 = faults.activate(plan2)
+        try:
+            router = ShardedDatabase(path)
+            router.close()  # resolution never reached the second failpoint
+        except SimulatedCrash:
+            result.recovery_crashed = True
+        finally:
+            faults.deactivate()
+
+    # Clean reopen: resolution must complete and the result must check out.
+    try:
+        router = ShardedDatabase(path)
+    except Exception as exc:  # noqa: BLE001 - unrecoverable = the finding
+        result.problems.append(f"reopen after crash failed: {exc!r}")
+        return result
+    try:
+        for idx, shard in enumerate(router.shards):
+            check = check_database(shard, strict=True)
+            result.problems.extend(
+                f"shard {idx} strict check: {p}" for p in check.problems
+            )
+            if shard.in_doubt_txns():
+                result.problems.append(
+                    f"shard {idx} still has in-doubt transactions "
+                    f"{sorted(shard.in_doubt_txns())} after resolution"
+                )
+            if shard.coordinator_decisions():
+                result.problems.append(
+                    f"shard {idx} still holds coordinator decisions "
+                    f"after resolution"
+                )
+        _verify_twopc(router, ledger, scenario, result.problems)
+        _twopc_usability_probe(router, ledger, result.problems)
+    finally:
+        router.close()
+    return result
+
+
+def run_twopc_matrix(
+    base_dir: Path | None = None,
+    scenarios: list[Scenario] | None = None,
+    verbose: bool = False,
+) -> MatrixReport:
+    """Run every 2PC scenario; each gets a fresh sharded directory."""
+    if scenarios is None:
+        scenarios = enumerate_twopc_scenarios()
+    report = MatrixReport()
+    tmp = None
+    if base_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="crashmatrix-2pc-")
+        base_dir = Path(tmp.name)
+    try:
+        for scenario in scenarios:
+            result = run_twopc_scenario(base_dir, scenario)
+            report.results.append(result)
+            if verbose:
+                status = "ok" if result.ok else "FAIL"
+                note = "fired" if result.fired else "not reached"
+                print(f"[{status}] {scenario.name} ({note})", flush=True)
+                for problem in result.problems:
+                    print(f"    - {problem}", flush=True)
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    return report
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="crashmatrix", description="fault-injection crash matrix"
@@ -609,14 +900,22 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke", action="store_true",
         help="one scenario per (failpoint, action) pair -- fast CI subset",
     )
+    parser.add_argument(
+        "--twopc", action="store_true",
+        help="run the cross-shard 2PC matrix instead of the single-node one",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     parser.add_argument(
         "--dir", type=Path, default=None,
         help="run under this directory instead of a temp dir (kept afterwards)",
     )
     args = parser.parse_args(argv)
-    scenarios = enumerate_scenarios(smoke=args.smoke)
-    report = run_matrix(args.dir, scenarios, verbose=args.verbose)
+    if args.twopc:
+        scenarios = enumerate_twopc_scenarios(smoke=args.smoke)
+        report = run_twopc_matrix(args.dir, scenarios, verbose=args.verbose)
+    else:
+        scenarios = enumerate_scenarios(smoke=args.smoke)
+        report = run_matrix(args.dir, scenarios, verbose=args.verbose)
     print(report.render())
     return 0 if report.ok else 1
 

@@ -1,0 +1,249 @@
+"""The sharded router: placement, fast path, 2PC accounting, fan-out.
+
+Everything here runs the real stack -- N embedded shard databases under
+one :class:`~repro.shard.router.ShardedDatabase` -- and asserts the two
+headline promises: single-shard transactions pay no protocol cost, and
+cross-shard transactions run full 2PC (prepare / decide / commit /
+forget, all visible in the counters).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.identity import Oid
+from repro.errors import TransactionStateError
+from repro.net.client import OdeClient
+from repro.net.server import ServerThread
+from repro.shard import ModuloPlacement, ShardedDatabase
+from tests.conftest import Part
+
+
+@pytest.fixture
+def router(tmp_path):
+    db = ShardedDatabase(tmp_path / "shards", nshards=3)
+    yield db
+    db.close()
+
+
+def _twopc(router, key):
+    return router.stats()[f"shard.2pc.{key}"]
+
+
+# -- construction and placement -----------------------------------------------
+
+
+def test_layout_and_meta(router, tmp_path):
+    assert router.nshards == 3
+    assert len(router.shards) == 3
+    for i in range(3):
+        assert (tmp_path / "shards" / f"shard-{i:02d}").is_dir()
+    assert router.stats()["shard.count"] == 3
+
+
+def test_nshards_mismatch_refused(router, tmp_path):
+    router.close()
+    with pytest.raises(ValueError, match="nshards"):
+        ShardedDatabase(tmp_path / "shards", nshards=4)
+    # None adopts the persisted count.
+    reopened = ShardedDatabase(tmp_path / "shards")
+    assert reopened.nshards == 3
+    reopened.close()
+
+
+def test_pnew_round_robin_matches_modulo_placement(router):
+    refs = [router.pnew(Part(f"p{i}", i)) for i in range(9)]
+    placement = ModuloPlacement(router.nshards)
+    homes = set()
+    for ref in refs:
+        home = placement.shard_of(ref.oid)
+        homes.add(home)
+        assert router.shards[home].object_exists(ref.oid)
+        for other in range(router.nshards):
+            if other != home:
+                assert not router.shards[other].object_exists(ref.oid)
+    assert homes == {0, 1, 2}, "round-robin must use every shard"
+
+
+def test_deref_and_reads_route_to_the_holding_shard(router):
+    refs = [router.pnew(Part(f"p{i}", i * 10)) for i in range(6)]
+    for i, ref in enumerate(refs):
+        again = router.deref(ref.oid)
+        assert again.weight == i * 10
+        assert again.name == f"p{i}"
+
+
+# -- transactions: fast path vs 2PC -------------------------------------------
+
+
+def test_single_shard_transaction_pays_no_protocol_cost(router):
+    ref = router.pnew(Part("solo", 1))
+    before = {k: _twopc(router, k) for k in ("prepares", "decisions", "forgets")}
+    with router.transaction():
+        ref.weight = 2
+    assert ref.weight == 2
+    assert _twopc(router, "commits_cross") == 0
+    for key, val in before.items():
+        assert _twopc(router, key) == val, f"fast path must not touch {key}"
+    assert _twopc(router, "commits_single") >= 1
+
+
+def test_cross_shard_transaction_runs_full_2pc(router):
+    a = router.pnew(Part("a", 10))  # shard 0
+    b = router.pnew(Part("b", 20))  # shard 1
+    with router.transaction():
+        a.weight = 11
+        b.weight = 19
+    assert (a.weight, b.weight) == (11, 19)
+    assert _twopc(router, "commits_cross") == 1
+    assert _twopc(router, "prepares") == 2
+    assert _twopc(router, "decisions") == 1
+    assert _twopc(router, "forgets") == 1
+    # Nothing lingers: both sides resolved, verdict forgotten.
+    for shard in router.shards:
+        assert not shard.in_doubt_txns()
+        assert not shard.coordinator_decisions()
+
+
+def test_read_only_participants_are_excluded_from_2pc(router):
+    a = router.pnew(Part("a", 10))  # shard 0
+    b = router.pnew(Part("b", 20))  # shard 1
+    with router.transaction():
+        _ = a.weight  # reads shard 0, writes nothing there
+        b.weight = 21
+    # One writer -> single-shard fast path, the reader just released.
+    assert _twopc(router, "commits_cross") == 0
+    assert _twopc(router, "prepares") == 0
+    assert _twopc(router, "readonly_participants") >= 1
+
+
+def test_cross_shard_abort_restores_both_sides(router):
+    a = router.pnew(Part("a", 10))
+    b = router.pnew(Part("b", 20))
+    with pytest.raises(RuntimeError, match="boom"):
+        with router.transaction():
+            a.weight = 99
+            b.weight = 99
+            raise RuntimeError("boom")
+    assert (a.weight, b.weight) == (10, 20)
+    assert _twopc(router, "aborts") >= 1
+    assert _twopc(router, "decisions") == 0
+
+
+def test_explicit_abort_refused_once_decided(router):
+    gtxn = router.begin()
+    gtxn.decided = True  # simulate a durable verdict
+    with pytest.raises(TransactionStateError, match="decided"):
+        gtxn.abort()
+    gtxn.decided = False
+    gtxn.abort()
+
+
+def test_run_transaction_retries_and_returns(router):
+    a = router.pnew(Part("a", 0))
+    b = router.pnew(Part("b", 0))
+
+    def bump():
+        a.weight += 1
+        b.weight += 1
+        return a.weight
+
+    assert router.run_transaction(bump) == 1
+    assert (a.weight, b.weight) == (1, 1)
+
+
+# -- fan-out surfaces ---------------------------------------------------------
+
+
+def test_query_and_cluster_fan_out_across_shards(router):
+    refs = [router.pnew(Part(f"p{i}", i)) for i in range(7)]
+    assert router.object_count() == 7
+    assert len(router.cluster(Part)) == 7
+    heavy = {r.oid for r in router.query(Part).suchthat(lambda p: p.weight >= 4)}
+    assert heavy == {r.oid for r in refs[4:]}
+    assert router.query(Part).count() == 7
+
+
+def test_versions_and_latest_follow_the_object_across_its_shard(router):
+    ref = router.pnew(Part("versioned", 1))
+    v2 = router.newversion(ref)
+    v2.weight = 2
+    assert len(router.versions(ref)) == 2
+    latest = router.latest_vid(ref.oid)
+    assert router.deref(latest).weight == 2
+
+
+def test_snapshot_reader_epoch_is_one_per_shard(router):
+    router.pnew(Part("p", 1))
+    sess = router.session("probe")
+    try:
+        reader = sess.pin()
+        epoch = reader.epoch
+        assert isinstance(epoch, tuple) and len(epoch) == router.nshards
+        assert reader.cluster(Part)
+    finally:
+        sess.close()
+
+
+def test_reopen_preserves_data_and_placement(router, tmp_path):
+    refs = [router.pnew(Part(f"p{i}", i)) for i in range(6)]
+    oids = [r.oid for r in refs]
+    with router.transaction():
+        refs[0].weight = 100
+        refs[1].weight = 200
+    router.close()
+
+    reopened = ShardedDatabase(tmp_path / "shards")
+    try:
+        assert reopened.last_resolution.resolved == 0
+        assert reopened.deref(oids[0]).weight == 100
+        assert reopened.deref(oids[1]).weight == 200
+        assert reopened.object_count() == 6
+    finally:
+        reopened.close()
+
+
+def test_stats_aggregate_shard_counters(router):
+    router.pnew(Part("p", 1))
+    stats = router.stats()
+    assert stats["shard.count"] == 3
+    assert "shard.2pc.commits_cross" in stats
+    assert "shard.locate_fallbacks" in stats
+    assert stats["objects"] == 1  # summed across shards
+
+
+# -- wire servability ---------------------------------------------------------
+
+
+def test_router_serves_the_wire_protocol(router):
+    """A ShardedDatabase drops into ServerThread where a Database goes:
+    cross-shard transactions, inline reads and fan-out queries all work
+    over the socket, and the 2PC counters surface in wire stats."""
+    with ServerThread(router) as server:
+        host, port = server.host, server.port
+
+        async def run():
+            async with await OdeClient.connect(host, port, pool_size=2) as client:
+                async with client.lease() as conn:
+                    await conn.begin()
+                    oid_a = await conn.pnew(Part("wire-a", 1))
+                    oid_b = await conn.pnew(Part("wire-b", 2))
+                    await conn.write(oid_a, "weight", 10)
+                    await conn.write(oid_b, "weight", 20)
+                    await conn.commit()
+                assert await client.read(oid_a, "weight") == 10
+                assert await client.read(oid_b, "weight") == 20
+                oids = await client.query("tests.Part", ("weight", 20))
+                assert oids == [oid_b]
+                stats = await client.stats()
+                assert stats["shard.count"] == 3
+                assert stats["shard.2pc.commits_cross"] >= 1
+                return oid_a, oid_b
+
+        oid_a, oid_b = asyncio.run(run())
+        assert isinstance(oid_a, Oid)
+        # The two wire-created objects landed on different shards.
+        placement = ModuloPlacement(router.nshards)
+        assert placement.shard_of(oid_a) != placement.shard_of(oid_b)

@@ -1,0 +1,161 @@
+"""Crash-window recovery for cross-shard 2PC.
+
+One cross-shard transfer is killed at each protocol window by the fault
+injector, then the whole sharded database is reopened (running per-shard
+WAL recovery and router-level in-doubt resolution).  The contract:
+
+* crash *before* the coordinator's decision record is durable ->
+  presumed abort: both legs roll back, nothing half-applied;
+* crash *at or after* the decision -> the verdict wins: both legs
+  survive, recovery completing what the dead process could not;
+* either way, no participant stays in-doubt, no verdict record
+  lingers, and the reopened database accepts new cross-shard work.
+
+These are the same windows the crash matrix sweeps
+(``python -m repro.tools.crashmatrix --twopc``); here each window gets
+a named, single-purpose test so a regression points at the exact
+protocol step that broke.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PersistentObject, persistent
+from repro.shard import ShardedDatabase
+from repro.storage import faults
+from repro.storage.faults import FaultPlan, SimulatedCrash
+from repro.tools.check import check_database
+
+
+@persistent(name="tests.shard.Acct")
+class Acct(PersistentObject):
+    def __init__(self, bal: int = 0) -> None:
+        self.bal = bal
+
+
+#: Windows where the commit verdict is already durable when the crash
+#: hits: recovery must COMMIT the in-flight transfer.  Everywhere
+#: earlier it must presume abort.
+DECIDED = {
+    "shard.2pc.post_decision",
+    "shard.2pc.post_ack",
+    "shard.2pc.pre_forget",
+}
+
+WINDOWS = [
+    ("shard.2pc.pre_prepare", 1),
+    ("shard.2pc.post_prepare", 1),  # one participant prepared
+    ("shard.2pc.post_prepare", 2),  # both prepared, still no verdict
+    ("shard.2pc.pre_decision", 1),
+    ("shard.2pc.post_decision", 1),
+    ("shard.2pc.post_ack", 1),  # one participant committed
+    ("shard.2pc.post_ack", 2),  # both committed, verdict not yet forgotten
+    ("shard.2pc.pre_forget", 1),
+]
+
+
+def _crash_transfer(path, failpoint, hit):
+    """Seed two accounts on different shards, crash a transfer at the
+    window, and return their oids (home shards 0 and 1)."""
+    router = ShardedDatabase(path, nshards=3)
+    src = router.pnew(Acct(bal=100))
+    dst = router.pnew(Acct(bal=100))
+    oids = (src.oid, dst.oid)
+    router.checkpoint()
+    injector = faults.activate(FaultPlan().crash(failpoint, hit=hit))
+    try:
+        with pytest.raises(SimulatedCrash):
+            with router.transaction():
+                src.bal = 99
+                dst.bal = 101
+        assert injector.fired, f"{failpoint} hit {hit} never fired"
+    finally:
+        faults.deactivate()
+    return oids
+
+
+@pytest.mark.parametrize(
+    "failpoint,hit", WINDOWS, ids=[f"{fp.split('.')[-1]}-hit{h}" for fp, h in WINDOWS]
+)
+def test_crash_window_recovers_atomically(tmp_path, failpoint, hit):
+    path = tmp_path / "shards"
+    src_oid, dst_oid = _crash_transfer(path, failpoint, hit)
+
+    router = ShardedDatabase(path)
+    try:
+        bals = (router.deref(src_oid).bal, router.deref(dst_oid).bal)
+        if failpoint in DECIDED:
+            assert bals == (99, 101), "durable verdict: transfer must survive"
+            assert not router.last_resolution.aborted
+        else:
+            assert bals == (100, 100), "no verdict: presumed abort"
+            assert not router.last_resolution.committed
+        assert sum(bals) == 200, "money is conserved either way"
+        # Resolution left nothing behind, on any shard.
+        for idx, shard in enumerate(router.shards):
+            assert not shard.in_doubt_txns(), f"shard {idx} still in doubt"
+            assert not shard.coordinator_decisions(), f"shard {idx} holds verdicts"
+            assert not check_database(shard, strict=True).problems
+        # The survivor takes new cross-shard work immediately.
+        s, d = router.deref(src_oid), router.deref(dst_oid)
+        with router.transaction():
+            s.bal -= 5
+            d.bal += 5
+        assert s.bal + d.bal == 200
+    finally:
+        router.close()
+
+
+def test_resolution_is_idempotent_under_double_crash(tmp_path):
+    """Crash after the verdict is durable, then crash again during the
+    recovery open itself: the third, clean open must still deliver the
+    committed transfer exactly once."""
+    path = tmp_path / "shards"
+    src_oid, dst_oid = _crash_transfer(path, "shard.2pc.post_decision", 1)
+
+    faults.activate(FaultPlan().crash("wal.flush.pre_fsync", hit=1))
+    try:
+        with pytest.raises(SimulatedCrash):
+            ShardedDatabase(path)
+    finally:
+        faults.deactivate()
+
+    router = ShardedDatabase(path)
+    try:
+        bals = (router.deref(src_oid).bal, router.deref(dst_oid).bal)
+        assert bals == (99, 101)
+        for shard in router.shards:
+            assert not shard.in_doubt_txns()
+            assert not shard.coordinator_decisions()
+    finally:
+        router.close()
+
+
+def test_in_doubt_participant_blocks_nothing_else(tmp_path):
+    """An unrelated single-shard write committed before the crash is
+    untouched by resolution of the in-flight cross-shard transfer."""
+    path = tmp_path / "shards"
+    router = ShardedDatabase(path, nshards=3)
+    bystander = router.pnew(Acct(bal=7))
+    src = router.pnew(Acct(bal=100))
+    dst = router.pnew(Acct(bal=100))
+    b_oid, s_oid, d_oid = bystander.oid, src.oid, dst.oid
+    router.checkpoint()
+    faults.activate(FaultPlan().crash("shard.2pc.post_prepare", hit=2))
+    try:
+        with pytest.raises(SimulatedCrash):
+            with router.transaction():
+                src.bal = 1
+                dst.bal = 199
+    finally:
+        faults.deactivate()
+
+    reopened = ShardedDatabase(path)
+    try:
+        assert reopened.deref(b_oid).bal == 7
+        assert reopened.deref(s_oid).bal == 100
+        assert reopened.deref(d_oid).bal == 100
+        assert len(reopened.last_resolution.aborted) == 2
+    finally:
+        reopened.close()
