@@ -208,7 +208,15 @@ class Database:
         self._triggers = TriggerManager(type_resolver=self._store.type_name)
         self._store.add_observer(self._triggers.dispatch)
         self._indexes = IndexManager(self._store)
-        self._txids = itertools.count(1)
+        # Fresh txids must clear every txid still present in a retained
+        # WAL (recovery skips truncation while in-doubt participants or
+        # coordinator decisions survive): reusing a retained txid would
+        # let a later recovery mistake a pre-crash loser's records for a
+        # new winner's.
+        txid_floor = 0
+        if report is not None and (report.in_doubt or report.coord_decisions):
+            txid_floor = report.max_txid
+        self._txids = itertools.count(txid_floor + 1)
         # Physical-consistency mutex: serializes individual store/heap
         # operations (page mutations are multi-step).  Transaction-level
         # isolation is the lock manager's job; this only protects single

@@ -153,8 +153,13 @@ class Session:
         self.closed = True
         txn = self.txn
         if txn is not None and txn.state == "active":
-            with self.activate_for_teardown():
-                txn.abort()
+            if getattr(txn, "prepared", False):
+                # A prepared participant's fate belongs to its coordinator
+                # (or restart recovery): detach it, never roll it back.
+                pass
+            else:
+                with self.activate_for_teardown():
+                    txn.abort()
         self.txn = None
         self.unpin()
         self._db._forget_session(self)

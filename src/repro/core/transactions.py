@@ -592,14 +592,25 @@ class Transaction:
         self.state = COMMITTED
         self._finish()
 
-    def abort(self) -> None:
+    def abort(self, *, release_prepared: bool = False) -> None:
         """Undo every operation (in reverse), log the compensations, finish.
 
         Locks are released even when the undo itself fails partway (I/O
         error mid-rollback): the heaps are then repaired by WAL recovery
         on reopen, but no other transaction is left waiting on a corpse.
+
+        A *prepared* participant refuses a unilateral abort: the global
+        commit verdict may already be durable in the coordinator's WAL,
+        and rolling back here would contradict it.  ``release_prepared=
+        True`` is the coordinator's presumed-abort override -- legal only
+        while it knows no decision record exists.
         """
         self._require_active()
+        if self.prepared and not release_prepared:
+            raise TransactionStateError(
+                f"transaction {self.txid} is prepared; only its coordinator "
+                "(or restart recovery) may decide its fate"
+            )
         hooks.sched_point("txn.abort")
         try:
             if self._storage_mutex is not None:

@@ -351,7 +351,12 @@ class OdeClient:
         lease instead of just this one).
         """
         try:
-            dead._recv_task.cancel()
+            # Full teardown, not just a recv-task cancel: the transport
+            # must close too, or every heal leaks a socket.
+            await dead.close()
+        except Exception:
+            pass  # already dead; reclaiming its resources is best-effort
+        try:
             if dead in self._conns:
                 self._conns.remove(dead)
             replacement = await OdeConnection.open(self._host, self._port)

@@ -172,6 +172,12 @@ class _Connection:
         self.write_lock = asyncio.Lock()  # one response frame at a time
         self.tasks: set[asyncio.Task] = set()
         self.inflight = 0
+        #: Dispatched-but-incomplete ops that may mutate the session's
+        #: snapshot pin from an executor thread (OP_SNAPSHOT's pin /
+        #: unpin).  While non-zero, event-loop reads must not touch
+        #: ``session.reader()`` unserialized -- the snapshot they would
+        #: resolve against can be closed out from under them.
+        self.pin_ops = 0
 
 
 class OdeServer:
@@ -355,10 +361,20 @@ class OdeServer:
         a still-queued BEGIN resolves against the snapshot, not the new
         transaction -- the documented contract (clients must not
         pipeline across a transaction boundary).
+
+        Inline reads are only safe while no pin-mutating op is in
+        flight: a dispatched OP_SNAPSHOT on the executor may unpin (and
+        close) the very snapshot ``session.reader()`` is about to
+        touch.  ``conn.pin_ops == 0`` rules that out; otherwise the
+        read is dispatched and serialized behind the snapshot op.
         """
         session = conn.session
         was_read = False
-        if opcode in (OP_READ, OP_QUERY) and session.txn is None:
+        if (
+            opcode in (OP_READ, OP_QUERY)
+            and session.txn is None
+            and conn.pin_ops == 0
+        ):
             was_read = True
         elif opcode == OP_PING and not (
             isinstance(payload, dict) and payload.get("delay")
@@ -386,6 +402,8 @@ class OdeServer:
 
     def _dispatch(self, conn: _Connection, opcode: int, cid: int, payload: Any) -> None:
         conn.inflight += 1
+        if opcode == OP_SNAPSHOT:
+            conn.pin_ops += 1
         self.stats.request_started(conn.inflight)
         task = asyncio.get_running_loop().create_task(
             self._run_request(conn, opcode, cid, payload)
@@ -401,12 +419,16 @@ class OdeServer:
             result = await self._execute(conn, opcode, payload)
         except asyncio.CancelledError:
             conn.inflight -= 1
+            if opcode == OP_SNAPSHOT:
+                conn.pin_ops -= 1
             self.stats.request_finished(ok=False)
             raise
         except BaseException as exc:  # noqa: BLE001 - goes into the envelope
             ok = False
             result = protocol.error_payload(exc)
         conn.inflight -= 1
+        if opcode == OP_SNAPSHOT:
+            conn.pin_ops -= 1
         self.stats.request_finished(ok)
         await self._send(conn, RESP_OK if ok else RESP_ERR, cid, result)
 
@@ -447,10 +469,21 @@ class OdeServer:
             # out-of-order completion relative to slower stateful ops.
             with self.stats._lock:
                 self.stats.snapshot_reads += 1
-            reader = session.reader()
-            if opcode == OP_READ:
-                return _do_read(reader, payload)
-            return _do_query(reader, payload)
+            if conn.pin_ops == 0:
+                reader = session.reader()
+                if opcode == OP_READ:
+                    return _do_read(reader, payload)
+                return _do_query(reader, payload)
+            # An OP_SNAPSHOT is in flight on the executor and may swap or
+            # close the session's pin mid-read: take the FIFO lock so this
+            # read is ordered with it (still resolved on the event loop --
+            # pin_ops stays non-zero until the snapshot op completes, and
+            # it holds the same lock while it runs).
+            async with conn.op_lock:
+                reader = session.reader()
+                if opcode == OP_READ:
+                    return _do_read(reader, payload)
+                return _do_query(reader, payload)
         # Stateful lane: FIFO per session, executed on the pool with the
         # session activated so the kernel resolves this client's txn.
         async with conn.op_lock:

@@ -91,6 +91,8 @@ class GlobalTransaction:
         #: and may no longer be aborted.
         self.decided = False
         self.gtxid: tuple | None = None
+        #: Coordinator shard index, fixed when the gtxid is assigned.
+        self.coordinator: int | None = None
         #: Per-shard lock deadline override, inherited by every local
         #: transaction the router begins on this transaction's behalf.
         self.lock_timeout: float | None = None
@@ -136,17 +138,37 @@ def prepare_meta(
 
 
 def commit_global(router: "ShardedDatabase", gtxn: GlobalTransaction) -> None:
-    """Run the global commit protocol for ``gtxn``."""
+    """Run the global commit protocol for ``gtxn``.
+
+    Safe to re-invoke: a commit that failed *after* the decision record
+    became durable leaves the transaction active with ``decided=True``
+    (:meth:`Transaction.commit` keeps a prepared participant alive on
+    failure), and a retry must only re-deliver the verdict -- re-entering
+    phase one would find participants already prepared and, worse, the
+    presumed-abort handler would roll back a transaction whose COMMIT
+    verdict is already on disk.
+    """
     counters = router._twopc_counters
     try:
+        if gtxn.decided:
+            # A durable verdict exists from an earlier attempt that failed
+            # in phase two: never re-enter phase one, just finish the job.
+            _deliver_verdict(router, gtxn)
+            return
+
         # Read-only participant optimization (presumed abort's classic
         # companion): a participant that logged nothing has no durable
         # state at stake, so it commits -- releasing its read locks --
         # at what would have been its prepare, votes no further, and is
         # excluded from phase two.  The transaction serializes at the
-        # moment its last reader released.
+        # moment its last reader released.  A retry after a failed
+        # attempt skips the ones already released.
         writers = [i for i in gtxn.participants if gtxn.locals[i].op_count > 0]
-        readers = [i for i in gtxn.participants if gtxn.locals[i].op_count == 0]
+        readers = [
+            i
+            for i in gtxn.participants
+            if gtxn.locals[i].op_count == 0 and gtxn.locals[i].state == ACTIVE
+        ]
         for idx in readers:
             with gtxn.session.shard_session(idx).activate():
                 gtxn.locals[idx].commit()
@@ -167,6 +189,7 @@ def commit_global(router: "ShardedDatabase", gtxn: GlobalTransaction) -> None:
         coordinator = parts[0]
         gtxid = router._next_gtxid()
         gtxn.gtxid = gtxid
+        gtxn.coordinator = coordinator
         meta = prepare_meta(gtxid, coordinator, parts)
 
         # Phase one: every participant makes the prepare promise durable.
@@ -185,7 +208,7 @@ def commit_global(router: "ShardedDatabase", gtxn: GlobalTransaction) -> None:
             # ran or failed before its fsync): presumed abort.  A
             # simulated crash skips the cleanup -- a dead process aborts
             # nothing, that is what restart resolution is for.
-            if not faults.is_crashed():
+            if not faults.is_crashed() and not gtxn.decided:
                 try:
                     abort_global(router, gtxn)
                 except BaseException:
@@ -195,32 +218,58 @@ def commit_global(router: "ShardedDatabase", gtxn: GlobalTransaction) -> None:
         counters["decisions"] += 1
         faults.fire("shard.2pc.post_decision")
 
-        # Phase two: deliver the verdict to every participant.
-        for idx in parts:
-            with gtxn.session.shard_session(idx).activate():
-                gtxn.locals[idx].commit()
-            faults.fire("shard.2pc.post_ack")
-
-        # Forget: every participant acknowledged; the decision record has
-        # served its purpose and releases the coordinator WAL.
-        faults.fire("shard.2pc.pre_forget")
-        router.shards[coordinator].forget_coordinator_decision(gtxid)
-        counters["forgets"] += 1
-        gtxn.state = COMMITTED
+        _deliver_verdict(router, gtxn)
     finally:
         if gtxn.state != ACTIVE:
             router._finish_global(gtxn)
 
 
+def _deliver_verdict(router: "ShardedDatabase", gtxn: GlobalTransaction) -> None:
+    """Phase two: commit every still-prepared participant, then forget.
+
+    Idempotent by construction so a partially failed delivery can be
+    re-run: locals that already committed are skipped, a prepared
+    participant whose commit fails stays active for the next attempt
+    (see :meth:`Transaction.commit`), and re-forgetting an unknown
+    gtxid is a no-op.
+    """
+    counters = router._twopc_counters
+    for idx in gtxn.participants:
+        txn = gtxn.locals[idx]
+        if txn.state != ACTIVE:
+            continue
+        with gtxn.session.shard_session(idx).activate():
+            txn.commit()
+        faults.fire("shard.2pc.post_ack")
+
+    # Forget: every participant acknowledged; the decision record has
+    # served its purpose and releases the coordinator WAL.
+    faults.fire("shard.2pc.pre_forget")
+    assert gtxn.coordinator is not None and gtxn.gtxid is not None
+    router.shards[gtxn.coordinator].forget_coordinator_decision(gtxn.gtxid)
+    counters["forgets"] += 1
+    gtxn.state = COMMITTED
+
+
 def abort_global(router: "ShardedDatabase", gtxn: GlobalTransaction) -> None:
-    """Abort every live participant; always detaches the transaction."""
+    """Abort every live participant; always detaches the transaction.
+
+    Presumed abort makes rolling back *prepared* participants legal here
+    -- but only while no commit verdict exists, so a decided transaction
+    is refused outright.
+    """
+    if gtxn.decided:
+        raise TransactionStateError(
+            f"global transaction {gtxn.txid} is decided committed; "
+            "re-run commit (or restart recovery) to complete it"
+        )
     first_error: BaseException | None = None
     for idx, txn in sorted(gtxn.locals.items()):
         if txn.state != ACTIVE:
             continue
         try:
             with gtxn.session.shard_session(idx).activate():
-                txn.abort()
+                txn.abort(release_prepared=True)
         except BaseException as exc:  # noqa: BLE001 - keep aborting the rest
             if first_error is None:
                 first_error = exc

@@ -452,10 +452,18 @@ class ShardedDatabase:
             return self._on_shard(idx, lambda db: db.latest_vid(oid))
         best_key: tuple | None = None
         best_vid: Vid | None = None
+
+        def probe(db: "Database") -> tuple[Vid, float]:
+            # One callback resolves both the vid and its ctime so the
+            # graph lookup runs in the same shard-session context (same
+            # SHARED lock / local-transaction view) as the latest_vid
+            # call it ranks.
+            vid = db.latest_vid(oid)
+            return vid, db.graph(oid).node(vid.serial).ctime
+
         for idx in holders:
-            vid = self._on_shard(idx, lambda db: db.latest_vid(oid))
-            node = self.shards[idx].graph(oid).node(vid.serial)
-            key = (node.ctime, vid.serial)
+            vid, ctime = self._on_shard(idx, probe)
+            key = (ctime, vid.serial)
             if best_key is None or key > best_key:
                 best_key, best_vid = key, vid
         assert best_vid is not None

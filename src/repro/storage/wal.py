@@ -364,6 +364,12 @@ class RecoveryReport:
     #: Surviving coordinator commit decisions: gtxid -> participant shards.
     #: A decision followed by ``COORD_END`` has been forgotten.
     coord_decisions: dict[tuple, tuple[int, ...]] = field(default_factory=dict)
+    #: Highest txid seen anywhere in the scanned log (0 for an empty one).
+    #: When the WAL is retained past recovery (in-doubt participants or
+    #: surviving decisions block truncation), the owner must hand out new
+    #: txids above this floor, or a retained loser's records could be
+    #: mistaken for a fresh winner's on the next recovery.
+    max_txid: int = 0
 
 
 def recover(log: LogManager, heap_resolver) -> RecoveryReport:
@@ -423,6 +429,7 @@ def recover(log: LogManager, heap_resolver) -> RecoveryReport:
         coord_decisions={
             g: parts for g, parts in decisions.items() if g not in ended
         },
+        max_txid=max(seen, default=0),
     )
     in_doubt_ops: dict[int, list[LogRecord]] = {t: [] for t in in_doubt_ids}
 

@@ -167,6 +167,30 @@ def test_lease_replaces_connection_killed_mid_lease(served):
     asyncio.run(run())
 
 
+def test_heal_tears_down_the_dead_connections_transport(served):
+    """Healing must close the dead socket, not just drop the object --
+    a long-lived client leaking one socket per heal eventually hits the
+    fd limit."""
+    db, host, port, oid = served
+
+    async def run():
+        async with await OdeClient.connect(host, port, pool_size=1) as client:
+            dead = client.connections[0]
+            # Kill the receive loop but leave the transport open: the
+            # condemned-but-connected state a server error frame leaves
+            # behind.
+            dead._recv_task.cancel()
+            await asyncio.gather(dead._recv_task, return_exceptions=True)
+            assert dead.closed and not dead._writer.is_closing()
+            async with client.lease() as conn:
+                assert conn is not dead
+                assert await conn.read(oid, "weight") == 10
+            assert client.heals == 1
+            assert dead._writer.is_closing(), "heal leaked the dead socket"
+
+    asyncio.run(run())
+
+
 def test_round_robin_stateless_helpers_skip_dead_connections(served):
     db, host, port, oid = served
 

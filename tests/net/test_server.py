@@ -164,6 +164,29 @@ def test_pipelined_errors_resolve_their_own_futures(served):
     assert asyncio.run(run()) == "still-alive"
 
 
+def test_reads_pipelined_around_snapshot_ops_stay_correct(served):
+    """Reads fired in the same chunk as OP_SNAPSHOT pin/unpin must never
+    resolve against a snapshot the unpin just closed: while a snapshot op
+    is in flight, the read lane is serialized with it instead of touching
+    ``session.reader()`` bare on the event loop."""
+    db, host, port, oid = served
+
+    async def run():
+        async with await OdeConnection.open(host, port) as conn:
+            for _ in range(20):
+                batch = [
+                    conn.send(protocol.OP_SNAPSHOT, {"pin": True}),
+                    conn.send(protocol.OP_READ, (oid, "weight")),
+                    conn.send(protocol.OP_SNAPSHOT, {"pin": False}),
+                    conn.send(protocol.OP_READ, (oid, "weight")),
+                ]
+                _, v1, _, v2 = await asyncio.gather(*batch)
+                assert (v1, v2) == (10, 10)
+            return await conn.ping("done")
+
+    assert asyncio.run(run()) == "done"
+
+
 # -- sessions and the client pool ---------------------------------------------
 
 

@@ -22,6 +22,8 @@ from __future__ import annotations
 import pytest
 
 from repro import PersistentObject, persistent
+from repro.core.database import Database
+from repro.errors import TransactionStateError
 from repro.shard import ShardedDatabase
 from repro.storage import faults
 from repro.storage.faults import FaultPlan, SimulatedCrash
@@ -159,3 +161,81 @@ def test_in_doubt_participant_blocks_nothing_else(tmp_path):
         assert len(reopened.last_resolution.aborted) == 2
     finally:
         reopened.close()
+
+
+# -- liveness without a crash: retry and direct-open safety -------------------
+
+
+def test_phase_two_failure_commit_retry_completes(tmp_path):
+    """A commit that fails *after* the decision is durable leaves the
+    global transaction active and decided; retrying the commit must only
+    re-deliver phase two -- never re-enter phase one, never abort."""
+    router = ShardedDatabase(tmp_path / "shards", nshards=3)
+    try:
+        src = router.pnew(Acct(bal=100))
+        dst = router.pnew(Acct(bal=100))
+        router.checkpoint()
+
+        gtxn = router.begin()
+        src.bal = 99
+        dst.bal = 101
+        # Flushes inside this commit: prepare(src shard), prepare(dst
+        # shard), coordinator decision -- so fsync hit 4 is the first
+        # phase-two COMMIT record.  One-shot: the retry's I/O is clean.
+        injector = faults.activate(
+            FaultPlan().fsync_error("wal.flush.fsync", hit=4)
+        )
+        try:
+            with pytest.raises(OSError):
+                gtxn.commit()
+            assert injector.fired, "the phase-two fsync error never fired"
+        finally:
+            faults.deactivate()
+
+        # The verdict is durable and the transaction is still alive...
+        assert gtxn.decided
+        assert gtxn.state == "active"
+        # ...so a rollback is refused (it would contradict the verdict)...
+        with pytest.raises(TransactionStateError, match="decided"):
+            gtxn.abort()
+        # ...and the retry finishes the job exactly once.
+        gtxn.commit()
+        assert gtxn.state == "committed"
+        assert (src.bal, dst.bal) == (99, 101)
+        for idx, shard in enumerate(router.shards):
+            assert not shard.in_doubt_txns(), f"shard {idx} still in doubt"
+            assert not shard.coordinator_decisions(), f"shard {idx} holds verdicts"
+    finally:
+        router.close()
+
+
+def test_direct_open_with_retained_wal_never_reuses_txids(tmp_path):
+    """A shard reopened with in-doubt state keeps its WAL; fresh txids
+    must clear every retained txid or a later recovery could replay a
+    pre-crash loser's records as a new winner's."""
+    path = tmp_path / "shards"
+    _crash_transfer(path, "shard.2pc.post_prepare", 2)
+
+    # Open one participant directly, bypassing router-level resolution --
+    # exactly the window where a colliding txid could do damage.
+    shard = Database(path / "shard-00")
+    try:
+        assert shard.in_doubt_txns(), "precondition: participant is in doubt"
+        report = shard.last_recovery
+        assert report is not None and report.max_txid > 0
+        probe = shard.begin()
+        try:
+            assert probe.txid > report.max_txid
+        finally:
+            probe.abort()
+    finally:
+        shard.close()
+
+    # The router still resolves the in-doubt transfer on a full reopen.
+    router = ShardedDatabase(path)
+    try:
+        for shard in router.shards:
+            assert not shard.in_doubt_txns()
+            assert not shard.coordinator_decisions()
+    finally:
+        router.close()
