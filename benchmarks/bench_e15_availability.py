@@ -1,0 +1,196 @@
+"""E15 -- availability under shard failure: degrade, fail fast, reattach.
+
+The failure-domain claim (:mod:`repro.shard`): losing one shard loses
+*that shard's keyspace only*, and loses it **quickly**.  Three gates:
+
+* **Availability floor** -- with one of three shards down, a workload
+  spread uniformly over the keyspace keeps exactly the up-shards'
+  fraction of its operations succeeding (2/3 here), and every one of
+  those successes is a real, durable commit.  No collateral failures on
+  healthy shards.
+* **Fail fast** -- an operation homed on the dead shard is refused in
+  well under 50 ms (vs. burning a lock timeout or a network deadline):
+  unavailability must cost the caller a routing check, not a stall.
+* **No degradation for survivors** -- single-shard transactions on the
+  healthy shards run at (nearly) their healthy-fleet throughput while a
+  third of the fleet is down; the health bookkeeping is a flag check,
+  not a scan.
+
+Reattach is measured and reported (``reattach_ms``), including the
+shard's WAL recovery, but gated only loosely -- recovery cost scales
+with what the WAL held, which is workload, not protocol.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import persistent
+from repro.errors import ShardUnavailableError
+from repro.shard import ShardedDatabase
+
+NSHARDS = 3
+VICTIM = 1
+
+#: Objects per shard in the hot set.
+PER_SHARD = 8
+
+#: Operations per measured phase.
+OPS = 120
+
+#: A down-shard refusal must cost less than this (p100, seconds).
+FAILFAST_BUDGET = 0.050
+
+
+@persistent(name="bench.E15Acct")
+class E15Acct:
+    def __init__(self, slot: int = 0, val: int = 0) -> None:
+        self.slot = slot
+        self.val = val
+
+
+def _build(tmp_path, name: str):
+    router = ShardedDatabase(tmp_path / name, nshards=NSHARDS)
+    refs = [router.pnew(E15Acct(slot=i)) for i in range(NSHARDS * PER_SHARD)]
+    by_home: dict[int, list] = {i: [] for i in range(NSHARDS)}
+    for ref in refs:
+        by_home[router.placement.shard_of(ref.oid)].append(ref)
+    assert all(len(v) == PER_SHARD for v in by_home.values())
+    router.checkpoint()
+    return router, refs, by_home
+
+
+def _sweep(router, refs, ops: int = OPS):
+    """Attempt ``ops`` single-object increments round-robin over the whole
+    keyspace.  Returns (successes, failures, fail_latencies, elapsed)."""
+    done = failed = 0
+    fail_lat: list[float] = []
+    start = time.perf_counter()
+    for j in range(ops):
+        ref = refs[j % len(refs)]
+        t0 = time.perf_counter()
+        try:
+
+            def txn() -> None:
+                ref.val += 1
+
+            router.run_transaction(txn)
+            done += 1
+        except ShardUnavailableError:
+            fail_lat.append(time.perf_counter() - t0)
+            failed += 1
+    return done, failed, fail_lat, time.perf_counter() - start
+
+
+@pytest.mark.smoke
+def test_e15_availability_floor_and_fail_fast(tmp_path, benchmark):
+    """The headline gates: 2/3 of the keyspace stays up, the dead third
+    refuses in bounded time, and no healthy-shard op fails."""
+    router, refs, by_home = _build(tmp_path, "e15_floor")
+    try:
+        _sweep(router, refs, ops=24)  # warm sessions and pools
+        healthy_done, healthy_failed, _, _ = _sweep(router, refs)
+        assert healthy_failed == 0
+
+        router.kill_shard(VICTIM)
+        done, failed, fail_lat, elapsed = _sweep(router, refs)
+        availability = done / (done + failed)
+        floor = (NSHARDS - 1) / NSHARDS
+
+        # Exactly the up fraction: every up-shard op succeeded, every
+        # down-shard op failed (typed), nothing bled across domains.
+        assert availability >= floor * 0.999, (
+            f"availability {availability:.3f} under single-shard failure; "
+            f"the floor is {floor:.3f} -- healthy domains failed too"
+        )
+        assert failed == OPS // NSHARDS
+        assert fail_lat, "no down-shard op was ever attempted"
+        worst = max(fail_lat)
+        assert worst < FAILFAST_BUDGET, (
+            f"down-shard refusal took {worst * 1000:.1f} ms (budget "
+            f"{FAILFAST_BUDGET * 1000:.0f} ms) -- not fail-fast"
+        )
+
+        # Every success is a real commit: the survivors' counters add up
+        # exactly (warm sweep: 1 increment per ref; each full sweep:
+        # OPS / len(refs) increments per ref; two full sweeps reached
+        # the up shards).
+        per_ref = 1 + 2 * (OPS // (NSHARDS * PER_SHARD))
+        for idx in (0, 2):
+            total = sum(ref.val for ref in by_home[idx])
+            assert total == per_ref * PER_SHARD, (
+                f"shard {idx} sum {total} != {per_ref * PER_SHARD}: an acked "
+                "commit went missing (or a refused op half-applied)"
+            )
+
+        benchmark.extra_info["availability"] = round(availability, 3)
+        benchmark.extra_info["failfast_p100_ms"] = round(worst * 1000, 2)
+        benchmark.extra_info["degraded_ops_s"] = round(done / elapsed, 1)
+    finally:
+        router.close()
+    benchmark(lambda: None)
+
+
+@pytest.mark.smoke
+def test_e15_survivors_keep_their_throughput(tmp_path, benchmark):
+    """Healthy-shard transactions must not slow down because an
+    unrelated shard died: the health check is a flag, not a scan."""
+    router, refs, by_home = _build(tmp_path, "e15_tput")
+    survivors = by_home[0] + by_home[2]
+    try:
+
+        def tps(rs, n=96):
+            start = time.perf_counter()
+            for j in range(n):
+                ref = rs[j % len(rs)]
+
+                def txn() -> None:
+                    ref.val += 1
+
+                router.run_transaction(txn)
+            return n / (time.perf_counter() - start)
+
+        tps(survivors, n=24)  # warm
+        healthy = max(tps(survivors) for _ in range(2))
+        router.kill_shard(VICTIM)
+        degraded = max(tps(survivors) for _ in range(2))
+    finally:
+        router.close()
+
+    ratio = degraded / healthy
+    benchmark.extra_info["healthy_tps"] = round(healthy, 1)
+    benchmark.extra_info["degraded_tps"] = round(degraded, 1)
+    benchmark.extra_info["degraded_vs_healthy"] = round(ratio, 2)
+    assert ratio >= 0.5, (
+        f"healthy-shard throughput fell to {ratio:.2f}x with one unrelated "
+        "shard down -- graceful degradation is supposed to be free for "
+        "survivors"
+    )
+    benchmark(lambda: None)
+
+
+def test_e15_reattach_cycle_reported(tmp_path, benchmark):
+    """Kill -> reattach wall time, with WAL recovery included; loose gate
+    (recovery replays whatever the WAL held)."""
+    router, refs, by_home = _build(tmp_path, "e15_reattach")
+    try:
+        # Put some unflushed work on the victim so recovery is real.
+        for ref in by_home[VICTIM]:
+
+            def txn() -> None:
+                ref.val = 7
+
+            router.run_transaction(txn)
+        router.kill_shard(VICTIM)
+        start = time.perf_counter()
+        router.reattach_shard(VICTIM)
+        reattach_s = time.perf_counter() - start
+        assert all(ref.val == 7 for ref in by_home[VICTIM])  # WAL replayed
+    finally:
+        router.close()
+
+    benchmark.extra_info["reattach_ms"] = round(reattach_s * 1000, 2)
+    assert reattach_s < 5.0, f"reattach took {reattach_s:.1f}s"
+    benchmark(lambda: None)

@@ -160,6 +160,34 @@ class NetworkError(OdeError):
     """Base class for errors raised by the network service layer."""
 
 
+class DeadlineExceededError(NetworkError):
+    """A wire operation did not complete within its deadline.
+
+    Raised client-side: the request may or may not have executed on the
+    server (a timed-out commit is *indeterminate* -- the value may be
+    durable).  Retryable for idempotent operations; read-modify-write
+    sequences must re-run from the read.
+    """
+
+
+class ServerOverloadedError(NetworkError):
+    """The server shed this request under admission control.
+
+    The connection exceeded its bounded in-flight budget; the request
+    was rejected before execution, so retrying after backoff is always
+    safe (the server did not run it).
+    """
+
+
+class ServerDrainingError(NetworkError):
+    """The server is draining: finishing in-flight work, taking no new.
+
+    New transactions and mutations are refused while a graceful shutdown
+    completes.  Retryable -- against a replacement server, or after the
+    drain is cancelled.
+    """
+
+
 class SessionStateError(NetworkError):
     """A session was used illegally (closed, or active on two threads)."""
 
@@ -192,6 +220,26 @@ class RemoteError(NetworkError):
     def __init__(self, message: str, error_name: str = "RemoteError") -> None:
         super().__init__(message)
         self.error_name = error_name
+
+
+# ---------------------------------------------------------------------------
+# Sharding
+# ---------------------------------------------------------------------------
+
+
+class ShardUnavailableError(OdeError):
+    """The operation touched a shard that is down (its failure domain).
+
+    The sharded router fails such operations *fast* -- no hang, no
+    timeout burn -- while reads and transactions confined to healthy
+    shards keep serving.  Retryable: the shard may be reattached online
+    (``ShardedDatabase.reattach_shard``), after which the same operation
+    succeeds.  ``shard`` names the down shard when known.
+    """
+
+    def __init__(self, message: str, shard: int | None = None) -> None:
+        super().__init__(message)
+        self.shard = shard
 
 
 # ---------------------------------------------------------------------------

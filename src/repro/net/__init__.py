@@ -10,16 +10,27 @@ it behind a socket so many clients can share one database:
   a worker thread pool, serves read-only requests through the lock-free
   snapshot path, and groups concurrent commits into the WAL's
   group-commit window;
-* :mod:`repro.net.client` -- an asyncio client with connection pooling
-  and request pipelining (many correlated requests in flight per
-  connection, out-of-order completion).
+* :mod:`repro.net.client` -- an asyncio client with connection pooling,
+  request pipelining (many correlated requests in flight per connection,
+  out-of-order completion), per-op deadlines and reconnect with jittered
+  backoff;
+* :mod:`repro.net.chaos` -- a deterministic chaos proxy (drop / delay /
+  duplicate / truncate / partition, scripted per-connection faults) for
+  fault-tolerance testing.
 
 Each connection gets one :class:`~repro.core.session.Session`; the wire
 opcodes map 1:1 onto the session-scoped kernel surface (begin / commit /
-abort / read / write / newversion / query / snapshot).
+abort / read / write / newversion / query / snapshot / health).
 """
 
-from repro.net.client import OdeClient, OdeConnection
+from repro.net.chaos import ChaosPlan, ChaosProxy, ChaosProxyThread
+from repro.net.client import (
+    DEFAULT_DEADLINE,
+    OdeClient,
+    OdeConnection,
+    RETRYABLE_WIRE_ERRORS,
+    is_retryable,
+)
 from repro.net.protocol import (
     FrameDecoder,
     MAX_FRAME_BYTES,
@@ -29,12 +40,18 @@ from repro.net.protocol import (
 from repro.net.server import OdeServer, ServerThread
 
 __all__ = [
+    "ChaosPlan",
+    "ChaosProxy",
+    "ChaosProxyThread",
+    "DEFAULT_DEADLINE",
     "FrameDecoder",
     "MAX_FRAME_BYTES",
     "OdeClient",
     "OdeConnection",
     "OdeServer",
+    "RETRYABLE_WIRE_ERRORS",
     "ServerThread",
     "build_frame",
+    "is_retryable",
     "parse_frame",
 ]

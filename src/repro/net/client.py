@@ -30,22 +30,54 @@ Server-side errors come back typed: the error envelope names the
 exception class, and known kernel errors re-raise as themselves
 (``except DeadlockError`` works across the wire); everything else
 raises :class:`~repro.errors.RemoteError`.
+
+**Deadlines.**  Every request is bounded: a connection carries a
+``default_deadline`` (settable per pool via :meth:`OdeClient.connect`)
+and every operation takes a per-op ``deadline`` override.  Expiry
+raises :class:`~repro.errors.DeadlineExceededError` -- the op *may*
+still execute server-side (a timed-out commit is indeterminate), but
+the caller's wait is bounded; the late response is discarded when it
+arrives.  Pass ``deadline=None`` explicitly to wait forever (debugging
+only).
+
+**Error taxonomy.**  :func:`is_retryable` classifies failures: deadline
+expiry, shed/drain rejections, connection loss, reconnect failure, a
+down shard, and the kernel's transient conflicts (deadlock victim, lock
+timeout, abort) are *retryable* -- back off with jitter and re-run.
+Protocol violations, invariant errors, and unknown remote errors are
+not.  The pool's self-healing reconnects with jittered exponential
+backoff (:meth:`OdeClient.connect`'s ``reconnect_attempts`` /
+``reconnect_backoff``), so one server hiccup costs a bounded retry
+loop, not a poisoned pool.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import random
+import threading
 from contextlib import asynccontextmanager
 from typing import Any, AsyncIterator
 
+from repro.core.database import RETRYABLE_ERRORS
 from repro.core.identity import Oid, Vid
-from repro.errors import ConnectionClosedError, NetworkError
+from repro.errors import (
+    ConnectionClosedError,
+    DeadlineExceededError,
+    NetworkError,
+    ProtocolError,
+    RemoteError,
+    ServerDrainingError,
+    ServerOverloadedError,
+    ShardUnavailableError,
+)
 from repro.net import protocol
 from repro.net.protocol import (
     OP_ABORT,
     OP_BEGIN,
     OP_COMMIT,
+    OP_HEALTH,
     OP_NEWVERSION,
     OP_PDELETE,
     OP_PING,
@@ -66,6 +98,84 @@ _RECV_CHUNK = 256 * 1024
 #: end of the loop iteration, bounding client-side buffering.
 _FLUSH_BYTES = 128 * 1024
 
+#: Default per-op deadline (seconds).  Every wire op completes or fails
+#: within this bound unless the caller overrides it; ``None`` (wait
+#: forever) must be asked for explicitly.
+DEFAULT_DEADLINE = 30.0
+
+#: Wire-layer errors a fresh attempt can win: the server never ran the
+#: op (shed/drain), the wait was bounded away (deadline), the link died
+#: (reconnect and re-run), or a shard was down (it may reattach).  The
+#: kernel's transient conflicts (deadlock victim, lock timeout, abort)
+#: ride along so one `except` guards a whole wire transaction retry
+#: loop.  NOT here: ProtocolError (a bug or hostile peer) and
+#: RemoteError (an unclassified server failure).
+RETRYABLE_WIRE_ERRORS: tuple[type[BaseException], ...] = (
+    DeadlineExceededError,
+    ConnectionClosedError,
+    ServerOverloadedError,
+    ServerDrainingError,
+    ShardUnavailableError,
+    ConnectionError,
+    TimeoutError,
+) + RETRYABLE_ERRORS
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """The wire error taxonomy: may a backoff-and-retry succeed?
+
+    ``ProtocolError`` is explicitly non-retryable even though it derives
+    from :class:`~repro.errors.NetworkError`: a malformed stream means a
+    bug (or a chaos test), not a transient.
+    """
+    if isinstance(exc, ProtocolError):
+        return False
+    return isinstance(exc, RETRYABLE_WIRE_ERRORS)
+
+
+class _ClientCounters:
+    """Process-wide wire-client counters (all clients, all loops).
+
+    Surfaced as ``net.deadline_expired`` / ``net.reconnects`` through an
+    embedded server's stats source, so ``db.stats()`` and ``inspect``
+    report client-observed failure handling next to the server's own
+    numbers (meaningful for the in-process embeddings -- the stress and
+    chaos harnesses -- where client and server share the process).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.deadline_expired = 0
+        self.reconnects = 0
+
+    def bump(self, name: str) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + 1)
+
+    def as_dict(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "net.deadline_expired": self.deadline_expired,
+                "net.reconnects": self.reconnects,
+            }
+
+
+_COUNTERS = _ClientCounters()
+
+
+def local_client_stats() -> dict[str, int]:
+    """This process's wire-client counters (see :class:`_ClientCounters`)."""
+    return _COUNTERS.as_dict()
+
+
+def _consume(future: "asyncio.Future[Any]") -> None:
+    """Swallow an abandoned future's eventual exception (no loop warnings)."""
+    if not future.cancelled():
+        future.exception()
+
+
+_UNSET = object()
+
 
 class OdeConnection:
     """One socket, one server session, any number of in-flight requests."""
@@ -75,6 +185,7 @@ class OdeConnection:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         max_frame: int = protocol.MAX_FRAME_BYTES,
+        default_deadline: float | None = DEFAULT_DEADLINE,
     ) -> None:
         self._reader = reader
         self._writer = writer
@@ -85,6 +196,11 @@ class OdeConnection:
         self._close_reason: BaseException | None = None
         self._outbuf = bytearray()
         self._flush_handle: asyncio.Handle | None = None
+        #: Seconds each request may wait before DeadlineExceededError;
+        #: None waits forever.  Per-op ``deadline=`` overrides this.
+        self.default_deadline = default_deadline
+        #: Requests on this connection that hit their deadline.
+        self.deadline_expired = 0
         #: Highest number of simultaneously in-flight requests seen.
         self.pipeline_max = 0
         self._loop = asyncio.get_running_loop()
@@ -97,9 +213,26 @@ class OdeConnection:
         port: int = 0,
         *,
         max_frame: int = protocol.MAX_FRAME_BYTES,
+        default_deadline: float | None = DEFAULT_DEADLINE,
+        connect_timeout: float | None = None,
     ) -> "OdeConnection":
-        reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer, max_frame)
+        """Open a connection; the TCP connect itself is deadline-bounded.
+
+        ``connect_timeout`` defaults to ``default_deadline`` -- a server
+        that accepts-then-stalls (or a black-holed route) must not hang
+        the caller forever at open time either.
+        """
+        timeout = connect_timeout if connect_timeout is not None else default_deadline
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout
+            )
+        except asyncio.TimeoutError:
+            _COUNTERS.bump("deadline_expired")
+            raise DeadlineExceededError(
+                f"connect to {host}:{port} did not complete within {timeout:g}s"
+            ) from None
+        return cls(reader, writer, max_frame, default_deadline)
 
     # -- the pipe -----------------------------------------------------------
 
@@ -195,13 +328,32 @@ class OdeConnection:
             self._flush_handle = self._loop.call_soon(self._flush)
         return future
 
-    async def request(self, opcode: int, payload: Any = None) -> Any:
+    async def request(
+        self, opcode: int, payload: Any = None, *, deadline: Any = _UNSET
+    ) -> Any:
         """Send one frame, await its correlated response (see :meth:`send`).
 
-        A cancelled request leaves its entry in the pending map; the
-        response (servers always answer) pops it and is discarded.
+        The wait is bounded by ``deadline`` (default: the connection's
+        ``default_deadline``; ``None`` waits forever).  On expiry the
+        request is *abandoned*, not cancelled: the server may still
+        execute it, and its late response resolves a future nobody
+        awaits (discarded).  A cancelled request likewise leaves its
+        entry in the pending map; the response pops it and is discarded.
         """
-        return await self.send(opcode, payload)
+        timeout = self.default_deadline if deadline is _UNSET else deadline
+        future = self.send(opcode, payload)
+        if timeout is None:
+            return await future
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), timeout)
+        except asyncio.TimeoutError:
+            future.add_done_callback(_consume)
+            self.deadline_expired += 1
+            _COUNTERS.bump("deadline_expired")
+            raise DeadlineExceededError(
+                f"{protocol.opcode_name(opcode)} did not complete within "
+                f"{timeout:g}s (the op may still execute server-side)"
+            ) from None
 
     def _flush(self) -> None:
         """Push the corked frames to the transport in one write."""
@@ -250,60 +402,94 @@ class OdeConnection:
         await self.close()
 
     # -- op helpers ----------------------------------------------------------
+    # Every helper takes ``deadline=`` (seconds, default the connection's
+    # default_deadline, None = forever) so callers can tighten or relax
+    # the bound per op.
 
-    async def ping(self, payload: Any = None) -> Any:
-        return await self.request(OP_PING, payload)
+    async def ping(self, payload: Any = None, *, deadline: Any = _UNSET) -> Any:
+        return await self.request(OP_PING, payload, deadline=deadline)
 
-    async def begin(self, *, snapshot_reads: bool = False) -> int:
+    async def health(self, *, deadline: Any = _UNSET) -> dict[str, Any]:
+        """The server's heartbeat: liveness, drain state, shard health.
+
+        Served on the inline lane even while the server is draining, so
+        a load balancer (or the chaos harness) can distinguish "slow"
+        from "going away" from "gone".
+        """
+        return await self.request(OP_HEALTH, None, deadline=deadline)
+
+    async def begin(
+        self, *, snapshot_reads: bool = False, deadline: Any = _UNSET
+    ) -> int:
         """Open this session's transaction; returns the txid."""
-        return await self.request(OP_BEGIN, {"snapshot_reads": snapshot_reads})
+        return await self.request(
+            OP_BEGIN, {"snapshot_reads": snapshot_reads}, deadline=deadline
+        )
 
-    async def commit(self) -> None:
-        await self.request(OP_COMMIT)
+    async def commit(self, *, deadline: Any = _UNSET) -> None:
+        await self.request(OP_COMMIT, deadline=deadline)
 
-    async def abort(self) -> None:
-        await self.request(OP_ABORT)
+    async def abort(self, *, deadline: Any = _UNSET) -> None:
+        await self.request(OP_ABORT, deadline=deadline)
 
-    async def pnew(self, obj: Any) -> Oid:
+    async def pnew(self, obj: Any, *, deadline: Any = _UNSET) -> Oid:
         """Create a persistent object server-side; returns its Oid."""
-        return await self.request(OP_PNEW, obj)
+        return await self.request(OP_PNEW, obj, deadline=deadline)
 
-    async def newversion(self, target: Oid | Vid) -> Vid:
-        return await self.request(OP_NEWVERSION, target)
+    async def newversion(
+        self, target: Oid | Vid, *, deadline: Any = _UNSET
+    ) -> Vid:
+        return await self.request(OP_NEWVERSION, target, deadline=deadline)
 
-    async def pdelete(self, target: Oid | Vid) -> None:
-        await self.request(OP_PDELETE, target)
+    async def pdelete(self, target: Oid | Vid, *, deadline: Any = _UNSET) -> None:
+        await self.request(OP_PDELETE, target, deadline=deadline)
 
-    async def read(self, target: Oid | Vid, attr: str | None = None) -> Any:
+    async def read(
+        self,
+        target: Oid | Vid,
+        attr: str | None = None,
+        *,
+        deadline: Any = _UNSET,
+    ) -> Any:
         """Materialize the target version, or read one attribute of it."""
-        return await self.request(OP_READ, (target, attr))
+        return await self.request(OP_READ, (target, attr), deadline=deadline)
 
-    async def write(self, target: Oid | Vid, attr: str, value: Any) -> None:
+    async def write(
+        self, target: Oid | Vid, attr: str, value: Any, *, deadline: Any = _UNSET
+    ) -> None:
         """In-place update of one attribute of the target version."""
-        await self.request(OP_WRITE, (target, attr, value))
+        await self.request(OP_WRITE, (target, attr, value), deadline=deadline)
 
-    async def write_obj(self, target: Oid | Vid, obj: Any) -> None:
+    async def write_obj(
+        self, target: Oid | Vid, obj: Any, *, deadline: Any = _UNSET
+    ) -> None:
         """Replace the target version's whole state."""
-        await self.request(OP_WRITE, (target, None, obj))
+        await self.request(OP_WRITE, (target, None, obj), deadline=deadline)
 
     async def query(
-        self, type_name: str, where: tuple[str, Any] | None = None
+        self,
+        type_name: str,
+        where: tuple[str, Any] | None = None,
+        *,
+        deadline: Any = _UNSET,
     ) -> list[Oid]:
         """Cluster scan with optional equality filter; returns oids."""
-        return await self.request(OP_QUERY, (type_name, where))
+        return await self.request(OP_QUERY, (type_name, where), deadline=deadline)
 
-    async def snapshot(self, pin: bool = True) -> int | None:
+    async def snapshot(
+        self, pin: bool = True, *, deadline: Any = _UNSET
+    ) -> int | None:
         """Pin (or release) the session's snapshot read context.
 
         While pinned, reads outside transactions resolve lock-free
         against the pinned epoch (the server re-pins automatically when
         publication advances).  Returns the pinned epoch.
         """
-        return await self.request(OP_SNAPSHOT, {"pin": pin})
+        return await self.request(OP_SNAPSHOT, {"pin": pin}, deadline=deadline)
 
-    async def stats(self) -> dict[str, Any]:
+    async def stats(self, *, deadline: Any = _UNSET) -> dict[str, Any]:
         """The server database's stats(), including ``net.*`` counters."""
-        return await self.request(OP_STATS)
+        return await self.request(OP_STATS, deadline=deadline)
 
 
 class OdeClient:
@@ -321,19 +507,48 @@ class OdeClient:
         self._rr = itertools.count()
         self._host = "127.0.0.1"
         self._port = 0
+        self._deadline: float | None = DEFAULT_DEADLINE
+        self._reconnect_attempts = 5
+        self._reconnect_backoff = 0.05
+        self._reconnect_max_backoff = 1.0
+        self._jitter = random.Random()
         #: Dead connections replaced by the pool's self-healing.
         self.heals = 0
 
     @classmethod
     async def connect(
-        cls, host: str = "127.0.0.1", port: int = 0, *, pool_size: int = 4
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        pool_size: int = 4,
+        deadline: float | None = DEFAULT_DEADLINE,
+        reconnect_attempts: int = 5,
+        reconnect_backoff: float = 0.05,
+        reconnect_max_backoff: float = 1.0,
     ) -> "OdeClient":
+        """Open the pool.
+
+        ``deadline`` becomes every pooled connection's default per-op
+        deadline (None = no bound).  ``reconnect_*`` shape the pool's
+        self-healing: on a dead connection, up to ``reconnect_attempts``
+        reopen attempts with jittered exponential backoff starting at
+        ``reconnect_backoff`` seconds, capped at
+        ``reconnect_max_backoff``.
+        """
         client = cls()
         client._host = host
         client._port = port
+        client._deadline = deadline
+        client._reconnect_attempts = max(1, reconnect_attempts)
+        client._reconnect_backoff = reconnect_backoff
+        client._reconnect_max_backoff = reconnect_max_backoff
         client._conns = list(
             await asyncio.gather(
-                *(OdeConnection.open(host, port) for _ in range(pool_size))
+                *(
+                    OdeConnection.open(host, port, default_deadline=deadline)
+                    for _ in range(pool_size)
+                )
             )
         )
         client._free = asyncio.Queue()
@@ -344,11 +559,14 @@ class OdeClient:
     async def _heal(self, dead: OdeConnection) -> OdeConnection:
         """Replace a dead pooled connection with a freshly opened one.
 
-        The dead socket is retired from the pool either way; if the
-        reconnect fails, the pool shrinks by one and the error
-        propagates (the server is presumably down -- a permanently dead
-        connection circulating in the pool would fail every future
-        lease instead of just this one).
+        Reconnects retry with jittered exponential backoff (full jitter:
+        a uniform draw up to the current cap, so a swarm of healing
+        clients does not reconnect in lockstep).  The dead socket is
+        retired from the pool either way; if every attempt fails, the
+        pool shrinks by one and the error propagates (the server is
+        presumably down -- a permanently dead connection circulating in
+        the pool would fail every future lease instead of just this
+        one).
         """
         try:
             # Full teardown, not just a recv-task cancel: the transport
@@ -356,19 +574,32 @@ class OdeClient:
             await dead.close()
         except Exception:
             pass  # already dead; reclaiming its resources is best-effort
-        try:
-            if dead in self._conns:
-                self._conns.remove(dead)
-            replacement = await OdeConnection.open(self._host, self._port)
-        except ConnectionClosedError:
-            raise
-        except OSError as exc:
+        if dead in self._conns:
+            self._conns.remove(dead)
+        delay = self._reconnect_backoff
+        last_exc: BaseException | None = None
+        for attempt in range(self._reconnect_attempts):
+            if attempt:
+                await asyncio.sleep(self._jitter.uniform(0, delay))
+                delay = min(delay * 2, self._reconnect_max_backoff)
+            try:
+                replacement = await OdeConnection.open(
+                    self._host, self._port, default_deadline=self._deadline
+                )
+                break
+            except (ConnectionClosedError, OSError, DeadlineExceededError) as exc:
+                last_exc = exc
+        else:
+            if isinstance(last_exc, ConnectionClosedError):
+                raise last_exc
             raise NetworkError(
-                f"pooled connection died and reconnect to "
-                f"{self._host}:{self._port} failed: {exc!r}"
-            ) from exc
+                f"pooled connection died and {self._reconnect_attempts} "
+                f"reconnect attempts to {self._host}:{self._port} failed: "
+                f"{last_exc!r}"
+            ) from last_exc
         self._conns.append(replacement)
         self.heals += 1
+        _COUNTERS.bump("reconnects")
         return replacement
 
     @property
@@ -433,6 +664,9 @@ class OdeClient:
 
     async def ping(self, payload: Any = None) -> Any:
         return await self._any().ping(payload)
+
+    async def health(self) -> dict[str, Any]:
+        return await self._any().health()
 
     async def pnew(self, obj: Any) -> Oid:
         return await self._any().pnew(obj)

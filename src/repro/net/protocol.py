@@ -69,6 +69,7 @@ OP_PDELETE = 0x09     #: delete an object or version
 OP_QUERY = 0x0A       #: cluster scan with optional equality filter
 OP_SNAPSHOT = 0x0B    #: pin / refresh / release the session snapshot
 OP_STATS = 0x0C       #: db.stats() (plus net.* counters)
+OP_HEALTH = 0x0D      #: heartbeat: liveness + drain state + shard health
 
 RESP_OK = 0x80
 RESP_ERR = 0x81
@@ -86,6 +87,7 @@ _REQUEST_NAMES = {
     OP_QUERY: "query",
     OP_SNAPSHOT: "snapshot",
     OP_STATS: "stats",
+    OP_HEALTH: "health",
 }
 
 

@@ -51,14 +51,18 @@ from repro.core.session import Session
 from repro.errors import (
     NetworkError,
     ProtocolError,
+    ServerDrainingError,
+    ServerOverloadedError,
     SessionStateError,
     TransactionStateError,
 )
 from repro.net import protocol
+from repro.net.client import local_client_stats
 from repro.net.protocol import (
     OP_ABORT,
     OP_BEGIN,
     OP_COMMIT,
+    OP_HEALTH,
     OP_NEWVERSION,
     OP_PDELETE,
     OP_PING,
@@ -76,6 +80,23 @@ from repro.net.protocol import (
 #: locks/fsync; a few times the CPU count keeps commits grouping without
 #: letting lock waiters starve the pool.
 DEFAULT_WORKERS = 16
+
+#: Default bound on dispatched-but-incomplete ops per connection.  A
+#: client pipelining past this gets :class:`ServerOverloadedError`
+#: rejections (the request never executes) instead of growing the
+#: server's task set without limit.
+DEFAULT_MAX_INFLIGHT = 128
+
+#: Default seconds a response write may sit blocked on a client that is
+#: not reading before the connection is forcibly dropped.
+DEFAULT_SLOW_CLIENT_TIMEOUT = 30.0
+
+#: Opcodes that start new work on the database.  While draining these
+#: are refused for sessions with no open transaction -- in-flight
+#: transactions get to finish, new ones are turned away.
+_MUTATING_OPS = frozenset(
+    {OP_BEGIN, OP_PNEW, OP_NEWVERSION, OP_PDELETE, OP_WRITE}
+)
 
 _READ_CHUNK = 256 * 1024
 
@@ -99,10 +120,18 @@ class _NetStats:
         self.commits = 0
         self.commits_overlapped = 0
         self._commits_inflight = 0
+        #: Requests rejected by admission control (never executed).
+        self.shed = 0
+        #: Requests refused because the server is draining.
+        self.drain_rejects = 0
+        #: Gauge: 1 while the server is draining (or drained).
+        self.draining = 0
+        #: Connections force-dropped for not reading their responses.
+        self.slow_client_disconnects = 0
 
     def as_dict(self) -> dict[str, Any]:
         with self._lock:
-            return {
+            out = {
                 "net.connections": self.connections,
                 "net.connections_total": self.connections_total,
                 "net.sessions": self.sessions,
@@ -116,7 +145,16 @@ class _NetStats:
                 "net.snapshot_reads": self.snapshot_reads,
                 "net.commits": self.commits,
                 "net.commits_overlapped": self.commits_overlapped,
+                "net.shed": self.shed,
+                "net.drain_rejects": self.drain_rejects,
+                "net.draining": self.draining,
+                "net.slow_client_disconnects": self.slow_client_disconnects,
             }
+        # In-process client-side counters (the stress/chaos embeddings run
+        # clients and server in one process): deadline expiries and pool
+        # reconnects, reported next to the server's own numbers.
+        out.update(local_client_stats())
+        return out
 
     def request_started(self, depth: int) -> None:
         with self._lock:
@@ -194,6 +232,19 @@ class OdeServer:
     max_frame:
         Reject incoming frames declaring more than this many bytes
         (a clean error frame, then disconnect).
+    max_inflight:
+        Admission control: per-connection cap on dispatched-but-
+        incomplete stateful ops.  Beyond it, requests are rejected with
+        :class:`ServerOverloadedError` *before* execution (always safe
+        to retry).
+    slow_client_timeout:
+        Seconds a response write may block on an unread socket before
+        the connection is aborted (protects server memory from clients
+        that send requests but never read responses).
+    write_buffer_limit:
+        Optional transport write-buffer high-water mark in bytes; low
+        values make ``drain()`` exert backpressure early (used by tests
+        to exercise the slow-client path without megabytes of backlog).
     """
 
     def __init__(
@@ -204,17 +255,25 @@ class OdeServer:
         *,
         workers: int = DEFAULT_WORKERS,
         max_frame: int = protocol.MAX_FRAME_BYTES,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        slow_client_timeout: float = DEFAULT_SLOW_CLIENT_TIMEOUT,
+        write_buffer_limit: int | None = None,
     ) -> None:
         self.db = db
         self.host = host
         self._requested_port = port
         self._max_frame = max_frame
         self._workers = workers
+        self._max_inflight = max_inflight
+        self._slow_client_timeout = slow_client_timeout
+        self._write_buffer_limit = write_buffer_limit
         self.stats = _NetStats()
         self._server: asyncio.AbstractServer | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._connections: set[_Connection] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
         self._closed = False
+        self._draining = False
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -248,10 +307,62 @@ class OdeServer:
             conn.writer.close()
             for task in list(conn.tasks):
                 task.cancel()
-        # Give cancelled handlers a tick to unwind before the pool dies.
-        await asyncio.sleep(0)
+        # Closed sockets EOF the handlers out of their reads; wait for
+        # their teardowns so a closing event loop never destroys a
+        # pending handler.  Stragglers (a handler wedged past the closed
+        # socket) are cancelled outright.
+        if self._conn_tasks:
+            _, pending = await asyncio.wait(self._conn_tasks, timeout=5.0)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` has started (sticky until close)."""
+        return self._draining
+
+    async def drain(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight work.
+
+        Three steps, in order:
+
+        1. The listening socket closes -- no new connections.
+        2. New transactions and mutations on idle sessions are refused
+           with :class:`ServerDrainingError` (retryable against a
+           replacement server); sessions with an *open* transaction keep
+           executing so in-flight commits complete cleanly.
+        3. Once every connection is quiescent (no in-flight ops, no open
+           transaction) -- or ``timeout`` seconds pass -- the remaining
+           idle sessions are aborted and the server closes.
+
+        Health checks (:data:`~repro.net.protocol.OP_HEALTH`) keep
+        answering throughout, reporting ``draining: True`` so load
+        balancers can steer traffic away before the final cutover.
+        """
+        if self._draining or self._closed:
+            return
+        self._draining = True
+        with self.stats._lock:
+            self.stats.draining = 1
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while loop.time() < deadline:
+            busy = [
+                c
+                for c in self._connections
+                if c.inflight or c.session.txn is not None
+            ]
+            if not busy:
+                break
+            await asyncio.sleep(0.02)
+        await self.close()
 
     async def __aenter__(self) -> "OdeServer":
         return await self.start()
@@ -264,7 +375,15 @@ class OdeServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
         peer = writer.get_extra_info("peername")
+        if self._write_buffer_limit is not None:
+            writer.transport.set_write_buffer_limits(
+                high=self._write_buffer_limit
+            )
         session = self.db.session(name=f"net-{peer}")
         session.context["peer"] = peer
         conn = _Connection(session, writer)
@@ -290,6 +409,8 @@ class OdeServer:
                 self.stats.errors += 1
         except (ConnectionResetError, asyncio.IncompleteReadError):
             pass  # disconnects are routine, teardown below is what matters
+        except asyncio.CancelledError:
+            pass  # close() cancelling a straggler; still tear down below
         finally:
             await self._teardown(conn)
 
@@ -331,8 +452,24 @@ class OdeServer:
         out = bytearray()
         served = errors = snap_reads = 0
         for opcode, cid, payload in decoder.feed(data):
+            if opcode == OP_HEALTH:
+                # Heartbeats answer inline, even mid-drain: liveness
+                # probing must not queue behind the work it is probing.
+                protocol.build_frame_into(
+                    out, RESP_OK, cid, self._health_payload()
+                )
+                served += 1
+                continue
             inline = self._try_inline(conn, opcode, cid, payload, out)
             if inline is None:
+                rejection = self._admit(conn, opcode)
+                if rejection is not None:
+                    protocol.build_frame_into(
+                        out, RESP_ERR, cid, protocol.error_payload(rejection)
+                    )
+                    served += 1
+                    errors += 1
+                    continue
                 self._dispatch(conn, opcode, cid, payload)
                 continue
             served += 1
@@ -346,10 +483,70 @@ class OdeServer:
         if out and not conn.writer.is_closing():
             async with conn.write_lock:
                 conn.writer.write(out)  # fresh buffer per chunk: no copy
-                try:
-                    await conn.writer.drain()
-                except (ConnectionResetError, BrokenPipeError):
-                    pass
+                await self._drain_or_drop(conn)
+
+    def _admit(self, conn: _Connection, opcode: int) -> Exception | None:
+        """Admission control for the stateful lane.
+
+        Returns the rejection to send (or None to admit).  Rejections
+        happen *before* dispatch, so a shed request provably never
+        executed -- the client may always retry it.
+        """
+        if (
+            self._draining
+            and opcode in _MUTATING_OPS
+            and conn.session.txn is None
+        ):
+            with self.stats._lock:
+                self.stats.drain_rejects += 1
+            return ServerDrainingError(
+                "server is draining: finishing in-flight transactions, "
+                "accepting no new work"
+            )
+        if conn.inflight >= self._max_inflight:
+            with self.stats._lock:
+                self.stats.shed += 1
+            return ServerOverloadedError(
+                f"connection exceeded {self._max_inflight} in-flight ops; "
+                "request shed before execution (safe to retry after backoff)"
+            )
+        return None
+
+    def _health_payload(self) -> dict[str, Any]:
+        """The OP_HEALTH response body: liveness + drain + shard health."""
+        payload: dict[str, Any] = {
+            "status": "draining" if self._draining else "ok",
+            "draining": self._draining,
+            "connections": len(self._connections),
+        }
+        shard_health = getattr(self.db, "shard_health", None)
+        if callable(shard_health):
+            payload["shards"] = {
+                str(idx): state for idx, state in shard_health().items()
+            }
+        return payload
+
+    async def _drain_or_drop(self, conn: _Connection) -> None:
+        """Flush ``conn``'s write buffer, bounded by the slow-client cap.
+
+        A client that sends requests but never reads responses would
+        otherwise buffer unbounded response bytes server-side; after
+        ``slow_client_timeout`` seconds blocked on one flush, the
+        connection is aborted (hard, no lingering FIN) and counted in
+        ``net.slow_client_disconnects``.
+        """
+        try:
+            await asyncio.wait_for(
+                conn.writer.drain(), self._slow_client_timeout
+            )
+        except asyncio.TimeoutError:
+            with self.stats._lock:
+                self.stats.slow_client_disconnects += 1
+            transport = conn.writer.transport
+            if transport is not None:
+                transport.abort()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
 
     def _try_inline(
         self, conn: _Connection, opcode: int, cid: int, payload: Any, out: bytearray
@@ -445,10 +642,7 @@ class OdeServer:
             conn.writer.write(frame)
             with self.stats._lock:
                 self.stats.bytes_out += len(frame)
-            try:
-                await conn.writer.drain()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
+            await self._drain_or_drop(conn)
 
     # -- request execution ---------------------------------------------------
 
@@ -729,15 +923,44 @@ class ServerThread:
         finally:
             loop.close()
 
-    def stop(self) -> None:
+    def drain(self, timeout: float = 30.0) -> None:
+        """Gracefully drain the server, then join the thread.
+
+        Synchronous wrapper over :meth:`OdeServer.drain`: stops
+        accepting, lets in-flight transactions finish (bounded by
+        ``timeout``), then shuts the loop down.
+        """
         loop = self._loop
         if loop is None or not loop.is_running():
             return
-        loop.call_soon_threadsafe(
-            lambda: self._stop_future.done() or self._stop_future.set_result(None)
+        future = asyncio.run_coroutine_threadsafe(
+            self._server.drain(timeout), loop
         )
-        assert self._thread is not None
-        self._thread.join(timeout=30)
+        try:
+            future.result(timeout + 10)
+        finally:
+            self.stop()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        loop = self._loop
+        thread = self._thread
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(
+                lambda: self._stop_future.done()
+                or self._stop_future.set_result(None)
+            )
+        if thread is None or not thread.is_alive():
+            return
+        thread.join(timeout=timeout)
+        if thread.is_alive():
+            # A silent return here would leak a wedged daemon thread (and
+            # a bound port, and an open database) while the caller
+            # believes the server is gone.  Fail loudly instead.
+            raise NetworkError(
+                f"server thread did not stop within {timeout:g}s -- the "
+                "event loop is wedged (a stuck handler or executor job); "
+                "the daemon thread and its database remain alive"
+            )
 
     def __enter__(self) -> "ServerThread":
         return self.start()

@@ -5,10 +5,28 @@ the target oid (see :mod:`repro.shard.placement`), keeps single-shard
 transactions on the embedded fast path, and runs cross-shard transactions
 through two-phase commit (:mod:`repro.shard.coordinator`) with restart
 resolution of in-doubt participants (:mod:`repro.shard.recovery`).
+
+Each shard is an independent **failure domain**: a shard can be killed
+abruptly (``kill_shard``) and reattached online (``reattach_shard``, with
+in-doubt 2PC resolution) while operations confined to healthy shards
+keep serving and down-shard operations fail fast with
+:class:`~repro.errors.ShardUnavailableError`.
 """
 
 from repro.shard.placement import ModuloPlacement
 from repro.shard.recovery import ResolutionReport
-from repro.shard.router import ShardedDatabase
+from repro.shard.router import (
+    SHARD_DEGRADED,
+    SHARD_DOWN,
+    SHARD_UP,
+    ShardedDatabase,
+)
 
-__all__ = ["ModuloPlacement", "ResolutionReport", "ShardedDatabase"]
+__all__ = [
+    "ModuloPlacement",
+    "ResolutionReport",
+    "SHARD_DEGRADED",
+    "SHARD_DOWN",
+    "SHARD_UP",
+    "ShardedDatabase",
+]

@@ -44,19 +44,39 @@ class ResolutionReport:
         return len(self.committed) + len(self.aborted)
 
 
-def resolve_in_doubt(router: "ShardedDatabase") -> ResolutionReport:
-    """Resolve every in-doubt participant across the router's shards."""
-    report = ResolutionReport()
+def resolve_in_doubt(
+    router: "ShardedDatabase", only: set[int] | None = None
+) -> ResolutionReport:
+    """Resolve every in-doubt participant across the router's shards.
 
-    # Collect verdicts from every shard first: a participant on shard A
-    # may have been coordinated by shard B.
+    ``only`` restricts resolution to those shard indices -- the online
+    reattach path (:meth:`ShardedDatabase.reattach_shard`), which must
+    resolve the returning shard's in-doubt participants without touching
+    shards that are still down.  Down shards are always skipped.
+
+    Verdicts are forgotten (and WAL truncation holds lifted) only when
+    resolution covered *every* shard: with any shard still down, a
+    verdict may yet be needed to commit that shard's prepared
+    participants when it returns.
+    """
+    report = ResolutionReport()
+    all_shards = set(range(len(router.shards)))
+    health = getattr(router, "shard_health", None)
+    up = all_shards
+    if callable(health):
+        up = {idx for idx, state in health().items() if state != "down"}
+
+    # Collect verdicts from every reachable shard first: a participant
+    # on shard A may have been coordinated by shard B.
     decisions: dict[tuple, int] = {}
-    for idx, db in enumerate(router.shards):
-        for gtxid in db.coordinator_decisions():
+    for idx in sorted(up):
+        for gtxid in router.shards[idx].coordinator_decisions():
             decisions[gtxid] = idx
 
     touched: set[int] = set()
-    for idx, db in enumerate(router.shards):
+    targets = up if only is None else (set(only) & up)
+    for idx in sorted(targets):
+        db = router.shards[idx]
         for txid in sorted(db.in_doubt_txns()):
             info = db.in_doubt_txns()[txid]
             commit = info.gtxid in decisions
@@ -66,11 +86,13 @@ def resolve_in_doubt(router: "ShardedDatabase") -> ResolutionReport:
 
     # Every participant is resolved durably; the verdicts may now be
     # forgotten and the involved WALs truncated (the checkpoint below is
-    # what actually lifts each shard's truncation hold).
-    for gtxid, coord_idx in decisions.items():
-        router.shards[coord_idx].forget_coordinator_decision(gtxid)
-        touched.add(coord_idx)
-        report.forgotten.append(gtxid)
+    # what actually lifts each shard's truncation hold).  Not while any
+    # shard is unreachable: its prepared participants still need them.
+    if only is None and up == all_shards:
+        for gtxid, coord_idx in decisions.items():
+            router.shards[coord_idx].forget_coordinator_decision(gtxid)
+            touched.add(coord_idx)
+            report.forgotten.append(gtxid)
     for idx in sorted(touched):
         router.shards[idx].checkpoint()
     return report

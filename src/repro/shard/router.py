@@ -51,7 +51,11 @@ from repro.core.pointers import Ref, VersionRef
 from repro.core.query import Query
 from repro.core.session import Session
 from repro.core.vgraph import VersionGraph
-from repro.errors import SessionStateError, TransactionStateError
+from repro.errors import (
+    SessionStateError,
+    ShardUnavailableError,
+    TransactionStateError,
+)
 from repro.shard.coordinator import ACTIVE, GlobalTransaction
 from repro.shard.placement import ModuloPlacement
 from repro.shard.recovery import ResolutionReport, resolve_in_doubt
@@ -59,6 +63,11 @@ from repro.storage import faults
 
 _META_FILE = "shards.meta"
 _DEFAULT_NSHARDS = 4
+
+#: Shard health states (see :meth:`ShardedDatabase.shard_health`).
+SHARD_UP = "up"
+SHARD_DEGRADED = "degraded"  # read-only after persistent I/O failure
+SHARD_DOWN = "down"          # detached: every touch fails fast
 
 _session_ids = itertools.count(1)
 
@@ -127,6 +136,7 @@ class ShardedDatabase:
                 json.dump({"nshards": nshards}, fh)
         self.nshards = nshards
         self.placement = ModuloPlacement(nshards)
+        self._db_kwargs = dict(db_kwargs)
         self.shards: list[Database] = [
             Database(
                 os.path.join(self._path, f"shard-{i:02d}"),
@@ -136,6 +146,18 @@ class ShardedDatabase:
             )
             for i in range(nshards)
         ]
+        # Failure domains: each shard is independently up, degraded
+        # (read-only) or down (detached).  ``_shard_gen`` counts
+        # reattachments so cached shard sessions bound to a dead
+        # Database object are recreated against the replacement.
+        self._shard_down: list[bool] = [False] * nshards
+        self._shard_gen: list[int] = [0] * nshards
+        self._health_counters: dict[str, int] = {
+            "kills": 0,
+            "reattaches": 0,
+            "failfast": 0,
+            "skipped_fanouts": 0,
+        }
         #: Protocol counters, surfaced as ``shard.2pc.*`` in :meth:`stats`.
         self._twopc_counters: dict[str, int] = {
             "commits_single": 0,
@@ -174,9 +196,11 @@ class ShardedDatabase:
         return self._path
 
     def checkpoint(self) -> None:
-        """Checkpoint every shard (quiescent only, like the embedded call)."""
-        for db in self.shards:
-            db.checkpoint()
+        """Checkpoint every *up* shard (quiescent only, like the embedded
+        call); down shards are skipped."""
+        for idx, db in enumerate(self.shards):
+            if not self._shard_down[idx]:
+                db.checkpoint()
 
     def close(self) -> None:
         """Close every session, then every shard.  Idempotent."""
@@ -187,8 +211,96 @@ class ShardedDatabase:
             sessions = list(self._sessions)
         for sess in sessions:
             sess.close()
-        for db in self.shards:
-            db.close()
+        for idx, db in enumerate(self.shards):
+            if not self._shard_down[idx]:
+                db.close()
+
+    # -- failure domains -----------------------------------------------------
+
+    def shard_health(self) -> dict[int, str]:
+        """Per-shard health: ``up``, ``degraded`` (read-only) or ``down``.
+
+        Each shard is its own failure domain: a down shard fails its
+        operations fast with :class:`ShardUnavailableError` while the
+        healthy shards keep serving; a degraded shard (read-only after
+        persistent I/O failure) still answers reads.
+        """
+        out: dict[int, str] = {}
+        for idx, db in enumerate(self.shards):
+            if self._shard_down[idx]:
+                out[idx] = SHARD_DOWN
+            elif db.degraded:
+                out[idx] = SHARD_DEGRADED
+            else:
+                out[idx] = SHARD_UP
+        return out
+
+    def _up_shards(self) -> list[int]:
+        return [i for i in range(self.nshards) if not self._shard_down[i]]
+
+    def _check_up(self, idx: int) -> None:
+        if self._shard_down[idx]:
+            self._health_counters["failfast"] += 1
+            raise ShardUnavailableError(
+                f"shard {idx} is down; the operation targets its failure "
+                "domain (retry after reattach_shard, or route elsewhere)",
+                shard=idx,
+            )
+
+    def kill_shard(self, idx: int) -> None:
+        """Abruptly take shard ``idx`` down -- the chaos harness's axe.
+
+        No checkpoint, no flush: the shard's WAL keeps whatever it
+        held, exactly like a machine losing power.  The shard is marked
+        down *first* so routing fails fast before the files close under
+        a concurrent operation.  Idempotent.
+        """
+        if self._shard_down[idx]:
+            return
+        self._shard_down[idx] = True
+        self._health_counters["kills"] += 1
+        db = self.shards[idx]
+        # Abrupt stop: mark closed and drop the file handles without
+        # flushing -- recovery at reattach must replay from the WAL.
+        db._closed = True
+        try:
+            db._log.close(flush=False)
+        except Exception:
+            pass
+        try:
+            db._disk.close(sync=False)
+        except Exception:
+            pass
+
+    def reattach_shard(self, idx: int) -> ResolutionReport:
+        """Bring a down shard back online.
+
+        Reopens the shard database (its own WAL recovery replays the
+        abrupt shutdown), bumps the shard's generation so cached shard
+        sessions bound to the dead instance are recreated, then runs
+        in-doubt resolution: full (all shards, verdicts forgotten) when
+        the whole fleet is back up, targeted at this shard (verdicts
+        retained) while others remain down.  Returns the resolution
+        report.
+        """
+        if not self._shard_down[idx]:
+            raise ValueError(f"shard {idx} is not down")
+        self.shards[idx] = Database(
+            os.path.join(self._path, f"shard-{idx:02d}"),
+            oid_stride=self.nshards,
+            oid_residue=idx,
+            **self._db_kwargs,
+        )
+        self._shard_gen[idx] += 1
+        self._shard_down[idx] = False
+        self._health_counters["reattaches"] += 1
+        if all(not down for down in self._shard_down):
+            report = resolve_in_doubt(self)
+        else:
+            report = resolve_in_doubt(self, only={idx})
+        self._twopc_counters["resolved_commit"] += len(report.committed)
+        self._twopc_counters["resolved_abort"] += len(report.aborted)
+        return report
 
     def __enter__(self) -> "ShardedDatabase":
         return self
@@ -246,9 +358,11 @@ class ShardedDatabase:
     # -- routing -------------------------------------------------------------
 
     def _holders(self, oid: Oid) -> list[int]:
-        """Every shard currently holding live versions of ``oid``."""
+        """Every *up* shard currently holding live versions of ``oid``."""
         return [
-            i for i, db in enumerate(self.shards) if db.store.object_exists(oid)
+            i
+            for i, db in enumerate(self.shards)
+            if not self._shard_down[i] and db.store.object_exists(oid)
         ]
 
     def _locate(self, oid: Oid) -> int:
@@ -258,12 +372,19 @@ class ShardedDatabase:
         an oid nobody holds routes to its home shard so the error surfaces
         there with the ordinary not-found message -- and so a snapshot
         reader can still see an object whose live state was just deleted.
+        An oid whose home shard is down fails fast with
+        :class:`ShardUnavailableError` -- its failure domain.
         """
         home = self.placement.shard_of(oid)
+        self._check_up(home)
         if self.shards[home].store.object_exists(oid):
             return home
         for idx, db in enumerate(self.shards):
-            if idx != home and db.store.object_exists(oid):
+            if (
+                idx != home
+                and not self._shard_down[idx]
+                and db.store.object_exists(oid)
+            ):
                 self._twopc_counters["locate_fallbacks"] += 1
                 return idx
         return home
@@ -276,6 +397,7 @@ class ShardedDatabase:
         (inheriting the global lock timeout and snapshot-read mode), so
         shards the transaction never touches pay nothing.
         """
+        self._check_up(idx)
         sess = self._current_session()
         gtxn = sess.txn
         if gtxn is not None and gtxn.state != ACTIVE:
@@ -399,8 +521,17 @@ class ShardedDatabase:
     # -- kernel operations ----------------------------------------------------
 
     def pnew(self, obj: Any) -> Ref:
-        """Create a persistent object on the next shard (round-robin)."""
+        """Create a persistent object on the next *up* shard (round-robin).
+
+        Placement is a free choice here (no oid exists yet), so creation
+        stays available while any shard is up -- down shards are simply
+        skipped in the rotation.
+        """
         idx = next(self._rr) % self.nshards
+        for _ in range(self.nshards - 1):
+            if not self._shard_down[idx]:
+                break
+            idx = next(self._rr) % self.nshards
         ref = self._on_shard(idx, lambda db: db.pnew(obj))
         return Ref(self, ref.oid)
 
@@ -450,6 +581,7 @@ class ShardedDatabase:
         if len(holders) <= 1:
             idx = holders[0] if holders else self.placement.shard_of(oid)
             return self._on_shard(idx, lambda db: db.latest_vid(oid))
+        # (down shards never appear in holders; _on_shard fails fast.)
         best_key: tuple | None = None
         best_vid: Vid | None = None
 
@@ -557,28 +689,42 @@ class ShardedDatabase:
 
     # -- clusters & queries ----------------------------------------------------
 
+    def _fanout_shards(self) -> list[int]:
+        """The shards a fan-out consults: the up ones.
+
+        Degraded-mode semantics, documented: while any shard is down,
+        fan-outs (clusters, queries, counts) return *partial* results
+        over the healthy shards rather than failing the whole surface --
+        each skip is counted in ``shard.health.skipped_fanouts``.
+        """
+        up = self._up_shards()
+        skipped = self.nshards - len(up)
+        if skipped:
+            self._health_counters["skipped_fanouts"] += skipped
+        return up
+
     def cluster(self, type_or_name: type | str) -> list[Ref]:
-        """The type's cluster, fanned out across every shard."""
+        """The type's cluster, fanned out across every up shard."""
         out: list[Ref] = []
-        for idx in range(self.nshards):
+        for idx in self._fanout_shards():
             refs = self._on_shard(idx, lambda db: db.cluster(type_or_name))
             out.extend(Ref(self, ref.oid) for ref in refs)
         return out
 
     def cluster_names(self) -> list[str]:
         names: set[str] = set()
-        for idx in range(self.nshards):
+        for idx in self._fanout_shards():
             names.update(self._on_shard(idx, lambda db: db.cluster_names()))
         return sorted(names)
 
     def object_count(self) -> int:
         return sum(
             self._on_shard(idx, lambda db: db.object_count())
-            for idx in range(self.nshards)
+            for idx in self._fanout_shards()
         )
 
     def query(self, type_or_name: type | str) -> "_FanoutQuery":
-        """A ``suchthat`` query fanned out across every shard's cluster.
+        """A ``suchthat`` query fanned out across every up shard's cluster.
 
         Each shard contributes its own :class:`~repro.core.query.Query`
         (bound to the local transaction's snapshot under a snapshot-read
@@ -586,7 +732,7 @@ class ShardedDatabase:
         """
         parts = [
             self._on_shard(idx, lambda db: db.query(type_or_name))
-            for idx in range(self.nshards)
+            for idx in self._fanout_shards()
         ]
         return _FanoutQuery(parts, rebind=self)
 
@@ -606,14 +752,28 @@ class ShardedDatabase:
                 stats["shard.locate_fallbacks"] = value
             else:
                 stats[f"shard.2pc.{key}"] = value
+        health = self.shard_health()
+        stats["shard.health.up"] = sum(
+            1 for state in health.values() if state == SHARD_UP
+        )
+        stats["shard.health.degraded"] = sum(
+            1 for state in health.values() if state == SHARD_DEGRADED
+        )
+        stats["shard.health.down"] = sum(
+            1 for state in health.values() if state == SHARD_DOWN
+        )
+        for key, value in self._health_counters.items():
+            stats[f"shard.health.{key}"] = value
         agg: dict[str, Any] = {}
-        for db in self.shards:
-            for key, value in db.stats().items():
+        for idx in self._up_shards():
+            for key, value in self.shards[idx].stats().items():
                 if isinstance(value, bool) or not isinstance(value, (int, float)):
                     continue
                 agg[key] = agg.get(key, 0) + value
         stats.update(agg)
-        stats["degraded"] = any(db.degraded for db in self.shards)
+        stats["degraded"] = any(
+            self.shards[idx].degraded for idx in self._up_shards()
+        )
         stats["sessions.open"] = self.session_count
         for source in list(self._stats_sources):
             stats.update(source())
@@ -641,19 +801,35 @@ class RouterSession:
         self.context: dict[str, Any] = {}
         self.closed = False
         self._shard_sessions: dict[int, Session] = {}
+        self._shard_gens: dict[int, int] = {}
         self._reader: "ShardedReader | None" = None
         self._mutex = threading.Lock()
         self._active_thread: int | None = None
 
     def shard_session(self, idx: int) -> Session:
-        """The lazily-created local session on shard ``idx``."""
+        """The lazily-created local session on shard ``idx``.
+
+        Generation-checked: a cached session bound to a shard instance
+        that has since been killed and reattached is discarded and
+        recreated against the replacement database -- otherwise every
+        session from before the failure would keep talking to the dead
+        object forever.
+        """
+        gen = self.router._shard_gen[idx]
         sess = self._shard_sessions.get(idx)
+        if sess is not None and self._shard_gens.get(idx) != gen:
+            try:
+                sess.close()
+            except Exception:
+                pass  # bound to the dead instance; nothing to save
+            sess = None
         if sess is None:
             # Constructed directly (not via Database.session) so shard
             # databases do not track router-owned sessions; the router
             # session closes them itself.
             sess = Session(self.router.shards[idx], name=f"{self.name}@shard{idx}")
             self._shard_sessions[idx] = sess
+            self._shard_gens[idx] = gen
         return sess
 
     # -- activation -----------------------------------------------------------
@@ -692,10 +868,12 @@ class RouterSession:
         return self._reader
 
     def pin(self) -> "ShardedReader":
-        """Pin every shard session's snapshot; return the fanned-out reader."""
+        """Pin every up shard session's snapshot; return the fanned-out
+        reader.  Down shards are skipped (their reads fail fast anyway);
+        a later reattach pins lazily via the generation check."""
         if self.closed:
             raise SessionStateError(f"{self.name} is closed")
-        for idx in range(self.router.nshards):
+        for idx in self.router._up_shards():
             self.shard_session(idx).pin()
         if self._reader is None:
             self._reader = ShardedReader(self)
@@ -704,7 +882,10 @@ class RouterSession:
     def unpin(self) -> None:
         """Drop every shard pin; reads see live state again."""
         for sess in self._shard_sessions.values():
-            sess.unpin()
+            try:
+                sess.unpin()
+            except Exception:
+                pass  # a shard that died while pinned has nothing to drop
         self._reader = None
 
     def reader(self) -> "ShardedReader":
@@ -746,7 +927,10 @@ class RouterSession:
                     pass  # teardown must not raise
         self.txn = None
         for sess in self._shard_sessions.values():
-            sess.close()
+            try:
+                sess.close()
+            except Exception:
+                pass  # a session on a killed shard tears down best-effort
         self.router._forget_session(self)
 
     def __enter__(self) -> "RouterSession":
@@ -778,16 +962,18 @@ class ShardedReader:
 
     @property
     def epoch(self) -> tuple[int, ...]:
-        """Per-shard publication epochs (one integer per shard)."""
+        """Per-shard publication epochs (-1 for a down shard)."""
         return tuple(
-            self._shard(idx).epoch for idx in range(self._router.nshards)
+            -1 if self._router._shard_down[idx] else self._shard(idx).epoch
+            for idx in range(self._router.nshards)
         )
 
     def _locate(self, oid: Oid) -> int:
         home = self._router.placement.shard_of(oid)
+        self._router._check_up(home)
         if self._shard(home).object_exists(oid):
             return home
-        for idx in range(self._router.nshards):
+        for idx in self._router._up_shards():
             if idx != home and self._shard(idx).object_exists(oid):
                 self._router._twopc_counters["locate_fallbacks"] += 1
                 return idx
@@ -796,11 +982,12 @@ class ShardedReader:
     def latest_vid(self, oid: Oid) -> Vid:
         holders = [
             idx
-            for idx in range(self._router.nshards)
+            for idx in self._router._up_shards()
             if self._shard(idx).object_exists(oid)
         ]
         if len(holders) <= 1:
             idx = holders[0] if holders else self._router.placement.shard_of(oid)
+            self._router._check_up(idx)
             return self._shard(idx).latest_vid(oid)
         best_key: tuple | None = None
         best_vid: Vid | None = None
@@ -834,12 +1021,12 @@ class ShardedReader:
 
     def cluster(self, type_or_name: type | str) -> list[Ref]:
         out: list[Ref] = []
-        for idx in range(self._router.nshards):
+        for idx in self._router._up_shards():
             out.extend(self._shard(idx).cluster(type_or_name))
         return out
 
     def query(self, type_or_name: type | str) -> "_FanoutQuery":
-        """A fanned-out query over each shard's pinned snapshot.
+        """A fanned-out query over each up shard's pinned snapshot.
 
         Results stay bound to their shard snapshots (not rebound to the
         router): the inline lane only ships oids, and snapshot-bound
@@ -848,7 +1035,7 @@ class ShardedReader:
         return _FanoutQuery(
             [
                 self._shard(idx).query(type_or_name)
-                for idx in range(self._router.nshards)
+                for idx in self._router._up_shards()
             ]
         )
 

@@ -125,6 +125,14 @@ FAILPOINTS: tuple[str, ...] = (
     "shard.2pc.post_decision",
     "shard.2pc.post_ack",
     "shard.2pc.pre_forget",
+    # -- network chaos proxy (repro.net.chaos) ------------------------------
+    # Visited by the proxy as it accepts and forwards traffic, so one
+    # FaultPlan can compose disk faults with network moments: crash the
+    # "process" exactly when a byte crosses the wire, or fire an
+    # InjectedFaultError (the proxy turns it into a dropped connection).
+    "net.proxy.accept",
+    "net.proxy.forward.c2s",
+    "net.proxy.forward.s2c",
 )
 
 #: Failpoints that wrap an actual file write (torn/short writes possible).
@@ -132,9 +140,17 @@ WRITE_FAILPOINTS: frozenset[str] = frozenset(
     {"wal.flush.write", "disk.write_page.write", "disk.write_meta.write"}
 )
 
-#: Failpoints that stand in for an fsync (fsync_error possible).
+#: Failpoints that may raise a survivable :class:`InjectedFaultError`
+#: instead of crashing: fsync stand-ins, plus the chaos proxy's forward
+#: points (where the error means "this connection just died").
 ERROR_FAILPOINTS: frozenset[str] = frozenset(
-    {"wal.flush.fsync", "disk.sync.fsync"}
+    {
+        "wal.flush.fsync",
+        "disk.sync.fsync",
+        "net.proxy.accept",
+        "net.proxy.forward.c2s",
+        "net.proxy.forward.s2c",
+    }
 )
 
 _CRASH = "crash"
@@ -223,6 +239,18 @@ class FaultPlan:
         if failpoint not in ERROR_FAILPOINTS:
             raise ValueError(f"{failpoint!r} is not an fsync failpoint")
         return self._arm(failpoint, Fault(_FSYNC_ERROR, hit, 0, persistent))
+
+    def error(
+        self, failpoint: str, hit: int = 1, persistent: bool = False
+    ) -> "FaultPlan":
+        """Raise :class:`InjectedFaultError` at a survivable error site.
+
+        The readable spelling for non-fsync error failpoints (the chaos
+        proxy's ``net.proxy.*`` points, where the injected error means
+        the connection died); mechanically identical to
+        :meth:`fsync_error`.
+        """
+        return self.fsync_error(failpoint, hit, persistent)
 
     def get(self, failpoint: str) -> Fault | None:
         """The fault armed at ``failpoint``, if any."""

@@ -70,6 +70,25 @@ class DatabaseSummary:
                 f"{get('net.commits', 0)} commits "
                 f"({get('net.commits_overlapped', 0)} overlapped)"
             )
+            # The overload/fault-tolerance tier: what the server refused
+            # and what the clients survived.
+            state = "draining" if get("net.draining", 0) else "accepting"
+            lines.append(
+                f"  overload: {state}, {get('net.shed', 0)} shed, "
+                f"{get('net.deadline_expired', 0)} deadline-expired, "
+                f"{get('net.reconnects', 0)} reconnect(s)"
+            )
+        if "shard.health.up" in self.counters:
+            get = self.counters.get
+            lines.append(
+                f"  shards: {get('shard.health.up', 0)} up / "
+                f"{get('shard.health.down', 0)} down "
+                f"({get('shard.health.degraded', 0)} degraded), "
+                f"{get('shard.health.kills', 0)} kill(s), "
+                f"{get('shard.health.reattaches', 0)} reattach(es), "
+                f"{get('shard.health.failfast', 0)} failed fast, "
+                f"{get('shard.health.skipped_fanouts', 0)} degraded fanout(s)"
+            )
         lines += [
             f"  policy: {self.storage_policy}",
             f"  data pages: {self.data_pages}  wal bytes: {self.wal_bytes}",

@@ -64,6 +64,37 @@ def test_inspect_cli_usage(capsys):
     assert main([]) == 2
 
 
+def test_inspect_renders_served_and_sharded_health(db):
+    """With a server attached the report gains network + overload lines;
+    shard.health.* counters (a router's stats source) gain a shards line."""
+    from repro.net.server import ServerThread
+
+    with ServerThread(db):
+        summary = inspect_database(db)
+        out = summary.render()
+        assert "network:" in out
+        assert "overload: accepting, 0 shed" in out
+    # Plain (unserved) databases show neither tier.
+    plain = inspect_database(db).render()
+    assert "overload:" not in plain
+    assert "shards:" not in plain
+    # The shards line keys off shard.health.* counters alone.
+    summary.counters.update(
+        {
+            "shard.health.up": 2,
+            "shard.health.down": 1,
+            "shard.health.degraded": 1,
+            "shard.health.kills": 1,
+            "shard.health.reattaches": 0,
+            "shard.health.failfast": 3,
+            "shard.health.skipped_fanouts": 2,
+        }
+    )
+    out = summary.render()
+    assert "shards: 2 up / 1 down (1 degraded)" in out
+    assert "3 failed fast" in out
+
+
 # -- check (fsck) -----------------------------------------------------------------
 
 

@@ -1,0 +1,32 @@
+"""The chaos harness, at smoke scale, as a tier-1 test.
+
+``repro.tools.chaos`` is the standing proof that the fault-tolerance
+layer (deadlines + reconnect + admission control + shard failure
+domains) survives a hostile wire.  CI runs it standalone too; this test
+keeps the harness itself honest -- every scenario present, every
+invariant wired, exit codes correct.
+"""
+
+from __future__ import annotations
+
+from repro.tools.chaos import run_chaos
+
+
+def test_smoke_scale_chaos_all_scenarios_pass(tmp_path):
+    report = run_chaos(tmp_path / "chaos", workers=8, txns=6)
+    names = [r.name for r in report.results]
+    assert names == ["lossy_wire", "partition", "shard_failover"]
+    for result in report.results:
+        assert result.ok, f"{result.name}: {result.problems}"
+        assert result.acked > 0
+        # Indeterminate commits stay rare even on the lossy wire -- they
+        # only arise when the fault lands exactly on a commit's response.
+        assert result.maybe <= result.acked
+    assert report.ok
+    assert "all OK" in report.render()
+
+
+def test_chaos_cli_smoke_exit_code(tmp_path):
+    from repro.tools.chaos import main
+
+    assert main(["--smoke", "--dir", str(tmp_path / "cli")]) == 0

@@ -1,0 +1,316 @@
+"""Fault tolerance at the wire: the chaos proxy vs. the client pool.
+
+Every test drives a real :class:`~repro.net.server.ServerThread` through
+a real :class:`~repro.net.chaos.ChaosProxyThread`: the faults are
+injected between two live sockets, exactly where a flaky network would
+inject them.  What is under test is the *client's* contract:
+
+* deadlines bound every op, including one black-holed mid-pipeline;
+* the pool reconnects with jittered backoff and never recirculates a
+  dead socket;
+* duplicate delivery (either direction) never corrupts state -- late or
+  repeated responses are dropped by correlation id, repeated absolute
+  writes are idempotent;
+* the retryable/non-retryable taxonomy tells callers which failures are
+  worth another attempt.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.errors import (
+    ConnectionClosedError,
+    DeadlineExceededError,
+    NetworkError,
+    ProtocolError,
+    ServerDrainingError,
+    ServerOverloadedError,
+    ShardUnavailableError,
+)
+from repro.net.chaos import C2S, S2C, ChaosPlan, ChaosProxyThread
+from repro.net.client import (
+    OdeClient,
+    OdeConnection,
+    is_retryable,
+    local_client_stats,
+)
+from repro.net.server import ServerThread
+from tests.conftest import Part
+
+
+@pytest.fixture
+def served(db):
+    """(db, host, port, oid): a served database with one Part in it."""
+    with db.transaction():
+        ref = db.pnew(Part("bolt", 10))
+    with ServerThread(db) as server:
+        yield db, server.host, server.port, ref.oid
+
+
+# -- deadlines ----------------------------------------------------------------
+
+
+def test_deadline_bounds_a_blackholed_op(served):
+    """Partitioned wire: the op fails with DeadlineExceededError within
+    its budget -- nothing else would ever tell the client."""
+    db, host, port, oid = served
+    with ChaosProxyThread(host, port) as proxy:
+
+        async def run():
+            conn = await OdeConnection.open(proxy.host, proxy.port)
+            try:
+                assert await conn.read(oid, "weight") == 10
+                proxy.partition()
+                before = local_client_stats()["net.deadline_expired"]
+                t0 = time.monotonic()
+                with pytest.raises(DeadlineExceededError):
+                    await conn.read(oid, "weight", deadline=0.3)
+                elapsed = time.monotonic() - t0
+                assert elapsed < 2.0, f"deadline took {elapsed:.2f}s to fire"
+                assert local_client_stats()["net.deadline_expired"] > before
+            finally:
+                await conn.close()
+
+        asyncio.run(run())
+
+
+def test_deadline_expiry_mid_pipeline_leaves_later_ops_clean(served):
+    """An op abandoned by its deadline must not poison the pipeline: its
+    black-holed response is gone for good (dropped, not delayed), and a
+    fresh request on the same connection correlates correctly."""
+    db, host, port, oid = served
+    with ChaosProxyThread(host, port) as proxy:
+
+        async def run():
+            conn = await OdeConnection.open(proxy.host, proxy.port)
+            try:
+                # Fill the pipeline, then cut the wire under it.
+                first = asyncio.ensure_future(conn.ping("a", deadline=0.5))
+                second = asyncio.ensure_future(
+                    conn.read(oid, "weight", deadline=0.5)
+                )
+                await asyncio.sleep(0)  # both frames on the wire
+                proxy.partition()
+                results = await asyncio.gather(
+                    first, second, return_exceptions=True
+                )
+                proxy.heal()
+                # Whatever raced the partition either completed or
+                # deadline-expired; nothing hangs, nothing misdelivers.
+                for res in results:
+                    assert res in ("a", 10) or isinstance(
+                        res, (DeadlineExceededError, ConnectionClosedError)
+                    )
+                if not conn.closed:
+                    try:
+                        assert await conn.ping("fresh", deadline=2.0) == "fresh"
+                        assert await conn.read(oid, "weight", deadline=2.0) == 10
+                    except (ConnectionClosedError, ProtocolError):
+                        pass  # desynced at the partition edge: a clean death
+            finally:
+                await conn.close()
+
+        asyncio.run(run())
+
+
+# -- reconnect / backoff ------------------------------------------------------
+
+
+def test_pool_heals_through_proxy_kills(served):
+    """Mass-disconnect every proxied connection: the next lease replaces
+    the casualty (one heal per death, no poisoned slots)."""
+    db, host, port, oid = served
+    with ChaosProxyThread(host, port) as proxy:
+
+        async def run():
+            client = await OdeClient.connect(
+                proxy.host, proxy.port, pool_size=2, reconnect_backoff=0.01
+            )
+            try:
+                assert await client.read(oid, "weight") == 10
+                proxy.kill_all()
+                await asyncio.sleep(0.05)
+                for _ in range(4):
+                    async with client.lease() as conn:
+                        assert await conn.read(oid, "weight") == 10
+                assert client.heals >= 1
+            finally:
+                await client.close()
+
+        asyncio.run(run())
+
+
+def test_reconnect_gives_up_with_bounded_backoff_when_server_gone(served):
+    """Every reconnect attempt refused: the lease surfaces the outage
+    after its configured attempts instead of spinning forever."""
+    db, host, port, oid = served
+    with ChaosProxyThread(host, port) as proxy:
+
+        async def run():
+            client = await OdeClient.connect(
+                proxy.host,
+                proxy.port,
+                pool_size=1,
+                reconnect_attempts=3,
+                reconnect_backoff=0.01,
+                reconnect_max_backoff=0.05,
+            )
+            try:
+                assert await client.read(oid, "weight") == 10
+                proxy.partition()  # refuses new conns, black-holes old
+                proxy.kill_all()  # and the pooled one is dead outright
+                await asyncio.sleep(0.05)
+                t0 = time.monotonic()
+                with pytest.raises(NetworkError):
+                    async with client.lease() as conn:
+                        await conn.ping()
+                assert time.monotonic() - t0 < 5.0
+                proxy.heal()
+                # The slot was re-queued as a ticket: a following lease
+                # retries the reconnect and recovers the pool.  (A
+                # connection opened *during* the partition may still be
+                # dying in our hands -- that costs a retry, not the pool.)
+                for _ in range(10):
+                    try:
+                        async with client.lease() as conn:
+                            assert await conn.read(oid, "weight") == 10
+                        break
+                    except (ConnectionClosedError, DeadlineExceededError):
+                        await asyncio.sleep(0.02)
+                else:
+                    pytest.fail("pool never recovered after heal")
+                assert client.heals >= 1
+                assert local_client_stats()["net.reconnects"] >= 1
+            finally:
+                await client.close()
+
+        asyncio.run(run())
+
+
+# -- duplicate delivery -------------------------------------------------------
+
+
+def test_duplicated_responses_are_dropped_by_correlation_id(served):
+    """Every server->client chunk delivered twice: the first response
+    completes the future, the duplicate's cid is unknown and ignored."""
+    db, host, port, oid = served
+    plan = ChaosPlan(seed=3).duplicate(S2C, prob=1.0)
+    with ChaosProxyThread(host, port, plan) as proxy:
+
+        async def run():
+            conn = await OdeConnection.open(proxy.host, proxy.port)
+            try:
+                for i in range(8):
+                    assert await conn.ping(i) == i
+                assert await conn.read(oid, "weight") == 10
+            finally:
+                await conn.close()
+
+        asyncio.run(run())
+    assert proxy.stats.chunks_duplicated > 0
+
+
+def test_duplicated_requests_leave_state_correct(served):
+    """Every client->server chunk delivered twice: re-executed absolute
+    writes are idempotent and duplicate begin/commit frames only produce
+    error responses for already-completed cids (which the client drops).
+    The transaction's effect lands exactly once."""
+    db, host, port, oid = served
+    plan = ChaosPlan(seed=4).duplicate(C2S, prob=1.0)
+    with ChaosProxyThread(host, port, plan) as proxy:
+
+        async def run():
+            conn = await OdeConnection.open(proxy.host, proxy.port)
+            try:
+                await conn.begin()
+                qty = await conn.read(oid, "weight")
+                await conn.write(oid, "weight", qty + 5)
+                await conn.commit()
+                assert await conn.read(oid, "weight") == 15
+            finally:
+                await conn.close()
+
+        asyncio.run(run())
+    assert proxy.stats.chunks_duplicated > 0
+    with db.snapshot() as snap:
+        assert snap.read_attr(snap.latest_vid(oid), "weight") == 15
+
+
+# -- proxy mechanics ----------------------------------------------------------
+
+
+def test_truncate_kills_the_connection_but_not_the_client(served):
+    """A mid-frame truncation desyncs the stream; the connection dies
+    and the pool replaces it -- the caller just retries."""
+    db, host, port, oid = served
+    plan = ChaosPlan(seed=5).truncate(S2C, prob=1.0)
+    with ChaosProxyThread(host, port, plan) as proxy:
+
+        async def run():
+            client = await OdeClient.connect(
+                proxy.host, proxy.port, pool_size=1, reconnect_backoff=0.01
+            )
+            try:
+                # Every response is truncated, so every read eventually
+                # fails -- but always with a retryable, bounded error.
+                with pytest.raises(
+                    (ConnectionClosedError, DeadlineExceededError, ProtocolError)
+                ):
+                    for _ in range(10):
+                        await client.read(oid, "weight")
+            finally:
+                await client.close()
+
+        asyncio.run(run())
+    assert proxy.stats.chunks_truncated > 0 or proxy.stats.conns_killed > 0
+
+
+def test_partition_refuses_new_connections(served):
+    db, host, port, oid = served
+    with ChaosProxyThread(host, port) as proxy:
+        proxy.partition()
+
+        async def run():
+            # The proxy accepts the TCP handshake then aborts, so open()
+            # either fails outright or hands back a connection that dies
+            # on first use -- never one that works.
+            try:
+                conn = await OdeConnection.open(
+                    proxy.host, proxy.port, connect_timeout=1.0
+                )
+            except (ConnectionClosedError, OSError, DeadlineExceededError):
+                return
+            try:
+                with pytest.raises(
+                    (ConnectionClosedError, DeadlineExceededError)
+                ):
+                    await conn.ping(deadline=1.0)
+            finally:
+                await conn.close()
+
+        asyncio.run(run())
+        assert proxy.stats.conns_refused >= 1
+
+
+# -- the taxonomy -------------------------------------------------------------
+
+
+def test_retryable_taxonomy():
+    """What the swarm retries and what it surfaces."""
+    retryable = [
+        DeadlineExceededError("d"),
+        ConnectionClosedError("c"),
+        ServerOverloadedError("o"),
+        ServerDrainingError("dr"),
+        ShardUnavailableError("s", shard=1),
+        ConnectionError("raw"),
+        TimeoutError("t"),
+    ]
+    for exc in retryable:
+        assert is_retryable(exc), f"{type(exc).__name__} must be retryable"
+    assert not is_retryable(ProtocolError("bad magic"))
+    assert not is_retryable(ValueError("nope"))

@@ -14,7 +14,12 @@ import time
 
 import pytest
 
-from repro.errors import RemoteError, TransactionStateError
+from repro.errors import (
+    RemoteError,
+    ServerDrainingError,
+    ServerOverloadedError,
+    TransactionStateError,
+)
 from repro.net import protocol
 from repro.net.client import OdeClient, OdeConnection
 from repro.net.server import ServerThread
@@ -227,3 +232,89 @@ def test_client_pool_lease_and_round_robin(served):
         assert db.stats()["net.connections_total"] >= 3
 
     asyncio.run(run())
+
+
+# -- fault tolerance: health, admission control, drain ------------------------
+
+
+def test_health_opcode_reports_liveness(served):
+    """OP_HEALTH answers on the inline lane with drain state and the
+    connection count; no shard map for a plain embedded Database."""
+    db, host, port, oid = served
+
+    async def run():
+        conn = await OdeConnection.open(host, port)
+        try:
+            health = await conn.health()
+            assert health["status"] == "ok"
+            assert health["draining"] is False
+            assert health["connections"] >= 1
+            assert "shards" not in health
+        finally:
+            await conn.close()
+
+    asyncio.run(run())
+
+
+def test_overload_sheds_excess_inflight_before_execution(served):
+    """With the per-connection in-flight cap at 1, a second stateful op
+    pipelined behind a slow one is refused with ServerOverloadedError --
+    *before* dispatch, so the shed request provably never executed."""
+    db, host, port, oid = served
+    with ServerThread(db, max_inflight=1) as server:
+
+        async def run():
+            conn = await OdeConnection.open(server.host, server.port)
+            try:
+                # A delay-ping is deliberately stateful (executor-bound):
+                # it occupies the connection's single in-flight slot.
+                slow = asyncio.ensure_future(conn.ping({"delay": 0.4}))
+                await asyncio.sleep(0.1)  # let it reach the executor
+                with pytest.raises(ServerOverloadedError):
+                    await conn.ping({"delay": 0.01})
+                assert await slow == {"delay": 0.4}  # the slot holder finished
+                assert await conn.ping("after") == "after"  # conn still fine
+            finally:
+                await conn.close()
+
+        asyncio.run(run())
+        assert db.stats()["net.shed"] >= 1  # while the server is attached
+
+
+def test_drain_refuses_new_mutations_but_finishes_open_txns(served):
+    """Graceful drain: the open transaction runs to commit, an idle
+    session's new BEGIN is refused with the retryable draining error,
+    and health keeps answering (reporting draining) throughout."""
+    db, host, port, oid = served
+    server = ServerThread(db).start()
+    try:
+
+        async def run():
+            a = await OdeConnection.open(server.host, server.port)
+            b = await OdeConnection.open(server.host, server.port)
+            try:
+                await a.begin()
+                await a.write(oid, "weight", 77)
+                drain = asyncio.ensure_future(
+                    asyncio.to_thread(server.drain, 10.0)
+                )
+                for _ in range(200):
+                    health = await b.health()
+                    if health["draining"]:
+                        break
+                    await asyncio.sleep(0.01)
+                else:
+                    pytest.fail("drain never engaged")
+                with pytest.raises(ServerDrainingError):
+                    await b.begin()
+                await a.commit()  # in-flight work finishes cleanly
+                await drain
+            finally:
+                await a.close()
+                await b.close()
+
+        asyncio.run(run())
+    finally:
+        server.stop()
+    with db.snapshot() as snap:
+        assert snap.read_attr(snap.latest_vid(oid), "weight") == 77

@@ -1,0 +1,174 @@
+"""Shard failure domains: kill, degrade gracefully, reattach online.
+
+The contract under test (see ``ShardedDatabase.kill_shard`` /
+``reattach_shard``):
+
+* a killed shard takes *only its own keyspace* down -- operations homed
+  on healthy shards keep serving, operations homed on the dead shard
+  fail fast with the retryable :class:`ShardUnavailableError`;
+* fan-outs (query, counts, cluster) answer from the up shards and say
+  so in ``shard.health.skipped_fanouts``; creation skips dead shards;
+* reattach replays the shard's WAL (the kill is abrupt -- no flush),
+  re-runs in-doubt 2PC resolution, and revives *existing sessions* via
+  generation-checked shard session caches;
+* a cross-shard transaction left in doubt on the dead shard resolves to
+  its durable verdict at reattach, never before.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import PersistentObject, persistent
+from repro.errors import ShardUnavailableError
+from repro.shard import SHARD_DOWN, SHARD_UP, ShardedDatabase
+from repro.storage import faults
+from repro.storage.faults import FaultPlan, SimulatedCrash
+
+
+@persistent(name="tests.shard.FoAcct")
+class FoAcct(PersistentObject):
+    def __init__(self, bal: int = 0) -> None:
+        self.bal = bal
+
+
+@pytest.fixture
+def trio(tmp_path):
+    """A 3-shard database with one account homed on each shard."""
+    router = ShardedDatabase(tmp_path / "shards", nshards=3)
+    refs = [router.pnew(FoAcct(bal=100 + i)) for i in range(3)]
+    by_home = {router.placement.shard_of(r.oid): r.oid for r in refs}
+    assert set(by_home) == {0, 1, 2}, "round-robin must cover every shard"
+    router.checkpoint()
+    yield router, by_home
+    router.close()
+
+
+def test_kill_isolates_one_failure_domain(trio):
+    router, oids = trio
+    router.kill_shard(1)
+    assert router.shard_health() == {0: SHARD_UP, 1: SHARD_DOWN, 2: SHARD_UP}
+
+    # Healthy shards keep serving reads and writes.
+    for idx in (0, 2):
+        ref = router.deref(oids[idx])
+        with router.transaction():
+            ref.bal += 1
+        assert ref.bal == 101 + idx
+
+    # The dead shard's keyspace fails fast with the typed, shard-tagged
+    # error -- not a timeout, not a generic failure.
+    t0 = time.perf_counter()
+    with pytest.raises(ShardUnavailableError) as exc_info:
+        router.deref(oids[1]).bal
+    assert time.perf_counter() - t0 < 0.1
+    assert exc_info.value.shard == 1
+
+    with pytest.raises(ShardUnavailableError):
+        with router.transaction():
+            router.deref(oids[1]).bal = 0
+
+    stats = router.stats()
+    assert stats["shard.health.down"] == 1
+    assert stats["shard.health.up"] == 2
+    assert stats["shard.health.kills"] == 1
+    assert stats["shard.health.failfast"] >= 2
+
+
+def test_kill_is_idempotent_and_reattach_guards_state(trio):
+    router, _ = trio
+    router.kill_shard(2)
+    router.kill_shard(2)  # no-op, not a double close
+    assert router.stats()["shard.health.kills"] == 1
+    with pytest.raises(ValueError):
+        router.reattach_shard(0)  # not down
+    router.reattach_shard(2)
+    assert router.shard_health()[2] == SHARD_UP
+
+
+def test_fanouts_degrade_to_up_shards(trio):
+    router, oids = trio
+    assert router.object_count() == 3
+    router.kill_shard(0)
+    # Fan-outs answer from the survivors instead of failing outright...
+    assert router.object_count() == 2
+    assert router.query("tests.shard.FoAcct").count() == 2
+    assert router.stats()["shard.health.skipped_fanouts"] >= 2
+    # ...and creation routes around the dead shard.
+    for _ in range(3):
+        ref = router.pnew(FoAcct(bal=1))
+        assert router.placement.shard_of(ref.oid) != 0
+
+
+def test_reattach_replays_the_wal(trio):
+    """The kill is abrupt (no flush): a write committed just before it
+    must come back after reattach, via the shard's own recovery."""
+    router, oids = trio
+    ref = router.deref(oids[1])
+    with router.transaction():
+        ref.bal = 555
+    router.kill_shard(1)
+    with pytest.raises(ShardUnavailableError):
+        router.deref(oids[1]).bal
+    router.reattach_shard(1)
+    assert router.deref(oids[1]).bal == 555
+    assert router.stats()["shard.health.reattaches"] == 1
+
+
+def test_existing_session_survives_kill_and_reattach(trio):
+    """A session that touched the shard before the kill keeps working
+    after reattach: its cached shard session is generation-checked and
+    rebuilt against the replacement database."""
+    router, oids = trio
+    sess = router.session(name="survivor")
+    with sess.activate():
+        assert router.deref(oids[1]).bal == 101
+    router.kill_shard(1)
+    with sess.activate():
+        assert router.deref(oids[0]).bal == 100  # healthy domain unaffected
+        with pytest.raises(ShardUnavailableError):
+            router.deref(oids[1]).bal
+    router.reattach_shard(1)
+    with sess.activate():
+        assert router.deref(oids[1]).bal == 101
+    sess.close()
+
+
+def test_in_doubt_transaction_resolves_at_reattach(trio):
+    """A cross-shard 2PC transaction whose verdict was durable but whose
+    second participant never heard it: kill that participant's shard,
+    verify the verdict is *retained* while it is down, then reattach and
+    verify resolution commits both halves."""
+    router, oids = trio
+    a, b = router.deref(oids[0]), router.deref(oids[1])
+    planter = router.session(name="planter")
+    injector = faults.activate(FaultPlan().crash("shard.2pc.post_ack", hit=1))
+    try:
+        with planter.activate():
+            with pytest.raises(SimulatedCrash):
+                with router.transaction():
+                    a.bal = 1
+                    b.bal = 201
+        assert injector.fired
+    finally:
+        faults.deactivate()
+    # The "crashed" client's session detaches its decided transaction
+    # (it must never abort it -- the verdict is durable).
+    planter.close()
+    # Shard 0 (coordinator, lower index) committed; shard 1 is prepared
+    # and in doubt.  Kill it before anyone resolves anything.
+    router.kill_shard(1)
+    # The durable verdict must survive while its participant is down.
+    assert router.shards[0].coordinator_decisions(), (
+        "verdict forgotten while a prepared participant's shard is down"
+    )
+    report = router.reattach_shard(1)
+    assert any(idx == 1 for idx, _ in report.committed)
+    assert router.deref(oids[0]).bal == 1
+    assert router.deref(oids[1]).bal == 201
+    # All shards up again: resolution may now forget the verdict.
+    assert not router.shards[0].coordinator_decisions()
+    for shard in router.shards:
+        assert not shard.in_doubt_txns()
