@@ -104,16 +104,28 @@ class ChaosPlan:
             .kill_conn(3)               # refuse the 4th connection
         )
 
-    Probabilities are evaluated per forwarded chunk against the plan's
-    own :class:`random.Random`, so a given seed plus a deterministic
-    workload replays the same fault sequence.
+    Probabilities are evaluated per forwarded chunk against a
+    :class:`random.Random` derived per (connection ordinal, direction)
+    via :meth:`stream_rng`, so each stream's fault schedule depends only
+    on the seed and its own chunk sequence -- not on how asyncio happens
+    to interleave the concurrent pump tasks.  A given seed plus a
+    deterministic per-connection workload replays the same faults even
+    under a concurrent swarm.
     """
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
-        self.rng = random.Random(seed)
         self._rules: dict[str, _DirRule] = {C2S: _DirRule(), S2C: _DirRule()}
         self._scripts: dict[int, _ConnScript] = {}
+
+    def stream_rng(self, conn_ordinal: int, direction: str) -> random.Random:
+        """An independent RNG for one connection's one direction.
+
+        Seeded from ``(seed, ordinal, direction)`` via the string form
+        (:class:`random.Random` hashes str seeds deterministically,
+        unlike tuple hashes under ``PYTHONHASHSEED``).
+        """
+        return random.Random(f"{self.seed}:{conn_ordinal}:{direction}")
 
     def _rule(self, direction: str) -> _DirRule:
         try:
@@ -360,7 +372,7 @@ class ChaosProxy:
             reader, writer = link.server_reader, link.client_writer
             failpoint = "net.proxy.forward.s2c"
         rule = self.plan._rule(direction)
-        rng = self.plan.rng
+        rng = self.plan.stream_rng(link.ordinal, direction)
         script = self.plan._scripts.get(link.ordinal)
         try:
             while not link.dead:

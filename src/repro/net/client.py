@@ -346,6 +346,12 @@ class OdeConnection:
             return await future
         try:
             return await asyncio.wait_for(asyncio.shield(future), timeout)
+        except asyncio.CancelledError:
+            # The *caller* was cancelled (not the deadline): the shield
+            # leaves the inner future live, and a late RESP_ERR would set
+            # an exception nobody retrieves.  Consume it, as on expiry.
+            future.add_done_callback(_consume)
+            raise
         except asyncio.TimeoutError:
             future.add_done_callback(_consume)
             self.deadline_expired += 1

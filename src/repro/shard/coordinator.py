@@ -41,7 +41,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
-from repro.errors import TransactionStateError
+from repro.errors import ShardUnavailableError, TransactionStateError
 from repro.storage import faults, serialization
 
 if TYPE_CHECKING:
@@ -86,6 +86,12 @@ class GlobalTransaction:
         self.snapshot = None
         #: shard index -> live local Transaction.
         self.locals: dict[int, "Transaction"] = {}
+        #: shard index -> the shard generation its local was begun
+        #: against.  A mismatch with the router's current generation
+        #: means the shard died (and was reattached) mid-transaction:
+        #: the local half was rolled back by recovery, so the global
+        #: transaction can only fail -- never silently continue.
+        self.local_gens: dict[int, int] = {}
         #: True once the commit verdict is durable in the coordinator
         #: shard's WAL: from then on the global transaction *will* commit
         #: and may no longer be aborted.
@@ -103,12 +109,44 @@ class GlobalTransaction:
         return tuple(sorted(self.locals))
 
     def commit(self) -> None:
-        """Commit everywhere: fast path for <= 1 shard, else 2PC."""
+        """Commit everywhere: fast path for <= 1 shard, else 2PC.
+
+        A participant shard dying mid-commit surfaces as the retryable
+        :class:`~repro.errors.ShardUnavailableError`, not whatever
+        low-level error its closed handles produced.
+        """
         if self.state != ACTIVE:
             raise TransactionStateError(
                 f"global transaction {self.txid} is {self.state}, not active"
             )
-        commit_global(self.router, self)
+        lost = [
+            i
+            for i in self.participants
+            if self.local_gens.get(i) != self.router._shard_gen[i]
+        ]
+        if lost and not self.decided:
+            # A participant shard died (and was reattached) while this
+            # transaction was open: recovery rolled its half back, so
+            # the whole must not commit.  Release the surviving shards'
+            # locks, then surface the retryable error.
+            try:
+                abort_global(self.router, self)
+            except Exception:
+                pass  # best-effort; the unavailability is what matters
+            self.router._health_counters["failfast"] += 1
+            raise ShardUnavailableError(
+                f"shard {lost[0]} failed while global transaction "
+                f"{self.txid} was open; its shard-local work was rolled "
+                "back by recovery (retry the whole transaction)",
+                shard=lost[0],
+            )
+        try:
+            commit_global(self.router, self)
+        except Exception as exc:
+            wrapped = self._dead_shard_error(exc, "commit")
+            if wrapped is None:
+                raise
+            raise wrapped from exc
 
     def abort(self) -> None:
         """Abort every participant.  Refused once the verdict is durable."""
@@ -121,7 +159,35 @@ class GlobalTransaction:
                 f"global transaction {self.txid} is decided committed; "
                 "restart recovery will complete it"
             )
-        abort_global(self.router, self)
+        try:
+            abort_global(self.router, self)
+        except Exception as exc:
+            wrapped = self._dead_shard_error(exc, "abort")
+            if wrapped is None:
+                raise
+            raise wrapped from exc
+
+    def _dead_shard_error(self, exc: BaseException, verb: str):
+        """Map an error raised while a participant shard is down to the
+        documented retryable error, mirroring the router's ``_on_shard``
+        fence.  Returns None when no participant died (genuine errors --
+        conflicts, validation -- pass through untouched)."""
+        if isinstance(exc, ShardUnavailableError):
+            return None
+        down = [
+            i
+            for i in self.participants
+            if self.router._shard_down[i]
+            or self.local_gens.get(i) != self.router._shard_gen[i]
+        ]
+        if not down:
+            return None
+        self.router._health_counters["failfast"] += 1
+        return ShardUnavailableError(
+            f"shard {down[0]} went down during {verb} of global "
+            f"transaction {self.txid} (retry after reattach_shard)",
+            shard=down[0],
+        )
 
     def __repr__(self) -> str:
         return (

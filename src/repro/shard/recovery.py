@@ -7,9 +7,14 @@ images retained) and the coordinator commit verdicts surviving in its
 WAL.  Resolution is presumed abort:
 
 * an in-doubt participant whose gtxid has a durable ``COORD_COMMIT`` on
-  *any* shard commits (the verdict was the commit point);
+  *any* reachable shard commits (the verdict was the commit point);
 * one whose gtxid appears nowhere aborts -- without a durable verdict no
-  participant can have committed, so rolling back loses nothing.
+  participant can have committed, so rolling back loses nothing -- but
+  **only when its coordinator shard is reachable**.  The verdict lives in
+  exactly one WAL (the coordinator's); while that shard is down, "no
+  verdict found" is inconclusive, and presuming abort would roll back a
+  globally-committed transaction whose verdict is merely unreachable.
+  Such participants stay in doubt until the coordinator returns.
 
 Verdicts are read across **all** shards before any participant is
 resolved, then forgotten only after every matching participant is
@@ -24,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.errors import DatabaseDegradedError, TransactionStateError
+
 if TYPE_CHECKING:
     from repro.shard.router import ShardedDatabase
 
@@ -36,6 +43,9 @@ class ResolutionReport:
     committed: list[tuple[int, int]] = field(default_factory=list)
     #: (shard index, local txid) pairs rolled back by presumed abort.
     aborted: list[tuple[int, int]] = field(default_factory=list)
+    #: (shard index, local txid) pairs left in doubt: no verdict was
+    #: found, but the coordinator shard that could hold one is down.
+    deferred: list[tuple[int, int]] = field(default_factory=list)
     #: Verdicts released after resolution (gtxids).
     forgotten: list[tuple] = field(default_factory=list)
 
@@ -57,7 +67,10 @@ def resolve_in_doubt(
     Verdicts are forgotten (and WAL truncation holds lifted) only when
     resolution covered *every* shard: with any shard still down, a
     verdict may yet be needed to commit that shard's prepared
-    participants when it returns.
+    participants when it returns.  Symmetrically, a verdict-less
+    participant whose *coordinator* shard is down is deferred (left in
+    doubt), not presumed aborted -- the unreachable WAL may hold its
+    ``COORD_COMMIT``.
     """
     report = ResolutionReport()
     all_shards = set(range(len(router.shards)))
@@ -80,6 +93,14 @@ def resolve_in_doubt(
         for txid in sorted(db.in_doubt_txns()):
             info = db.in_doubt_txns()[txid]
             commit = info.gtxid in decisions
+            if not commit and info.coordinator not in up:
+                # No verdict found -- but the coordinator shard, the one
+                # WAL that could hold it, is unreachable.  The outcome is
+                # unknowable: presumed abort here would roll back a
+                # globally-committed transaction whose verdict is merely
+                # on a down shard.  Stay in doubt until it returns.
+                report.deferred.append((idx, txid))
+                continue
             db.resolve_in_doubt(txid, commit=commit)
             touched.add(idx)
             (report.committed if commit else report.aborted).append((idx, txid))
@@ -94,5 +115,13 @@ def resolve_in_doubt(
             touched.add(coord_idx)
             report.forgotten.append(gtxid)
     for idx in sorted(touched):
-        router.shards[idx].checkpoint()
+        # The checkpoint is only the WAL-truncation opportunity, not
+        # part of resolution's correctness.  At open it always succeeds
+        # (no sessions yet); during *online* reattach a touched shard
+        # may be running live transactions, and checkpoint refuses
+        # non-quiescent -- skip, the next quiescent checkpoint truncates.
+        try:
+            router.shards[idx].checkpoint()
+        except (DatabaseDegradedError, TransactionStateError):
+            pass
     return report

@@ -262,15 +262,28 @@ class ShardedDatabase:
         db = self.shards[idx]
         # Abrupt stop: mark closed and drop the file handles without
         # flushing -- recovery at reattach must replay from the WAL.
+        # Each handle closes *under its own I/O lock* so an operation
+        # that passed _check_up before the flag flipped either finishes
+        # its in-flight write first (bytes that beat the power cut) or
+        # faults cleanly afterwards -- never mid-syscall on a handle
+        # closed underneath it (which could tear state beyond the
+        # intended power-loss shape).  _on_shard translates the
+        # post-close faults to the retryable ShardUnavailableError.
         db._closed = True
-        try:
-            db._log.close(flush=False)
-        except Exception:
-            pass
-        try:
-            db._disk.close(sync=False)
-        except Exception:
-            pass
+        log = db._log
+        with log._cond:
+            while log._flushing:
+                log._cond.wait()
+            try:
+                log._file.close()
+            except Exception:
+                pass
+        disk = db._disk
+        with disk._lock:
+            try:
+                disk._file.close()
+            except Exception:
+                pass
 
     def reattach_shard(self, idx: int) -> ResolutionReport:
         """Bring a down shard back online.
@@ -396,6 +409,12 @@ class ShardedDatabase:
         joins it here: a local transaction is begun lazily on first touch
         (inheriting the global lock timeout and snapshot-read mode), so
         shards the transaction never touches pay nothing.
+
+        An operation that passed the up-check but raced ``kill_shard``
+        surfaces whatever low-level error the dying shard produced (a
+        closed-file ValueError, a DiskError, ...); those are translated
+        to the documented retryable :class:`ShardUnavailableError` here,
+        so callers see the same failure shape as a fail-fast rejection.
         """
         self._check_up(idx)
         sess = self._current_session()
@@ -404,13 +423,43 @@ class ShardedDatabase:
             sess.txn = None
             gtxn = None
         shard_sess = sess.shard_session(idx)
-        with shard_sess.activate():
-            if gtxn is not None and idx not in gtxn.locals:
-                gtxn.locals[idx] = self.shards[idx].begin(
-                    lock_timeout=gtxn.lock_timeout,
-                    snapshot_reads=gtxn.read_only,
-                )
-            return fn(self.shards[idx])
+        if (
+            gtxn is not None
+            and idx in gtxn.locals
+            and gtxn.local_gens.get(idx) != self._shard_gen[idx]
+        ):
+            # The shard died and was reattached while this transaction
+            # held a local half there: recovery rolled that half back,
+            # and the stale local was aborted with its old session.
+            # Running the op anyway would escape the transaction
+            # entirely (an autocommit write on the replacement shard).
+            self._health_counters["failfast"] += 1
+            raise ShardUnavailableError(
+                f"shard {idx} failed while this transaction was using "
+                "it; its shard-local work was rolled back by recovery "
+                "(retry the whole transaction)",
+                shard=idx,
+            )
+        try:
+            with shard_sess.activate():
+                if gtxn is not None and idx not in gtxn.locals:
+                    gtxn.locals[idx] = self.shards[idx].begin(
+                        lock_timeout=gtxn.lock_timeout,
+                        snapshot_reads=gtxn.read_only,
+                    )
+                    gtxn.local_gens[idx] = self._shard_gen[idx]
+                return fn(self.shards[idx])
+        except ShardUnavailableError:
+            raise
+        except Exception as exc:
+            if not self._shard_down[idx]:
+                raise
+            self._health_counters["failfast"] += 1
+            raise ShardUnavailableError(
+                f"shard {idx} went down mid-operation (retry after "
+                "reattach_shard, or route elsewhere)",
+                shard=idx,
+            ) from exc
 
     # -- transactions --------------------------------------------------------
 
@@ -471,7 +520,25 @@ class ShardedDatabase:
             raise
         else:
             if gtxn.state == ACTIVE:
-                gtxn.commit()
+                try:
+                    gtxn.commit()
+                except BaseException:
+                    # An undecided commit failure (e.g. its shard died
+                    # under it) must not leave the transaction attached
+                    # to the session -- that would wedge every later
+                    # begin() with "already active".  Abort detaches it;
+                    # a *decided* transaction stays (restart resolution
+                    # completes it, and abort is forbidden).
+                    if (
+                        gtxn.state == ACTIVE
+                        and not gtxn.decided
+                        and not faults.is_crashed()
+                    ):
+                        try:
+                            gtxn.abort()
+                        except Exception:
+                            pass  # the commit error is the one to surface
+                    raise
 
     def run_transaction(
         self,

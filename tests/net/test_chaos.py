@@ -314,3 +314,21 @@ def test_retryable_taxonomy():
         assert is_retryable(exc), f"{type(exc).__name__} must be retryable"
     assert not is_retryable(ProtocolError("bad magic"))
     assert not is_retryable(ValueError("nope"))
+
+
+def test_stream_rng_is_per_connection_and_direction():
+    """Each (connection, direction) stream draws from its own seeded RNG,
+    so one stream's fault schedule never depends on how asyncio happens
+    to interleave it with the others."""
+    def draws(plan, ordinal, direction, n=5):
+        rng = plan.stream_rng(ordinal, direction)
+        return [rng.random() for _ in range(n)]
+
+    plan = ChaosPlan(seed=7)
+    first = draws(plan, 0, C2S)
+    assert first == draws(plan, 0, C2S), (
+        "same seed + same stream must replay identically"
+    )
+    assert first != draws(plan, 1, C2S)
+    assert first != draws(plan, 0, S2C)
+    assert first != draws(ChaosPlan(seed=8), 0, C2S)

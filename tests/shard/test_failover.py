@@ -136,6 +136,133 @@ def test_existing_session_survives_kill_and_reattach(trio):
     sess.close()
 
 
+def test_mid_operation_kill_surfaces_retryable_error(trio):
+    """An operation that passed the up-check and then raced kill_shard
+    must surface the documented retryable ShardUnavailableError, not
+    whatever low-level error the dying shard produced."""
+    router, _ = trio
+
+    def racing_op(db):
+        # Simulate the race deterministically: the shard dies under an
+        # operation that already cleared _check_up, and the closed file
+        # handles surface as an arbitrary error.
+        router.kill_shard(1)
+        raise ValueError("I/O operation on closed file")
+
+    with pytest.raises(ShardUnavailableError) as exc_info:
+        router._on_shard(1, racing_op)
+    assert exc_info.value.shard == 1
+    assert isinstance(exc_info.value.__cause__, ValueError)
+    # A genuine error on a healthy shard still passes through untouched.
+    def unrelated_error(db):
+        raise KeyError("x")
+
+    with pytest.raises(KeyError):
+        router._on_shard(0, unrelated_error)
+
+
+def test_open_transaction_cannot_straddle_a_shard_restart(trio):
+    """A transaction whose shard died (and reattached) under it must fail
+    with the retryable error -- and none of its writes may survive.  The
+    stale shard-local transaction was rolled back by recovery; silently
+    continuing would let later ops escape the transaction (an autocommit
+    write on the replacement shard instance)."""
+    router, oids = trio
+    sess = router.session(name="straddler")
+
+    # Re-touching the restarted shard inside the transaction fails fast.
+    with pytest.raises(ShardUnavailableError) as exc_info:
+        with sess.activate():
+            with router.transaction():
+                router.deref(oids[1]).bal = 1
+                router.kill_shard(1)
+                router.reattach_shard(1)
+                router.deref(oids[1]).bal = 2
+    assert exc_info.value.shard == 1
+    assert sess.txn is None, "failed transaction left attached to session"
+    assert router.deref(oids[1]).bal == 101, "write escaped the transaction"
+
+    # Committing without re-touching must fail the same way.
+    with pytest.raises(ShardUnavailableError):
+        with sess.activate():
+            with router.transaction():
+                router.deref(oids[1]).bal = 3
+                router.kill_shard(1)
+                router.reattach_shard(1)
+    assert sess.txn is None
+    assert router.deref(oids[1]).bal == 101
+
+    # The session is immediately reusable for the retry.
+    with sess.activate():
+        with router.transaction():
+            router.deref(oids[1]).bal = 4
+    assert router.deref(oids[1]).bal == 4
+    sess.close()
+
+
+def test_reattach_tolerates_live_traffic_elsewhere(trio):
+    """Online reattach runs in-doubt resolution while other shards carry
+    live transactions; its opportunistic checkpoint must skip a busy
+    shard, not blow up the reattach."""
+    router, oids = trio
+    router.kill_shard(1)
+    sess = router.session(name="busy")
+    with sess.activate():
+        gtxn = router.begin()
+        router.deref(oids[0]).bal = 777  # active local txn on shard 0
+        router.reattach_shard(1)         # must not require quiescence
+        gtxn.commit()
+    sess.close()
+    assert router.shard_health()[1] == SHARD_UP
+    assert router.deref(oids[0]).bal == 777
+
+
+def test_unreachable_coordinator_defers_presumed_abort(trio):
+    """Two shards down: reattaching the prepared participant while its
+    *coordinator* shard is still down must leave the participant in
+    doubt -- the commit verdict may be sitting in the unreachable WAL,
+    and presumed abort would roll back a committed transaction.  Once
+    the coordinator returns, the verdict commits the deferred half."""
+    router, oids = trio
+    a, b = router.deref(oids[0]), router.deref(oids[1])
+    planter = router.session(name="planter")
+    injector = faults.activate(FaultPlan().crash("shard.2pc.post_ack", hit=1))
+    try:
+        with planter.activate():
+            with pytest.raises(SimulatedCrash):
+                with router.transaction():
+                    a.bal = 1
+                    b.bal = 201
+        assert injector.fired
+    finally:
+        faults.deactivate()
+    planter.close()
+    # Shard 0 (lowest writer index) coordinated and committed; shard 1
+    # is prepared and in doubt.  Take BOTH down: the verdict is now
+    # unreachable.
+    router.kill_shard(1)
+    router.kill_shard(0)
+
+    report = router.reattach_shard(1)
+    # No verdict reachable and the coordinator is down: the participant
+    # must stay in doubt, not presumed-abort.
+    assert report.deferred and report.deferred[0][0] == 1
+    assert not report.committed and not report.aborted
+    assert router.shards[1].in_doubt_txns(), (
+        "participant resolved while its coordinator's verdict was unreachable"
+    )
+
+    # Coordinator returns: full resolution finds the durable verdict and
+    # commits the deferred half -- both halves of the acked write exist.
+    report = router.reattach_shard(0)
+    assert any(idx == 1 for idx, _ in report.committed)
+    assert router.deref(oids[0]).bal == 1
+    assert router.deref(oids[1]).bal == 201
+    assert not router.shards[0].coordinator_decisions()
+    for shard in router.shards:
+        assert not shard.in_doubt_txns()
+
+
 def test_in_doubt_transaction_resolves_at_reattach(trio):
     """A cross-shard 2PC transaction whose verdict was durable but whose
     second participant never heard it: kill that participant's shard,
