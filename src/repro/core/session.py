@@ -121,6 +121,25 @@ class Session:
             old.close()
         return snap
 
+    def adopt_pin(self, snap: "Snapshot") -> "Snapshot":
+        """Install an *externally pinned* snapshot as the read context.
+
+        The sharded router uses this to make every shard session's pin a
+        part of one global cut (see :mod:`repro.shard.snapshot`): the
+        cut pins each shard under the cut latch, then hands the parts to
+        the shard sessions so reads routed through them resolve against
+        the same consistent point as the fanned-out reader.  Ownership
+        is shared -- ``Snapshot.close`` is idempotent, so whichever of
+        the cut or the session unpins last is harmless.
+        """
+        if self.closed:
+            raise SessionStateError(f"{self.name} is closed")
+        with self._pin_mutex:
+            old, self._snapshot = self._snapshot, snap
+        if old is not None and old is not snap:
+            old.close()
+        return snap
+
     def unpin(self) -> None:
         """Drop the snapshot read context; reads see live state again."""
         with self._pin_mutex:

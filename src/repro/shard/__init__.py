@@ -13,6 +13,7 @@ keep serving and down-shard operations fail fast with
 :class:`~repro.errors.ShardUnavailableError`.
 """
 
+from repro.shard.executor import ShardExecutor
 from repro.shard.placement import ModuloPlacement
 from repro.shard.recovery import ResolutionReport
 from repro.shard.router import (
@@ -21,12 +22,15 @@ from repro.shard.router import (
     SHARD_UP,
     ShardedDatabase,
 )
+from repro.shard.snapshot import GlobalSnapshot
 
 __all__ = [
+    "GlobalSnapshot",
     "ModuloPlacement",
     "ResolutionReport",
     "SHARD_DEGRADED",
     "SHARD_DOWN",
     "SHARD_UP",
+    "ShardExecutor",
     "ShardedDatabase",
 ]

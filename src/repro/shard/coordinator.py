@@ -84,6 +84,12 @@ class GlobalTransaction:
         #: Kept None so the wire server's inline-lane probe (which checks
         #: ``session.txn``) and state checks treat this like a local txn.
         self.snapshot = None
+        #: The consistent cut a snapshot-read transaction was begun
+        #: against (:class:`~repro.shard.snapshot.GlobalSnapshot`); every
+        #: lazily-begun local adopts its shard's part, so cross-shard
+        #: snapshot reads observe one global point.  None for ordinary
+        #: transactions; closed by the router when the transaction ends.
+        self.cut = None
         #: shard index -> live local Transaction.
         self.locals: dict[int, "Transaction"] = {}
         #: shard index -> the shard generation its local was begun
@@ -259,15 +265,28 @@ def commit_global(router: "ShardedDatabase", gtxn: GlobalTransaction) -> None:
         meta = prepare_meta(gtxid, coordinator, parts)
 
         # Phase one: every participant makes the prepare promise durable.
+        # The PREPARE appends+fsyncs scatter across the shard executor
+        # (fsync releases the GIL, so wall-clock cost drops from the sum
+        # of the participants' flushes to their max); the decision append
+        # strictly follows *every* prepare outcome -- the barrier below is
+        # the atomicity of the protocol, not an implementation detail.
         try:
             faults.fire("shard.2pc.pre_prepare")
-            for idx in parts:
+
+            def _prepare_one(idx: int) -> None:
+                # Distinct shards mean distinct shard-local sessions, so
+                # concurrent workers never trip the one-thread rule.
                 with gtxn.session.shard_session(idx).activate():
                     gtxn.locals[idx].prepare(meta)
-                counters["prepares"] += 1
                 faults.fire("shard.2pc.post_prepare")
+
+            error = _scatter_participants(router, parts, _prepare_one, counters, "prepares")
+            if error is not None:
+                raise error
             faults.fire("shard.2pc.pre_decision")
             # The commit point: the verdict survives any crash after this.
+            # Its append+fsync rides the coordinator shard's ordinary
+            # group-commit window like any other flush.
             router.shards[coordinator].log_coordinator_decision(gtxid, parts)
         except BaseException:
             # No durable verdict exists (the decision append either never
@@ -290,6 +309,53 @@ def commit_global(router: "ShardedDatabase", gtxn: GlobalTransaction) -> None:
             router._finish_global(gtxn)
 
 
+def _scatter_participants(
+    router: "ShardedDatabase",
+    indices: tuple[int, ...] | list[int],
+    fn,
+    counters: dict[str, int],
+    counter_key: str | None,
+) -> BaseException | None:
+    """Run ``fn(idx)`` over participants, in parallel when enabled.
+
+    Counts successes into ``counters[counter_key]`` on the coordinating
+    thread (worker-side increments would race), and returns the one
+    error to surface -- a :class:`~repro.storage.faults.SimulatedCrash`
+    first (the harness must see the process death it injected; siblings
+    may have failed *because* the crash barrier dropped), otherwise the
+    lowest failing shard's error, matching the serial loop's
+    deterministic shape.  The serial fallback stops at the first failure
+    exactly like the historical loop.
+    """
+    if (
+        router.parallel_2pc
+        and len(indices) > 1
+        and not router._exec.in_worker()
+    ):
+        outcomes = router._exec.run_all(indices, fn)
+    else:
+        outcomes = []
+        for idx in indices:
+            try:
+                outcomes.append((fn(idx), None))
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                outcomes.append((None, exc))
+                break
+    if counter_key is not None:
+        counters[counter_key] += sum(1 for _, err in outcomes if err is None)
+    errors = [
+        (idx, err)
+        for idx, (_, err) in zip(indices, outcomes)
+        if err is not None
+    ]
+    if not errors:
+        return None
+    for _, err in errors:
+        if isinstance(err, faults.SimulatedCrash):
+            return err
+    return min(errors)[1]
+
+
 def _deliver_verdict(router: "ShardedDatabase", gtxn: GlobalTransaction) -> None:
     """Phase two: commit every still-prepared participant, then forget.
 
@@ -297,16 +363,29 @@ def _deliver_verdict(router: "ShardedDatabase", gtxn: GlobalTransaction) -> None
     re-run: locals that already committed are skipped, a prepared
     participant whose commit fails stays active for the next attempt
     (see :meth:`Transaction.commit`), and re-forgetting an unknown
-    gtxid is a no-op.
+    gtxid is a no-op.  The COMMITs scatter across the shard executor
+    with those same semantics, and the whole fan-out runs under the
+    shared side of the router's cut latch: a global snapshot can never
+    land between one participant's publication and another's, which is
+    what makes the cut a consistent one.
     """
     counters = router._twopc_counters
-    for idx in gtxn.participants:
+    pending = [
+        idx for idx in gtxn.participants if gtxn.locals[idx].state == ACTIVE
+    ]
+
+    def _commit_one(idx: int) -> None:
         txn = gtxn.locals[idx]
         if txn.state != ACTIVE:
-            continue
+            return
         with gtxn.session.shard_session(idx).activate():
             txn.commit()
         faults.fire("shard.2pc.post_ack")
+
+    with router._cut_latch.publishing():
+        error = _scatter_participants(router, pending, _commit_one, counters, None)
+    if error is not None:
+        raise error
 
     # Forget: every participant acknowledged; the decision record has
     # served its purpose and releases the coordinator WAL.

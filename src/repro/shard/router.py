@@ -57,8 +57,10 @@ from repro.errors import (
     TransactionStateError,
 )
 from repro.shard.coordinator import ACTIVE, GlobalTransaction
+from repro.shard.executor import ShardExecutor
 from repro.shard.placement import ModuloPlacement
 from repro.shard.recovery import ResolutionReport, resolve_in_doubt
+from repro.shard.snapshot import GlobalSnapshot, _CutLatch
 from repro.storage import faults
 
 _META_FILE = "shards.meta"
@@ -103,6 +105,15 @@ class ShardedDatabase:
         ``nshards``, so changing it would scatter every existing oid's
         home.  ``None`` adopts the persisted value (or the default of
         {default} for a fresh directory).
+    parallel_fanout:
+        Scatter fan-outs (queries, clusters, stats, multi-holder
+        ``latest_vid``) across the shared :class:`ShardExecutor` instead
+        of looping shard-by-shard.  On by default; the serial loops
+        remain as the fallback (single shard, nested fan-out, disabled).
+    parallel_2pc:
+        Run 2PC phase-1 PREPARE flushes and phase-2 COMMITs concurrently
+        across writer participants (wall-clock cost drops from the sum
+        of the participants' fsyncs to their max).  On by default.
     **db_kwargs:
         Forwarded to every shard's :class:`Database` (pool size, group
         commit window, lock timeout, ...).
@@ -112,6 +123,9 @@ class ShardedDatabase:
         self,
         path: str | os.PathLike[str],
         nshards: int | None = None,
+        *,
+        parallel_fanout: bool = True,
+        parallel_2pc: bool = True,
         **db_kwargs: Any,
     ) -> None:
         self._path = os.fspath(path)
@@ -178,6 +192,15 @@ class ShardedDatabase:
         self._gtxid_seq = itertools.count(1)
         self._gtxn_ids = itertools.count(1)
         self._rr = itertools.count()
+        # Parallel cross-shard execution: one bounded pool shared by
+        # every fan-out and both 2PC phases, plus the cut latch that
+        # keeps global snapshots consistent against phase-2 publication.
+        self.parallel_fanout = parallel_fanout
+        self.parallel_2pc = parallel_2pc
+        self._exec = ShardExecutor(nshards, name=f"shard-exec-{id(self):x}")
+        self._cut_latch = _CutLatch()
+        self._cut_seq = itertools.count(1)
+        self._snap_counters: dict[str, int] = {"cuts": 0, "degraded_cuts": 0}
         self._tlocal = threading.local()
         self._sessions: set["RouterSession"] = set()
         self._session_mutex = threading.Lock()
@@ -211,6 +234,7 @@ class ShardedDatabase:
             sessions = list(self._sessions)
         for sess in sessions:
             sess.close()
+        self._exec.close()
         for idx, db in enumerate(self.shards):
             if not self._shard_down[idx]:
                 db.close()
@@ -402,13 +426,25 @@ class ShardedDatabase:
                 return idx
         return home
 
-    def _on_shard(self, idx: int, fn: Callable[[Database], Any]) -> Any:
+    def _on_shard(
+        self,
+        idx: int,
+        fn: Callable[[Database], Any],
+        sess: "RouterSession | None" = None,
+    ) -> Any:
         """Run ``fn(shard)`` with the shard session activated.
 
         If the router session has an active global transaction, the shard
         joins it here: a local transaction is begun lazily on first touch
         (inheriting the global lock timeout and snapshot-read mode), so
         shards the transaction never touches pay nothing.
+
+        ``sess`` carries the caller's router session onto executor
+        worker threads explicitly -- the thread-local lookup would hand
+        a worker its own implicit session, detaching the fan-out from
+        the client's transaction and pins.  Distinct shards mean
+        distinct shard-local sessions, so parallel workers activating
+        them never collide on the one-thread-at-a-time rule.
 
         An operation that passed the up-check but raced ``kill_shard``
         surfaces whatever low-level error the dying shard produced (a
@@ -417,7 +453,8 @@ class ShardedDatabase:
         so callers see the same failure shape as a fail-fast rejection.
         """
         self._check_up(idx)
-        sess = self._current_session()
+        if sess is None:
+            sess = self._current_session()
         gtxn = sess.txn
         if gtxn is not None and gtxn.state != ACTIVE:
             sess.txn = None
@@ -443,11 +480,29 @@ class ShardedDatabase:
         try:
             with shard_sess.activate():
                 if gtxn is not None and idx not in gtxn.locals:
-                    gtxn.locals[idx] = self.shards[idx].begin(
+                    local = self.shards[idx].begin(
                         lock_timeout=gtxn.lock_timeout,
                         snapshot_reads=gtxn.read_only,
                     )
+                    gtxn.locals[idx] = local
                     gtxn.local_gens[idx] = self._shard_gen[idx]
+                    cut = gtxn.cut
+                    if (
+                        gtxn.read_only
+                        and cut is not None
+                        and idx in cut.parts
+                        and cut.gens.get(idx) == self._shard_gen[idx]
+                    ):
+                        # A snapshot-read global transaction reads at its
+                        # begin-time *cut*, not at per-shard first-touch
+                        # epochs: swap the lazily-pinned local snapshot
+                        # for the cut's part so every shard serves the
+                        # same consistent point.  (Snapshot.close is
+                        # idempotent; shared ownership with the cut is
+                        # fine.)
+                        if local.snapshot is not None:
+                            local.snapshot.close()
+                        local.snapshot = cut.parts[idx]
                 return fn(self.shards[idx])
         except ShardUnavailableError:
             raise
@@ -484,6 +539,13 @@ class ShardedDatabase:
             self, sess, next(self._gtxn_ids), read_only=snapshot_reads
         )
         gtxn.lock_timeout = lock_timeout
+        if snapshot_reads:
+            # One consistent cut for the whole transaction: every shard
+            # it lazily touches adopts this cut's part as its snapshot
+            # (see _on_shard), so a cross-shard snapshot-read transaction
+            # observes a single global point rather than N first-touch
+            # epochs.
+            gtxn.cut = self.snapshot()
         sess.txn = gtxn
         return gtxn
 
@@ -581,6 +643,10 @@ class ShardedDatabase:
 
     def _finish_global(self, gtxn: GlobalTransaction) -> None:
         """Detach a finished global transaction from its session (idempotent)."""
+        cut = gtxn.cut
+        if cut is not None:
+            gtxn.cut = None
+            cut.close()
         sess = gtxn.session
         if sess.txn is gtxn:
             sess.txn = None
@@ -660,8 +726,11 @@ class ShardedDatabase:
             vid = db.latest_vid(oid)
             return vid, db.graph(oid).node(vid.serial).ctime
 
-        for idx in holders:
-            vid, ctime = self._on_shard(idx, probe)
+        sess = self._current_session()
+        candidates = self._scatter(
+            holders, lambda idx: self._on_shard(idx, probe, sess=sess)
+        )
+        for vid, ctime in candidates:
             key = (ctime, vid.serial)
             if best_key is None or key > best_key:
                 best_key, best_vid = key, vid
@@ -770,24 +839,78 @@ class ShardedDatabase:
             self._health_counters["skipped_fanouts"] += skipped
         return up
 
+    def _scatter(
+        self, indices: list[int], fn: Callable[[int], Any]
+    ) -> list[Any]:
+        """Run ``fn(idx)`` for every shard index; scatter-gather when enabled.
+
+        The parallel path preserves the serial loop's semantics exactly:
+        results come back in ``indices`` order, and on failure one
+        deterministic exception surfaces -- a :class:`SimulatedCrash`
+        first (the harness must see the "process death" it injected, and
+        concurrent siblings may have failed *because* of it), otherwise
+        the lowest failing shard's error.  Per-shard fencing (dying
+        shards -> :class:`ShardUnavailableError`) already happened
+        inside the scattered ``fn`` via :meth:`_on_shard`.
+
+        Falls back to the serial loop for single-shard fan-outs, when
+        ``parallel_fanout`` is off, or when the calling thread is itself
+        a pool worker (a nested scatter waiting on workers it occupies
+        would deadlock the bounded pool).
+        """
+        if (
+            not self.parallel_fanout
+            or len(indices) <= 1
+            or self._exec.in_worker()
+        ):
+            return [fn(idx) for idx in indices]
+        outcomes = self._exec.run_all(indices, fn)
+        errors = [
+            (idx, err) for idx, (_, err) in zip(indices, outcomes) if err is not None
+        ]
+        if errors:
+            for _, err in errors:
+                if isinstance(err, faults.SimulatedCrash):
+                    raise err
+            raise min(errors)[1]
+        return [result for result, _ in outcomes]
+
     def cluster(self, type_or_name: type | str) -> list[Ref]:
-        """The type's cluster, fanned out across every up shard."""
+        """The type's cluster, scattered across every up shard."""
+        sess = self._current_session()
+        parts = self._scatter(
+            self._fanout_shards(),
+            lambda idx: self._on_shard(
+                idx, lambda db: db.cluster(type_or_name), sess=sess
+            ),
+        )
         out: list[Ref] = []
-        for idx in self._fanout_shards():
-            refs = self._on_shard(idx, lambda db: db.cluster(type_or_name))
+        for refs in parts:
             out.extend(Ref(self, ref.oid) for ref in refs)
         return out
 
     def cluster_names(self) -> list[str]:
+        sess = self._current_session()
+        parts = self._scatter(
+            self._fanout_shards(),
+            lambda idx: self._on_shard(
+                idx, lambda db: db.cluster_names(), sess=sess
+            ),
+        )
         names: set[str] = set()
-        for idx in self._fanout_shards():
-            names.update(self._on_shard(idx, lambda db: db.cluster_names()))
+        for part in parts:
+            names.update(part)
         return sorted(names)
 
     def object_count(self) -> int:
+        sess = self._current_session()
         return sum(
-            self._on_shard(idx, lambda db: db.object_count())
-            for idx in self._fanout_shards()
+            self._scatter(
+                self._fanout_shards(),
+                lambda idx: self._on_shard(
+                    idx, lambda db: db.object_count(), sess=sess
+                ),
+            )
         )
 
     def query(self, type_or_name: type | str) -> "_FanoutQuery":
@@ -795,13 +918,63 @@ class ShardedDatabase:
 
         Each shard contributes its own :class:`~repro.core.query.Query`
         (bound to the local transaction's snapshot under a snapshot-read
-        transaction); results are rebound to the router.
+        transaction); results are rebound to the router.  Materialization
+        scatters across the shard executor (see :class:`_FanoutQuery`).
         """
-        parts = [
-            self._on_shard(idx, lambda db: db.query(type_or_name))
-            for idx in self._fanout_shards()
-        ]
-        return _FanoutQuery(parts, rebind=self)
+        sess = self._current_session()
+        indices = self._fanout_shards()
+        parts = self._scatter(
+            indices,
+            lambda idx: self._on_shard(
+                idx, lambda db: db.query(type_or_name), sess=sess
+            ),
+        )
+        return _FanoutQuery(
+            parts, rebind=self, executor=self._exec,
+            origin=(self, sess, indices),
+        )
+
+    # -- the global snapshot epoch ---------------------------------------------
+
+    def snapshot(self) -> GlobalSnapshot:
+        """Pin one **consistent cut** across every up shard.
+
+        Taken under the exclusive side of the cut latch, so the cut can
+        never land inside a cross-shard commit's phase-2 publication
+        window: a transaction that committed across shards is entirely
+        visible or entirely invisible (the E16 regression gate).  Down
+        shards contribute no part -- reads targeting them fail fast, and
+        the cut is counted degraded.
+
+        Use as a context manager (or ``close()``) to unpin::
+
+            with router.snapshot() as cut:
+                total = sum(acct.balance for acct in cut.cluster(Account))
+        """
+        with self._cut_latch.cutting():
+            parts: dict[int, Any] = {}
+            gens: dict[int, int] = {}
+            try:
+                for idx in self._up_shards():
+                    try:
+                        parts[idx] = self.shards[idx].snapshot()
+                    except Exception:
+                        if not self._shard_down[idx]:
+                            raise
+                        # Raced kill_shard: degrade exactly like a
+                        # fan-out that found the shard already down.
+                        self._health_counters["skipped_fanouts"] += 1
+                        continue
+                    gens[idx] = self._shard_gen[idx]
+            except BaseException:
+                for snap in parts.values():
+                    snap.close()
+                raise
+            seq = next(self._cut_seq)
+            self._snap_counters["cuts"] += 1
+            if len(parts) < self.nshards:
+                self._snap_counters["degraded_cuts"] += 1
+        return GlobalSnapshot(self, parts, seq, gens)
 
     # -- stats ----------------------------------------------------------------
 
@@ -831,9 +1004,24 @@ class ShardedDatabase:
         )
         for key, value in self._health_counters.items():
             stats[f"shard.health.{key}"] = value
+        stats.update(self._exec.stats())
+        for key, value in self._snap_counters.items():
+            stats[f"shard.snap.{key}"] = value
+
+        def shard_stats(idx: int) -> dict[str, Any]:
+            try:
+                return self.shards[idx].stats()
+            except Exception:
+                if self._shard_down[idx]:
+                    # Raced kill_shard mid-aggregation: degrade like any
+                    # fan-out, the healthy shards' numbers still land.
+                    self._health_counters["skipped_fanouts"] += 1
+                    return {}
+                raise
+
         agg: dict[str, Any] = {}
-        for idx in self._up_shards():
-            for key, value in self.shards[idx].stats().items():
+        for per_shard in self._scatter(self._up_shards(), shard_stats):
+            for key, value in per_shard.items():
                 if isinstance(value, bool) or not isinstance(value, (int, float)):
                     continue
                 agg[key] = agg.get(key, 0) + value
@@ -870,6 +1058,9 @@ class RouterSession:
         self._shard_sessions: dict[int, Session] = {}
         self._shard_gens: dict[int, int] = {}
         self._reader: "ShardedReader | None" = None
+        #: The session's pinned global cut (one consistent point across
+        #: shards) -- the read context behind :attr:`snapshot`/:meth:`reader`.
+        self._cut: GlobalSnapshot | None = None
         self._mutex = threading.Lock()
         self._active_thread: int | None = None
 
@@ -935,19 +1126,63 @@ class RouterSession:
         return self._reader
 
     def pin(self) -> "ShardedReader":
-        """Pin every up shard session's snapshot; return the fanned-out
-        reader.  Down shards are skipped (their reads fail fast anyway);
-        a later reattach pins lazily via the generation check."""
+        """Pin one **global cut** as the session's read context.
+
+        The cut (one consistent point across every up shard -- see
+        :meth:`ShardedDatabase.snapshot`) replaces the previous one, and
+        its per-shard parts are adopted as the shard sessions' pins, so
+        single-shard reads routed through ``_on_shard`` resolve against
+        the same point as the fanned-out reader.  Down shards have no
+        part; their reads fail fast."""
         if self.closed:
             raise SessionStateError(f"{self.name} is closed")
-        for idx in self.router._up_shards():
-            self.shard_session(idx).pin()
+        self._retake_cut()
         if self._reader is None:
             self._reader = ShardedReader(self)
         return self._reader
 
+    def _retake_cut(self) -> GlobalSnapshot:
+        cut = self.router.snapshot()
+        for idx, part in cut.parts.items():
+            try:
+                self.shard_session(idx).adopt_pin(part)
+            except Exception:
+                pass  # a shard racing kill_shard; its reads fail fast anyway
+        old, self._cut = self._cut, cut
+        if old is not None:
+            old.close()
+        return cut
+
+    def _cut_stale(self, cut: GlobalSnapshot) -> bool:
+        """One-integer-compare-per-shard staleness probe (no locks)."""
+        router = self.router
+        for idx in range(router.nshards):
+            if router._shard_down[idx]:
+                if cut.parts.get(idx) is not None:
+                    # The cut predates the kill: its part reads a closed
+                    # store.  Retake so the down shard drops out of the
+                    # cut and its reads fail fast instead.
+                    return True
+                continue
+            part = cut.parts.get(idx)
+            if part is None or cut.gens.get(idx) != router._shard_gen[idx]:
+                return True  # shard (re)joined since the cut
+            if part.epoch < router.shards[idx].store.snapshots.epoch:
+                return True  # publication advanced
+        return False
+
+    def current_cut(self) -> GlobalSnapshot:
+        """The session's cut, retaken when any shard published since."""
+        cut = self._cut
+        if cut is not None and not self._cut_stale(cut):
+            return cut
+        return self._retake_cut()
+
     def unpin(self) -> None:
-        """Drop every shard pin; reads see live state again."""
+        """Drop the cut and every shard pin; reads see live state again."""
+        cut, self._cut = self._cut, None
+        if cut is not None:
+            cut.close()
         for sess in self._shard_sessions.values():
             try:
                 sess.unpin()
@@ -956,8 +1191,8 @@ class RouterSession:
         self._reader = None
 
     def reader(self) -> "ShardedReader":
-        """The fanned-out snapshot reader (per-shard staleness handled by
-        each shard session's own ``reader()`` re-pin probe)."""
+        """The fanned-out snapshot reader (cut-level staleness handled by
+        :meth:`current_cut`'s per-shard epoch probe)."""
         if self._reader is None:
             self._reader = ShardedReader(self)
         return self._reader
@@ -993,6 +1228,9 @@ class RouterSession:
                 except Exception:
                     pass  # teardown must not raise
         self.txn = None
+        cut, self._cut = self._cut, None
+        if cut is not None:
+            cut.close()
         for sess in self._shard_sessions.values():
             try:
                 sess.close()
@@ -1014,97 +1252,58 @@ class RouterSession:
 class ShardedReader:
     """The router session's lock-free read surface (the wire inline lane).
 
-    Every call delegates to the owning shard session's pinned snapshot
-    via :meth:`Session.reader`, which re-pins that shard when its
-    publication epoch advanced -- so freshness stays a per-shard integer
-    compare and reads never take locks or the storage mutex.
+    Every call delegates to the session's **global cut** (one consistent
+    point across shards, see :class:`~repro.shard.snapshot.GlobalSnapshot`)
+    via :meth:`RouterSession.current_cut`, which retakes the cut when any
+    shard's publication epoch advanced -- so freshness stays one integer
+    compare per shard, reads never take locks or the storage mutex, and a
+    cross-shard commit can never appear half-visible to a fan-out.
     """
 
     def __init__(self, session: RouterSession) -> None:
         self._session = session
         self._router = session.router
 
-    def _shard(self, idx: int):
-        return self._session.shard_session(idx).reader()
+    def _cut(self) -> GlobalSnapshot:
+        return self._session.current_cut()
 
     @property
     def epoch(self) -> tuple[int, ...]:
-        """Per-shard publication epochs (-1 for a down shard)."""
-        return tuple(
-            -1 if self._router._shard_down[idx] else self._shard(idx).epoch
-            for idx in range(self._router.nshards)
-        )
-
-    def _locate(self, oid: Oid) -> int:
-        home = self._router.placement.shard_of(oid)
-        self._router._check_up(home)
-        if self._shard(home).object_exists(oid):
-            return home
-        for idx in self._router._up_shards():
-            if idx != home and self._shard(idx).object_exists(oid):
-                self._router._twopc_counters["locate_fallbacks"] += 1
-                return idx
-        return home
+        """Per-shard publication epochs of the cut (-1 for a down shard)."""
+        return self._cut().epoch
 
     def latest_vid(self, oid: Oid) -> Vid:
-        holders = [
-            idx
-            for idx in self._router._up_shards()
-            if self._shard(idx).object_exists(oid)
-        ]
-        if len(holders) <= 1:
-            idx = holders[0] if holders else self._router.placement.shard_of(oid)
-            self._router._check_up(idx)
-            return self._shard(idx).latest_vid(oid)
-        best_key: tuple | None = None
-        best_vid: Vid | None = None
-        for idx in holders:
-            snap = self._shard(idx)
-            vid = snap.latest_vid(oid)
-            node = snap.graph(oid).node(vid.serial)
-            key = (node.ctime, vid.serial)
-            if best_key is None or key > best_key:
-                best_key, best_vid = key, vid
-        assert best_vid is not None
-        return best_vid
+        return self._cut().latest_vid(oid)
 
     def read_latest_attr(self, oid: Oid, name: str) -> Any:
-        return self._shard(self._locate(oid)).read_latest_attr(oid, name)
+        return self._cut().read_latest_attr(oid, name)
 
     def materialize(self, vid: Vid) -> Any:
-        return self._shard(self._locate(vid.oid)).materialize(vid)
+        return self._cut().materialize(vid)
 
     def read_attr(self, vid: Vid, name: str) -> Any:
-        return self._shard(self._locate(vid.oid)).read_attr(vid, name)
+        return self._cut().read_attr(vid, name)
 
     def object_exists(self, oid: Oid) -> bool:
-        return self._shard(self._locate(oid)).object_exists(oid)
+        return self._cut().object_exists(oid)
 
     def version_exists(self, vid: Vid) -> bool:
-        return self._shard(self._locate(vid.oid)).version_exists(vid)
+        return self._cut().version_exists(vid)
 
     def type_name(self, oid: Oid) -> str:
-        return self._shard(self._locate(oid)).type_name(oid)
+        return self._cut().type_name(oid)
 
     def cluster(self, type_or_name: type | str) -> list[Ref]:
-        out: list[Ref] = []
-        for idx in self._router._up_shards():
-            out.extend(self._shard(idx).cluster(type_or_name))
-        return out
+        return self._cut().cluster(type_or_name)
 
     def query(self, type_or_name: type | str) -> "_FanoutQuery":
-        """A fanned-out query over each up shard's pinned snapshot.
+        """A fanned-out query over the session's cut.
 
-        Results stay bound to their shard snapshots (not rebound to the
-        router): the inline lane only ships oids, and snapshot-bound
+        Results stay bound to the cut's shard snapshots (not rebound to
+        the router): the inline lane only ships oids, and snapshot-bound
         references keep predicate evaluation on the lock-free path.
         """
-        return _FanoutQuery(
-            [
-                self._shard(idx).query(type_or_name)
-                for idx in self._router._up_shards()
-            ]
-        )
+        return self._cut().query(type_or_name)
 
 
 class _FanoutQuery:
@@ -1113,21 +1312,78 @@ class _FanoutQuery:
     Supports the ``suchthat`` chaining and iteration the query layer and
     the wire server use; each predicate is pushed down to every part, so
     filtering runs where the data lives (and, under a pinned snapshot,
-    lock-free).
+    lock-free).  Given an executor, iteration **materializes the parts
+    in parallel** -- the scatter half of scatter-gather -- then yields
+    in shard order, so result order matches the serial loop exactly.
+
+    A live router fan-out additionally carries its ``origin`` -- the
+    router, the router session the query was issued under, and the shard
+    index behind each part -- so materialization runs *inside*
+    :meth:`ShardedDatabase._on_shard` with the shard session activated.
+    That keeps per-shard reads under the caller's transaction (strict
+    2PL shared locks, like the embedded facade) or pin, instead of
+    escaping to autocommit on a bare worker thread; the lock waits a
+    part incurs behind writers then overlap across shards.  Cut-bound
+    fan-outs (a :class:`~repro.shard.snapshot.GlobalSnapshot`) have no
+    session and no locks to take, so they skip the wrapper.
     """
 
-    def __init__(self, parts: list[Query], rebind: ShardedDatabase | None = None):
+    def __init__(
+        self,
+        parts: list[Query],
+        rebind: ShardedDatabase | None = None,
+        executor: "ShardExecutor | None" = None,
+        origin: "tuple[ShardedDatabase, RouterSession, list[int]] | None" = None,
+        router: "ShardedDatabase | None" = None,
+    ):
         self._parts = parts
         self._rebind = rebind
+        self._executor = executor
+        self._origin = origin
+        # The router whose ``parallel_fanout`` toggle governs this
+        # query's materialization (a cut-bound fan-out has no origin or
+        # rebind, so its owner passes ``router`` explicitly).
+        self._router = router or (origin[0] if origin else rebind)
 
     def suchthat(self, predicate: Callable[[Any], bool]) -> "_FanoutQuery":
         return _FanoutQuery(
-            [part.suchthat(predicate) for part in self._parts], self._rebind
+            [part.suchthat(predicate) for part in self._parts],
+            self._rebind,
+            self._executor,
+            self._origin,
+            self._router,
         )
 
+    def _materialize_part(self, pos: int) -> list[Any]:
+        """List one part's matches, via ``_on_shard`` when this fan-out
+        has a live origin (shard session activated on this thread)."""
+        part = self._parts[pos]
+        if self._origin is None:
+            return list(part)
+        router, sess, indices = self._origin
+        return router._on_shard(indices[pos], lambda _db: list(part), sess=sess)
+
+    def _materialized(self) -> list[list[Any]]:
+        """Each part's matches, scattered across the executor when one
+        is attached (and the caller is not itself a pool worker)."""
+        exe = self._executor
+        positions = range(len(self._parts))
+        if (
+            exe is None
+            or len(self._parts) <= 1
+            or exe.in_worker()
+            or (self._router is not None and not self._router.parallel_fanout)
+        ):
+            return [self._materialize_part(pos) for pos in positions]
+        outcomes = exe.run_all(list(positions), self._materialize_part)
+        for _, err in outcomes:
+            if err is not None:
+                raise err
+        return [result for result, _ in outcomes]
+
     def __iter__(self) -> Iterator[Ref]:
-        for part in self._parts:
-            for ref in part:
+        for refs in self._materialized():
+            for ref in refs:
                 if self._rebind is not None:
                     yield Ref(self._rebind, ref.oid)
                 else:

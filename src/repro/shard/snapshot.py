@@ -1,0 +1,313 @@
+"""One consistent cut across every shard: the global snapshot epoch.
+
+Per-shard snapshots (:mod:`repro.core.snapshot`) freeze one shard's
+committed state at its publication epoch -- but a fan-out that pins each
+shard *independently* can observe a cross-shard transaction torn in
+half: pinned on shard A after its commit published there, on shard B
+before.  That read skew is exactly what parallel fan-outs would amplify,
+so the router closes it with a **consistent cut**:
+
+* Phase two of every cross-shard commit (the per-participant COMMIT
+  appends and their snapshot publications) runs while holding the
+  **shared** side of a :class:`_CutLatch`.
+* Taking a :class:`GlobalSnapshot` holds the **exclusive** side while it
+  pins one per-shard snapshot on every up shard.
+
+A cut therefore never lands inside a cross-shard publication window: a
+transaction that committed across shards is entirely visible or entirely
+invisible.  (Two *independent* single-shard transactions need no such
+fence -- each is atomic within its shard, and the cut orders them the
+way any sequentially consistent reader could have.)
+
+The latch is writer-preferring on the cut side (waiting cutters block
+*new* publishers) so a steady stream of cross-shard commits cannot
+starve snapshot takers; publications are short -- a handful of WAL
+appends -- so cut latency stays bounded by the slowest in-flight commit.
+
+:class:`GlobalSnapshot` then exposes the whole read surface of a
+per-shard :class:`~repro.core.snapshot.Snapshot` -- materialization,
+attribute reads, the paper-§4 traversals, clusters, queries, the
+multi-holder ``latest_vid`` ranking -- routed over its pinned parts, so
+every parallel fan-out read resolves against the one cut.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.core.identity import Oid, Vid
+from repro.core.pointers import Ref, VersionRef
+from repro.errors import ShardUnavailableError
+
+if TYPE_CHECKING:
+    from repro.core.snapshot import Snapshot
+    from repro.core.vgraph import VersionGraph
+    from repro.shard.router import ShardedDatabase
+
+__all__ = ["GlobalSnapshot"]
+
+
+class _CutLatch:
+    """Shared/exclusive latch fencing cuts against cross-shard publication.
+
+    ``publishing()`` (shared) brackets 2PC phase two; ``cutting()``
+    (exclusive) brackets global snapshot pinning.  Publishers among
+    themselves never block -- distinct transactions publish to distinct
+    shards' registries under their own locks.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._publishers = 0
+        self._cutting = False
+        self._cut_waiting = 0
+
+    @contextmanager
+    def publishing(self) -> Iterator[None]:
+        with self._cond:
+            # Waiting cutters bar *new* publishers (anti-starvation);
+            # in-flight ones drain first.
+            while self._cutting or self._cut_waiting:
+                self._cond.wait()
+            self._publishers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._publishers -= 1
+                self._cond.notify_all()
+
+    @contextmanager
+    def cutting(self) -> Iterator[None]:
+        with self._cond:
+            self._cut_waiting += 1
+            try:
+                while self._cutting or self._publishers:
+                    self._cond.wait()
+                self._cutting = True
+            finally:
+                self._cut_waiting -= 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._cutting = False
+                self._cond.notify_all()
+
+
+class GlobalSnapshot:
+    """One pinned point-in-time view spanning every up shard.
+
+    Holds one per-shard :class:`~repro.core.snapshot.Snapshot` pinned
+    under the cut latch, stamped with the router-wide cut sequence and
+    the shard generations it was taken against.  Reads route by
+    placement exactly like the live router; a shard that was down at the
+    cut has no part, and reads targeting it fail fast with
+    :class:`~repro.errors.ShardUnavailableError` (its state at the cut
+    is unknowable).
+
+    Use as a context manager (or call :meth:`close`) to unpin the parts.
+    """
+
+    def __init__(
+        self,
+        router: "ShardedDatabase",
+        parts: dict[int, "Snapshot"],
+        seq: int,
+        gens: dict[int, int],
+    ) -> None:
+        self._router = router
+        #: shard index -> pinned per-shard snapshot (up shards only).
+        self.parts = parts
+        #: Router-wide cut sequence number (monotonic per open).
+        self.seq = seq
+        #: shard index -> shard generation at the cut (staleness probes).
+        self.gens = gens
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def pinned(self) -> bool:
+        return not self._closed
+
+    def close(self) -> None:
+        """Unpin every part.  Idempotent (parts' own close is too)."""
+        if self._closed:
+            return
+        self._closed = True
+        for part in self.parts.values():
+            try:
+                part.close()
+            except Exception:
+                pass  # a part on a since-killed shard unpins best-effort
+
+    def __enter__(self) -> "GlobalSnapshot":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "pinned" if not self._closed else "closed"
+        return (
+            f"GlobalSnapshot(seq={self.seq}, epoch={self.epoch}, {state})"
+        )
+
+    # -- epoch ---------------------------------------------------------------
+
+    @property
+    def epoch(self) -> tuple[int, ...]:
+        """Per-shard publication epochs of the cut (-1: shard was down)."""
+        return tuple(
+            self.parts[idx].epoch if idx in self.parts else -1
+            for idx in range(self._router.nshards)
+        )
+
+    # -- routing -------------------------------------------------------------
+
+    def _part(self, idx: int) -> "Snapshot":
+        part = self.parts.get(idx)
+        if part is None:
+            self._router._health_counters["failfast"] += 1
+            raise ShardUnavailableError(
+                f"shard {idx} was down when this global snapshot was cut; "
+                "its state at the cut is unknowable (retake the snapshot "
+                "after reattach_shard)",
+                shard=idx,
+            )
+        return part
+
+    def _locate(self, oid: Oid) -> int:
+        home = self._router.placement.shard_of(oid)
+        if home in self.parts and self._part(home).object_exists(oid):
+            return home
+        for idx in self.parts:
+            if idx != home and self.parts[idx].object_exists(oid):
+                self._router._twopc_counters["locate_fallbacks"] += 1
+                return idx
+        return home  # not found anywhere: home raises the canonical error
+
+    # -- reads ---------------------------------------------------------------
+
+    def latest_vid(self, oid: Oid) -> Vid:
+        """The globally latest version at the cut (multi-holder ranked)."""
+        holders = [
+            idx for idx in self.parts if self.parts[idx].object_exists(oid)
+        ]
+        if len(holders) <= 1:
+            idx = holders[0] if holders else self._router.placement.shard_of(oid)
+            return self._part(idx).latest_vid(oid)
+        best_key: tuple | None = None
+        best_vid: Vid | None = None
+        for idx in holders:
+            snap = self.parts[idx]
+            vid = snap.latest_vid(oid)
+            node = snap.graph(oid).node(vid.serial)
+            key = (node.ctime, vid.serial)
+            if best_key is None or key > best_key:
+                best_key, best_vid = key, vid
+        assert best_vid is not None
+        return best_vid
+
+    def materialize(self, vid: Vid) -> Any:
+        return self._part(self._locate(vid.oid)).materialize(vid)
+
+    def read_attr(self, vid: Vid, name: str) -> Any:
+        return self._part(self._locate(vid.oid)).read_attr(vid, name)
+
+    def read_latest_attr(self, oid: Oid, name: str) -> Any:
+        return self._part(self._locate(oid)).read_latest_attr(oid, name)
+
+    def object_exists(self, oid: Oid) -> bool:
+        return self._part(self._locate(oid)).object_exists(oid)
+
+    def version_exists(self, vid: Vid) -> bool:
+        return self._part(self._locate(vid.oid)).version_exists(vid)
+
+    def type_name(self, oid: Oid) -> str:
+        return self._part(self._locate(oid)).type_name(oid)
+
+    def graph(self, target: Ref | Oid) -> "VersionGraph":
+        oid = target.oid if isinstance(target, Ref) else target
+        return self._part(self._locate(oid)).graph(oid)
+
+    # -- traversals (delegate to the owning part) ----------------------------
+
+    def _on_owner(self, vref: VersionRef | Vid, fn: Callable[["Snapshot"], Any]) -> Any:
+        vid = vref.vid if isinstance(vref, VersionRef) else vref
+        return fn(self._part(self._locate(vid.oid)))
+
+    def dprevious(self, vref: VersionRef | Vid):
+        return self._on_owner(vref, lambda s: s.dprevious(vref))
+
+    def dnext(self, vref: VersionRef | Vid):
+        return self._on_owner(vref, lambda s: s.dnext(vref))
+
+    def tprevious(self, vref: VersionRef | Vid):
+        return self._on_owner(vref, lambda s: s.tprevious(vref))
+
+    def tnext(self, vref: VersionRef | Vid):
+        return self._on_owner(vref, lambda s: s.tnext(vref))
+
+    def history(self, vref: VersionRef | Vid):
+        return self._on_owner(vref, lambda s: s.history(vref))
+
+    def versions(self, target: Ref | Oid):
+        oid = target.oid if isinstance(target, Ref) else target
+        return self._part(self._locate(oid)).versions(oid)
+
+    def version_as_of(self, target: Ref | Oid, timestamp: float):
+        oid = target.oid if isinstance(target, Ref) else target
+        return self._part(self._locate(oid)).version_as_of(oid, timestamp)
+
+    def leaves(self, target: Ref | Oid):
+        oid = target.oid if isinstance(target, Ref) else target
+        return self._part(self._locate(oid)).leaves(oid)
+
+    def alternatives(self, target: Ref | Oid):
+        oid = target.oid if isinstance(target, Ref) else target
+        return self._part(self._locate(oid)).alternatives(oid)
+
+    def version_count(self, target: Ref | Oid) -> int:
+        oid = target.oid if isinstance(target, Ref) else target
+        return self._part(self._locate(oid)).version_count(oid)
+
+    # -- clusters & queries ---------------------------------------------------
+
+    def cluster(self, type_or_name: type | str) -> list[Ref]:
+        """The type's cluster across every part (refs stay part-bound:
+        reads through them resolve lock-free against the cut)."""
+        out: list[Ref] = []
+        for idx in sorted(self.parts):
+            out.extend(self.parts[idx].cluster(type_or_name))
+        return out
+
+    def cluster_names(self) -> list[str]:
+        names: set[str] = set()
+        for idx in self.parts:
+            names.update(self.parts[idx].cluster_names())
+        return sorted(names)
+
+    def object_count(self) -> int:
+        return sum(
+            len(self.parts[idx].cluster(name))
+            for idx in self.parts
+            for name in self.parts[idx].cluster_names()
+        )
+
+    def query(self, type_or_name: type | str):
+        """A fanned-out query over the cut (parallel-materialized by the
+        router's executor, like every fan-out)."""
+        from repro.shard.router import _FanoutQuery
+
+        return _FanoutQuery(
+            [
+                self.parts[idx].query(type_or_name)
+                for idx in sorted(self.parts)
+            ],
+            executor=self._router._exec,
+            router=self._router,
+        )

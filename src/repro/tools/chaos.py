@@ -422,6 +422,11 @@ def _plant_in_doubt(
     injector = faults.activate(
         faults.FaultPlan().crash("shard.2pc.post_ack", hit=1)
     )
+    # The plant relies on serial phase-two order: commit the lower
+    # shard, crash before the higher one.  Parallel delivery could
+    # commit both before the failpoint fires, leaving nothing in doubt.
+    was_parallel = db.parallel_2pc
+    db.parallel_2pc = False
     try:
         with sess.activate():
             try:
@@ -436,6 +441,7 @@ def _plant_in_doubt(
                 "write was not cross-shard"
             )
     finally:
+        db.parallel_2pc = was_parallel
         faults.deactivate()
     # The planter "process" is dead; its session detaches the decided
     # transaction (never aborts it -- the verdict is durable).

@@ -89,6 +89,19 @@ class DatabaseSummary:
                 f"{get('shard.health.failfast', 0)} failed fast, "
                 f"{get('shard.health.skipped_fanouts', 0)} degraded fanout(s)"
             )
+        if "shard.exec.size" in self.counters:
+            # The parallel cross-shard execution tier: the shared
+            # scatter-gather pool and the global snapshot epoch.
+            get = self.counters.get
+            lines.append(
+                f"  executor: {get('shard.exec.workers', 0)}/"
+                f"{get('shard.exec.size', 0)} worker(s), "
+                f"{get('shard.exec.tasks', 0)} task(s) scattered, "
+                f"max concurrency {get('shard.exec.max_concurrency', 0)}, "
+                f"queue wait p99 {get('shard.exec.queue_wait_p99_ms', 0)}ms; "
+                f"{get('shard.snap.cuts', 0)} global cut(s) "
+                f"({get('shard.snap.degraded_cuts', 0)} degraded)"
+            )
         lines += [
             f"  policy: {self.storage_policy}",
             f"  data pages: {self.data_pages}  wal bytes: {self.wal_bytes}",

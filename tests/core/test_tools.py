@@ -93,6 +93,31 @@ def test_inspect_renders_served_and_sharded_health(db):
     out = summary.render()
     assert "shards: 2 up / 1 down (1 degraded)" in out
     assert "3 failed fast" in out
+    assert "executor:" not in out  # needs shard.exec.* too
+
+
+def test_inspect_renders_executor_and_global_epoch(db):
+    """shard.exec.* / shard.snap.* counters (the parallel cross-shard
+    execution tier) gain an executor line with the pool's vitals and the
+    global-cut tally."""
+    summary = inspect_database(db)
+    summary.counters.update(
+        {
+            "shard.exec.size": 4,
+            "shard.exec.tasks": 120,
+            "shard.exec.workers": 2,
+            "shard.exec.workers_spawned": 4,
+            "shard.exec.max_concurrency": 4,
+            "shard.exec.queue_wait_p99_ms": 1.25,
+            "shard.snap.cuts": 7,
+            "shard.snap.degraded_cuts": 1,
+        }
+    )
+    out = summary.render()
+    assert "executor: 2/4 worker(s), 120 task(s) scattered" in out
+    assert "max concurrency 4" in out
+    assert "queue wait p99 1.25ms" in out
+    assert "7 global cut(s) (1 degraded)" in out
 
 
 # -- check (fsck) -----------------------------------------------------------------

@@ -224,6 +224,10 @@ def test_unreachable_coordinator_defers_presumed_abort(trio):
     and presumed abort would roll back a committed transaction.  Once
     the coordinator returns, the verdict commits the deferred half."""
     router, oids = trio
+    # Planting the in-doubt state needs phase two delivered in shard
+    # order (commit 0, crash before 1); parallel delivery may commit
+    # both before the failpoint fires.
+    router.parallel_2pc = False
     a, b = router.deref(oids[0]), router.deref(oids[1])
     planter = router.session(name="planter")
     injector = faults.activate(FaultPlan().crash("shard.2pc.post_ack", hit=1))
@@ -269,6 +273,9 @@ def test_in_doubt_transaction_resolves_at_reattach(trio):
     verify the verdict is *retained* while it is down, then reattach and
     verify resolution commits both halves."""
     router, oids = trio
+    # Serial phase two: the plant relies on shard 0 committing before
+    # the failpoint strands shard 1 prepared.
+    router.parallel_2pc = False
     a, b = router.deref(oids[0]), router.deref(oids[1])
     planter = router.session(name="planter")
     injector = faults.activate(FaultPlan().crash("shard.2pc.post_ack", hit=1))

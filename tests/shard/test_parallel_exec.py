@@ -1,0 +1,362 @@
+"""Parallel cross-shard execution: the executor, the cut, the races.
+
+Three promises under test (the E16 tentpole):
+
+* the shared :class:`~repro.shard.executor.ShardExecutor` scatters
+  fan-out work with exact serial semantics -- ordered results, crash
+  outcomes carried back verbatim, nested scatters inlined, workers
+  bounded and self-reaping, never leaked;
+* a :class:`~repro.shard.snapshot.GlobalSnapshot` is one **consistent
+  cut**: a writer committing across two shards mid-fan-out is entirely
+  visible or entirely invisible, never half (the acceptance regression);
+* the parallel paths survive the same chaos the serial ones did --
+  ``kill_shard`` racing a fan-out degrades or fences, a crash landing
+  mid-parallel-prepare still resolves to a clean presumed abort.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import PersistentObject, persistent
+from repro.errors import ShardUnavailableError
+from repro.shard import ShardedDatabase, ShardExecutor
+from repro.storage import faults
+from repro.storage.faults import FaultPlan, SimulatedCrash
+
+
+@persistent(name="tests.shard.PxAcct")
+class PxAcct(PersistentObject):
+    def __init__(self, bal: int = 0, tag: int = 0) -> None:
+        self.bal = bal
+        self.tag = tag
+
+
+@pytest.fixture
+def trio(tmp_path):
+    """A 3-shard database with one account homed on each shard."""
+    router = ShardedDatabase(tmp_path / "shards", nshards=3)
+    refs = [router.pnew(PxAcct(bal=100, tag=i)) for i in range(3)]
+    by_home = {router.placement.shard_of(r.oid): r.oid for r in refs}
+    assert set(by_home) == {0, 1, 2}
+    router.checkpoint()
+    yield router, by_home
+    router.close()
+
+
+# -- the executor itself ------------------------------------------------------
+
+
+def test_run_all_preserves_item_order():
+    exe = ShardExecutor(4)
+    try:
+        outcomes = exe.run_all(list(range(8)), lambda i: i * i)
+        assert [r for r, _ in outcomes] == [i * i for i in range(8)]
+        assert all(err is None for _, err in outcomes)
+    finally:
+        exe.close()
+
+
+def test_run_all_carries_errors_without_raising():
+    exe = ShardExecutor(4)
+    try:
+        def boom(i):
+            if i == 2:
+                raise ValueError(f"shard {i}")
+            return i
+
+        outcomes = exe.run_all([0, 1, 2, 3], boom)
+        assert [r for r, _ in outcomes[:2]] == [0, 1]
+        assert isinstance(outcomes[2][1], ValueError)
+        assert outcomes[3] == (3, None)
+    finally:
+        exe.close()
+
+
+def test_simulated_crash_travels_back_and_the_worker_survives():
+    """SimulatedCrash is a BaseException: an ordinary pool would lose the
+    worker (or the crash).  Ours hands it back and keeps serving."""
+    exe = ShardExecutor(2)
+    try:
+        def die(i):
+            raise SimulatedCrash("injected")
+
+        outcomes = exe.run_all([0, 1], die)
+        assert all(isinstance(err, SimulatedCrash) for _, err in outcomes)
+        # The same workers take the next batch -- nothing died with the task.
+        again = exe.run_all([10, 20], lambda i: i + 1)
+        assert [r for r, _ in again] == [11, 21]
+        assert exe.stats()["shard.exec.workers_spawned"] <= 2
+    finally:
+        exe.close()
+
+
+def test_nested_scatter_runs_inline_not_deadlocked():
+    """A task that fans out again must not wait on workers it occupies."""
+    exe = ShardExecutor(1)  # one worker: a nested wait would deadlock
+    try:
+        def outer(i):
+            assert exe.in_worker()
+            inner = exe.run_all([1, 2, 3], lambda j: j * 10)
+            return [r for r, _ in inner]
+
+        # Guard with a timeout by doing the wait ourselves.
+        done = threading.Event()
+        result: list = []
+
+        def drive():
+            result.append(exe.run_all([0], outer))
+            done.set()
+
+        t = threading.Thread(target=drive, daemon=True)
+        t.start()
+        assert done.wait(5.0), "nested scatter deadlocked the bounded pool"
+        assert result[0][0][0] == [10, 20, 30]
+    finally:
+        exe.close()
+
+
+def test_workers_are_bounded_and_reaped():
+    exe = ShardExecutor(3, idle_timeout=0.05)
+    try:
+        exe.run_all(list(range(12)), lambda i: time.sleep(0.01) or i)
+        stats = exe.stats()
+        assert stats["shard.exec.size"] == 3
+        assert stats["shard.exec.workers"] <= 3
+        assert stats["shard.exec.max_concurrency"] <= 3
+        assert stats["shard.exec.tasks"] == 12
+        # Idle reap: without close(), the daemons exit on their own.
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            if exe.stats()["shard.exec.workers"] == 0:
+                break
+            time.sleep(0.02)
+        assert exe.stats()["shard.exec.workers"] == 0, "idle workers not reaped"
+    finally:
+        exe.close()
+
+
+def test_closed_pool_runs_inline():
+    exe = ShardExecutor(2)
+    exe.close()
+    outcomes = exe.run_all([1, 2], lambda i: i + 100)
+    assert [r for r, _ in outcomes] == [101, 102]
+
+
+# -- the consistent cut (the acceptance regression) ---------------------------
+
+
+def test_global_snapshot_is_one_consistent_cut(trio):
+    """A cross-shard transfer mid-fan-out is entirely visible or entirely
+    invisible: every cut conserves the total, none shows a torn half."""
+    router, oids = trio
+    a, b = router.deref(oids[0]), router.deref(oids[1])
+    total = a.bal + b.bal
+    stop = threading.Event()
+    writer_errors: list[BaseException] = []
+
+    def transfer_loop():
+        sess = router.session(name="cut-writer")
+        try:
+            with sess.activate():
+                while not stop.is_set():
+                    with router.transaction():
+                        a.bal -= 1
+                        b.bal += 1
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            writer_errors.append(exc)
+        finally:
+            sess.close()
+
+    t = threading.Thread(target=transfer_loop, daemon=True)
+    t.start()
+    try:
+        for _ in range(50):
+            with router.snapshot() as cut:
+                seen = cut.read_latest_attr(oids[0], "bal") + cut.read_latest_attr(
+                    oids[1], "bal"
+                )
+                assert seen == total, (
+                    f"torn cut: sum {seen} != {total} -- a cross-shard "
+                    "commit was half-visible"
+                )
+    finally:
+        stop.set()
+        t.join(10.0)
+    assert not writer_errors, writer_errors
+    stats = router.stats()
+    assert stats["shard.snap.cuts"] >= 50
+
+
+def test_snapshot_read_transaction_reads_at_its_begin_cut(trio):
+    """A snapshot-read global transaction observes one global point even
+    while a concurrent writer commits across shards under it."""
+    router, oids = trio
+    gtxn = router.begin(snapshot_reads=True)
+    try:
+        before_a = router.deref(oids[0]).bal
+        # A rival commits a cross-shard transfer while our txn is open.
+        done = threading.Event()
+
+        def rival():
+            sess = router.session(name="rival")
+            with sess.activate():
+                with router.transaction():
+                    router.deref(oids[0]).bal = 1
+                    router.deref(oids[1]).bal = 199
+            sess.close()
+            done.set()
+
+        threading.Thread(target=rival, daemon=True).start()
+        assert done.wait(10.0)
+        # Both shards still serve the begin-time cut.
+        assert router.deref(oids[0]).bal == before_a == 100
+        assert router.deref(oids[1]).bal == 100
+    finally:
+        gtxn.abort()
+    # Outside the transaction the rival's write is visible on both sides.
+    assert router.deref(oids[0]).bal == 1
+    assert router.deref(oids[1]).bal == 199
+
+
+def test_reader_epoch_spans_shards_and_down_shard_is_minus_one(trio):
+    router, oids = trio
+    sess = router.session(name="epoch-probe")
+    with sess.activate():
+        reader = sess.pin()
+        assert len(reader.epoch) == 3
+        assert all(e >= 0 for e in reader.epoch)
+    router.kill_shard(2)
+    with sess.activate():
+        assert sess.reader().epoch[2] == -1
+    sess.close()
+
+
+# -- chaos: fan-outs and 2PC racing shard death -------------------------------
+
+
+def test_fanout_racing_kill_shard_degrades_and_never_deadlocks(trio):
+    """Queries fan out in parallel while a shard dies under them: each
+    fan-out either degrades (partial results, counted) or fences to
+    ShardUnavailableError -- and the executor neither deadlocks nor
+    leaks workers."""
+    router, oids = trio
+    with router.transaction():
+        for i in range(30):
+            router.pnew(PxAcct(bal=i, tag=100 + i))
+    stop = threading.Event()
+    problems: list[str] = []
+
+    def hammer():
+        while not stop.is_set():
+            try:
+                n = sum(1 for _ in router.query(PxAcct))
+                if not 0 <= n <= 33:
+                    problems.append(f"impossible fan-out count {n}")
+                router.stats()
+            except ShardUnavailableError:
+                pass  # fenced: the documented failure shape
+            except BaseException as exc:  # pragma: no cover
+                problems.append(f"unexpected {type(exc).__name__}: {exc}")
+                return
+
+    threads = [threading.Thread(target=hammer, daemon=True) for _ in range(3)]
+    for t in threads:
+        t.start()
+    time.sleep(0.05)
+    router.kill_shard(1)
+    time.sleep(0.15)
+    router.reattach_shard(1)
+    time.sleep(0.05)
+    stop.set()
+    for t in threads:
+        t.join(10.0)
+        assert not t.is_alive(), "fan-out thread wedged: executor deadlock"
+    assert not problems, problems
+    stats = router.stats()
+    assert stats["shard.exec.workers"] <= stats["shard.exec.size"]
+    # The healthy fleet serves complete fan-outs again.
+    assert sum(1 for _ in router.query(PxAcct)) == 33
+
+
+def test_crash_mid_parallel_prepare_resolves_to_presumed_abort(tmp_path):
+    """A crash landing while PREPAREs are in flight *concurrently* must
+    recover exactly like the serial protocol: no verdict, both legs
+    rolled back, nothing in doubt."""
+    path = tmp_path / "shards"
+    router = ShardedDatabase(path, nshards=3)
+    assert router.parallel_2pc
+    src = router.pnew(PxAcct(bal=100))
+    dst = router.pnew(PxAcct(bal=100))
+    oids = (src.oid, dst.oid)
+    router.checkpoint()
+    injector = faults.activate(FaultPlan().crash("shard.2pc.post_prepare", hit=1))
+    try:
+        with pytest.raises(SimulatedCrash):
+            with router.transaction():
+                src.bal = 1
+                dst.bal = 199
+        assert injector.fired
+    finally:
+        faults.deactivate()
+
+    reopened = ShardedDatabase(path)
+    try:
+        assert reopened.deref(oids[0]).bal == 100
+        assert reopened.deref(oids[1]).bal == 100
+        for shard in reopened.shards:
+            assert not shard.in_doubt_txns()
+            assert not shard.coordinator_decisions()
+    finally:
+        reopened.close()
+
+
+def test_kill_shard_mid_prepare_converges_at_reattach(trio, monkeypatch):
+    """PR-8 follow-up: the shard dies *mid-prepare* (after its PREPARE
+    record went durable, before the decision) with parallel prepare in
+    play.  The commit fails undecided; reattach-time resolution rolls the
+    prepared half back and the fleet converges."""
+    router, oids = trio
+    victim = 1
+    real_fire = faults.fire
+
+    def fire_and_kill(name, *args, **kwargs):
+        if name == "shard.2pc.post_prepare" and not router._shard_down[victim]:
+            router.kill_shard(victim)
+        return real_fire(name, *args, **kwargs)
+
+    monkeypatch.setattr(faults, "fire", fire_and_kill)
+    a, b = router.deref(oids[0]), router.deref(oids[victim])
+    planter = router.session(name="mid-prepare-planter")
+    with planter.activate():
+        with pytest.raises(ShardUnavailableError):
+            with router.transaction():
+                a.bal = 1
+                b.bal = 199
+    # The client "process" dies; a decided transaction is detached (its
+    # fate belongs to resolution), an undecided one was already aborted.
+    planter.close()
+    monkeypatch.setattr(faults, "fire", real_fire)
+
+    report = router.reattach_shard(victim)
+    assert not report.deferred
+    # The kill raced the *other* participant's prepare: depending on
+    # which PREPARE finished first, the transaction died undecided
+    # (presumed abort everywhere) or its verdict went durable before the
+    # failure (resolution commits the dead shard's half).  Either way
+    # the outcome is atomic -- both legs or neither, nothing lingering.
+    balances = (router.deref(oids[0]).bal, router.deref(oids[victim]).bal)
+    assert balances in {(100, 100), (1, 199)}, (
+        f"torn 2PC outcome after reattach: {balances}"
+    )
+    for shard in router.shards:
+        assert not shard.in_doubt_txns()
+        assert not shard.coordinator_decisions()
+    # The fleet takes new cross-shard work immediately.
+    with router.transaction():
+        a.bal = 50
+        b.bal = 150
+    assert (a.bal, b.bal) == (50, 150)
