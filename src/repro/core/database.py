@@ -41,6 +41,7 @@ from repro.errors import (
     ReadOnlySnapshotError,
     TransactionAborted,
     TransactionStateError,
+    UnknownVersionError,
 )
 from repro.core.cache import DEFAULT_BYTES_BUDGET
 from repro.core.identity import Oid, Vid
@@ -71,6 +72,7 @@ from repro.storage.wal import (
     COMMIT,
     COORD_COMMIT,
     COORD_END,
+    GC_TOMBSTONE,
     InDoubtTransaction,
     LogManager,
     LogRecord,
@@ -250,6 +252,20 @@ class Database:
         self._log.on_persistent_failure = self._enter_degraded
         self._disk.failure_threshold = degrade_after
         self._disk.on_persistent_failure = self._enter_degraded
+        #: Garbage-collection lifetime counters (surfaced under ``gc.*``).
+        self._gc_counters: dict[str, int] = {
+            "runs": 0,
+            "versions_deleted": 0,
+            "blobs_unlinked": 0,
+            "bytes_freed": 0,
+        }
+        # A crash may have landed inside the blob-reclaim unlink protocol
+        # (the WAL tombstones carry the evidence) -- or between a blob
+        # put and its incref, which can leave an orphan content file with
+        # *no* WAL trace at all if the log happened to be empty (the
+        # file write is durable the moment it lands; the incref is not).
+        # Repair therefore runs at every open, not just recovery opens.
+        self._repair_gc_tombstones()
 
     # -- recovery ----------------------------------------------------------
 
@@ -268,13 +284,63 @@ class Database:
         self.last_recovery = recover(self._log, resolver)
         self._pool.flush_all()
         self._disk.sync()
-        if not (self.last_recovery.in_doubt or self.last_recovery.coord_decisions):
-            # In-doubt undo images and coordinator verdicts live only in
-            # the WAL; truncating now would erase the evidence resolution
-            # needs.  The log is truncated at the checkpoint that follows
-            # resolution instead.
+        if not (
+            self.last_recovery.in_doubt
+            or self.last_recovery.coord_decisions
+            or self.last_recovery.gc_tombstones
+        ):
+            # In-doubt undo images, coordinator verdicts and GC tombstones
+            # live only in the WAL; truncating now would erase the evidence
+            # resolution/repair needs.  The log is truncated at the
+            # checkpoint that follows resolution (or after the tombstone
+            # repair in ``_repair_gc_tombstones``) instead.
             self._log.truncate()
         self._pool.drop_clean()
+
+    def _repair_gc_tombstones(self) -> None:
+        """Finish (or undo the debris of) a crashed blob-reclaim batch.
+
+        The unlink protocol journals a ``GC_TOMBSTONE`` naming each key
+        *before* touching the file or the index, so recovery can always
+        tell an interrupted reclaim from corruption:
+
+        * tombstoned key, index refcount 0 -> the reclaim was decided;
+          unlink the file (idempotent) and drop the index record.
+        * tombstoned key, no index record -> the reclaim committed;
+          unlink whatever file survived.
+        * tombstoned key, refcount > 0 -> the reclaiming transaction lost
+          (its index deletes were undone); the payload is live again and
+          the file, never unlinked past a live refcount, is intact.
+
+        Afterwards sweep *orphan* files -- blobs with no index entry at
+        all, left by a crash between ``BlobStore.put`` and the incref
+        (which always runs file-first).  The sweep runs on every open,
+        recovery or not: a put's file write is durable immediately, so a
+        crash at the incref's WAL append can orphan a file even when the
+        log was empty and recovery never runs.  Repair is idempotent: a
+        crash inside it (the ``gc.repair.*`` windows) leaves the
+        tombstones in the WAL, and the next open repairs again.
+        """
+        report = self.last_recovery
+        tombstones = report.gc_tombstones if report is not None else ()
+        faults.fire("gc.repair.pre")
+        for key in tombstones:
+            refcount = self._store.blob_refcount(key)
+            if refcount == 0:
+                self._store.blobs.unlink(key)
+                self._store.drop_blob_entry(key, None)
+            elif refcount is None:
+                self._store.blobs.unlink(key)
+        for key in self._store.orphan_blob_keys():
+            self._store.blobs.unlink(key)
+        faults.fire("gc.repair.post")
+        if tombstones:
+            # Persist the repaired heaps, then release the WAL evidence
+            # (unless 2PC resolution still pins the log).
+            self._pool.flush_all()
+            self._disk.sync()
+            if not (self._in_doubt or self._coord_decisions):
+                self._log.truncate()
 
     # -- two-phase commit surface (used by repro.shard) ------------------------
 
@@ -368,6 +434,11 @@ class Database:
             self._store.reload()
             self._indexes.rebuild()
             self._store.publish_snapshot(exclude=self._active_touched(), full=True)
+            # The undone increfs may have orphaned content files; the
+            # recovered transaction carries no put list, so sweep the
+            # store (in-doubt resolution is rare enough for the scan).
+            for key in self._store.orphan_blob_keys():
+                self._store.blobs.unlink(key)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -565,6 +636,11 @@ class Database:
         )
         txn.session = sess
         sess.txn = txn
+        #: Publication epoch at begin: the blob reclaimer refuses to
+        #: unlink a zero-ref candidate stamped at or after the oldest
+        #: active transaction's start (its displacement could still be
+        #: undone by an abort).
+        txn.gc_start_epoch = self._store.snapshots.epoch
         with self._txn_mutex:
             self._active[txn.txid] = txn
         if snapshot_reads:
@@ -627,6 +703,9 @@ class Database:
                 self._store.publish_snapshot(
                     exclude=self._active_touched(), full=True
                 )
+                # Undone increfs can leave this transaction's content
+                # files without index records; sweep exactly those.
+                self._store.sweep_blob_puts(txn.blob_puts)
         else:
             exclude = self._active_touched()
             if self._store.has_unpublished_changes(exclude):
@@ -676,6 +755,11 @@ class Database:
                 else:
                     self._store.reload(touched=txn.touched_oids)
                 self._indexes.rebuild()
+                # Puts whose increfs were rewound past the savepoint may
+                # have lost their last index record; keys still referenced
+                # (by this transaction's earlier ops or anyone else) are
+                # left alone by the refcount check inside.
+                self._store.sweep_blob_puts(txn.blob_puts)
         return undone
 
     @contextmanager
@@ -894,6 +978,202 @@ class Database:
         """Delete an object (all versions) or one version (paper §4.4)."""
         oid = self._oid_of(target)
         self._mutate(oid, lambda log_op: self._store.pdelete(self._unbind(target), log_op))
+
+    # -- retention & garbage collection ---------------------------------------
+
+    def set_retention(self, scope: Any, policy: "Any | None") -> None:
+        """Declare (or with ``None``, clear) a retention policy.
+
+        ``scope`` is a ``@persistent`` class, a registered type name, an
+        :class:`Oid` or a bound ``Ref``; an object-scoped policy
+        overrides its type's.  Policies live in the catalog (a logged
+        root), so they survive restarts and replicate through vacuum.
+        """
+        from repro.core import gc as gc_engine
+
+        key = gc_engine.scope_key(scope)
+
+        def op(log_op):
+            table = gc_engine.load_retention(self._catalog)
+            if policy is None:
+                table.pop(key, None)
+            else:
+                table[key] = policy
+            gc_engine.save_retention(self._catalog, table, log_op)
+
+        self._mutate(None, op)
+
+    def retention_policies(self) -> dict[str, Any]:
+        """Every declared retention policy, keyed by scope string."""
+        from repro.core import gc as gc_engine
+
+        return gc_engine.load_retention(self._catalog)
+
+    def retention_for(self, target: Ref | Oid | type | str) -> Any | None:
+        """The effective policy for an object (override beats type)."""
+        from repro.core import gc as gc_engine
+
+        table = gc_engine.load_retention(self._catalog)
+        if isinstance(target, (type, str)):
+            return table.get(gc_engine.scope_key(target))
+        oid = self._oid_of(target)
+        override = table.get(f"oid:{oid.value}")
+        if override is not None:
+            return override
+        return table.get(f"type:{self._store.type_name(oid)}")
+
+    def tag_version(self, target: VersionRef | Vid, tag: str) -> None:
+        """Pin one version with a symbolic tag (``keep_tagged`` honors it)."""
+        from repro.core import gc as gc_engine
+
+        vid = target.vid if isinstance(target, VersionRef) else target
+        if not isinstance(vid, Vid):
+            raise TypeError("tag_version needs a specific version reference")
+
+        def op(log_op):
+            if not self._store.version_exists(vid):
+                raise UnknownVersionError(f"no such version: {vid}")
+            tags = gc_engine.load_tags(self._catalog)
+            tags.setdefault(vid.oid.value, {})[vid.serial] = str(tag)
+            gc_engine.save_tags(self._catalog, tags, log_op)
+
+        self._mutate(vid.oid, op)
+
+    def untag_version(self, target: VersionRef | Vid) -> None:
+        """Remove a version's tag (a no-op if untagged)."""
+        from repro.core import gc as gc_engine
+
+        vid = target.vid if isinstance(target, VersionRef) else target
+
+        def op(log_op):
+            tags = gc_engine.load_tags(self._catalog)
+            serials = tags.get(vid.oid.value)
+            if not serials or vid.serial not in serials:
+                return
+            del serials[vid.serial]
+            gc_engine.save_tags(self._catalog, tags, log_op)
+
+        self._mutate(vid.oid, op)
+
+    def version_tags(self, target: Ref | VersionRef | Oid | Vid) -> dict[int, str]:
+        """The object's tags: version serial -> tag string."""
+        from repro.core import gc as gc_engine
+
+        oid = self._oid_of(target)
+        return gc_engine.load_tags(self._catalog).get(oid.value, {})
+
+    def run_gc(
+        self,
+        batch_limit: int = 64,
+        now: float | None = None,
+        dry_run: bool = False,
+        reclaim: bool = True,
+    ) -> Any:
+        """One incremental GC pass: retention pruning, then blob reclaim.
+
+        Bounded batches, each its own transaction -- safe to run online
+        next to writers and pinned snapshots.  Returns a
+        :class:`~repro.core.gc.GCReport`; ``dry_run`` plans without
+        deleting anything.
+        """
+        from repro.core import gc as gc_engine
+
+        report = gc_engine.collect(
+            self, batch_limit=batch_limit, now=now, dry_run=dry_run,
+            reclaim=reclaim,
+        )
+        if not dry_run:
+            self._gc_counters["runs"] += 1
+            self._gc_counters["versions_deleted"] += report.versions_deleted
+        return report
+
+    def reclaim_blobs(
+        self, limit: int | None = None, dry_run: bool = False
+    ) -> tuple[int, int, int]:
+        """Unlink provably unreachable zero-ref blobs (bounded batch).
+
+        Returns ``(unlinked, bytes_freed, candidates_remaining)``.  A
+        candidate is eligible only when the epoch-reclamation signal
+        clears it: its displacement has *published* (epoch advanced), no
+        pinned snapshot predates the displacement, no active transaction
+        started before it (an abort could revive the reference), and no
+        2PC participant is in doubt (its verdict may undo displacements
+        wholesale).  Each batch journals a WAL ``GC_TOMBSTONE`` before
+        the first unlink so a crash in any window is repaired at the
+        next open.
+        """
+        self._check_writable()
+        with self._twopc_mutex:
+            if self._in_doubt:
+                with self._storage_mutex:
+                    return (0, 0, len(self._store.gc_candidates()))
+        if dry_run:
+            with self._storage_mutex:
+                eligible = self._eligible_blob_keys(limit)
+                sizes = self._store.blob_entries()
+                freed = sum(sizes[key][1] for key in eligible)
+                remaining = len(self._store.gc_candidates()) - len(eligible)
+            return (len(eligible), freed, remaining)
+
+        def op(log_op):
+            txn = self.current_transaction()
+            eligible = self._eligible_blob_keys(
+                limit, exclude_txid=txn.txid if txn is not None else None
+            )
+            if not eligible:
+                return (0, 0, len(self._store.gc_candidates()))
+            faults.fire("gc.tombstone.pre")
+            self._log.append(
+                LogRecord(
+                    GC_TOMBSTONE, 0, payload=serialization.encode(tuple(eligible))
+                )
+            )
+            self._log.flush()
+            faults.fire("gc.tombstone.post")
+            unlinked = 0
+            freed = 0
+            for key in eligible:
+                faults.fire("gc.unlink.pre")
+                freed += self._store.blobs.unlink(key)
+                faults.fire("gc.unlink.post")
+                faults.fire("gc.index.pre")
+                self._store.drop_blob_entry(key, log_op)
+                faults.fire("gc.index.post")
+                unlinked += 1
+            return (unlinked, freed, len(self._store.gc_candidates()))
+
+        unlinked, freed, remaining = self._mutate(None, op)
+        self._gc_counters["blobs_unlinked"] += unlinked
+        self._gc_counters["bytes_freed"] += freed
+        return (unlinked, freed, remaining)
+
+    def _eligible_blob_keys(
+        self, limit: int | None, exclude_txid: int | None = None
+    ) -> list[str]:
+        """Candidates the epoch signal clears (caller holds the storage mutex)."""
+        epoch = self._store.snapshots.epoch
+        min_pinned = self._store.snapshots.min_pinned_epoch()
+        with self._txn_mutex:
+            starts = [
+                getattr(txn, "gc_start_epoch", 0)
+                for txid, txn in self._active.items()
+                if txid != exclude_txid
+            ]
+        active_floor = min(starts) if starts else None
+        out: list[str] = []
+        for key, stamp in sorted(
+            self._store.gc_candidates().items(), key=lambda kv: (kv[1], kv[0])
+        ):
+            if stamp >= epoch:
+                continue  # displacement not yet published
+            if min_pinned is not None and min_pinned <= stamp:
+                continue  # a pinned cut may predate the displacement
+            if active_floor is not None and active_floor <= stamp:
+                continue  # the displacing transaction may still abort
+            out.append(key)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
 
     @staticmethod
     def _oid_of(target: Ref | VersionRef | Oid | Vid) -> Oid:
@@ -1186,6 +1466,9 @@ class Database:
         }
         for key, value in self._store.stats().items():
             stats[f"cache.{key}"] = value
+        stats.update(self._store.blob_stats())
+        for key, value in self._gc_counters.items():
+            stats[f"gc.{key}"] = value
         stats.update(self._store.snapshots.stats())
         stats.update(self._locks.stats())
         stats.update(self._resilience.as_dict())

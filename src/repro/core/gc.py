@@ -1,0 +1,267 @@
+"""Retention policies and the snapshot-safe online garbage collector.
+
+Version histories grow without bound (the paper's model never discards a
+version implicitly), so long-lived databases need an *explicit* reclaim
+path.  This module supplies it in two stages:
+
+1. **Retention** -- declarative :class:`RetentionPolicy` descriptors
+   stored in the catalog (per type, with per-object overrides) decide
+   which versions are *displaced*: everything not protected by
+   ``keep_last_n`` / ``keep_days`` / ``keep_tagged`` (and never the
+   latest version) is deleted through the ordinary transactional
+   ``pdelete`` path in bounded batches.
+
+2. **Blob reclaim** -- deleting version records drops content-addressed
+   payload refcounts; keys that reach zero become *candidates* stamped
+   with the snapshot epoch at displacement.  ``Database.reclaim_blobs``
+   unlinks a candidate's file only once the epoch-reclamation signal
+   proves no pinned snapshot and no still-active transaction can reach
+   it, journaling a WAL tombstone first so a crash in any window of the
+   unlink protocol is repaired at recovery (see
+   ``Database._repair_gc_tombstones``).
+
+Both stages are incremental: bounded batches, each its own transaction,
+run under the same mutexes as any writer -- the collector never blocks
+writers for longer than one small batch, and readers on pinned
+snapshots are never broken (displaced payloads are stashed into their
+overlays before the records are overwritten).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.core.identity import Oid, Vid
+from repro.errors import CatalogError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.database import Database
+
+#: Catalog root holding the retention table: a tuple of
+#: ``(scope_key, (keep_last_n, keep_days, keep_tagged))`` pairs.
+RETENTION_ROOT = "ode.retention"
+
+#: Catalog root holding version tags: a tuple of
+#: ``(oid_value, ((serial, tag), ...))`` pairs.
+TAGS_ROOT = "ode.tags"
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """How much history to keep for the objects a scope covers.
+
+    A version survives collection if *any* rule protects it:
+
+    * it is the latest version of its object (always kept);
+    * ``keep_last_n`` -- it is among the N most recent versions
+      (temporal order);
+    * ``keep_days`` -- it is younger than the horizon;
+    * ``keep_tagged`` -- it carries a tag (pinned releases survive any
+      count/age pruning).
+
+    A policy with neither ``keep_last_n`` nor ``keep_days`` set is
+    *inactive*: it prunes nothing (``keep_tagged`` alone never dooms a
+    version, it only protects).
+    """
+
+    keep_last_n: int | None = None
+    keep_days: float | None = None
+    keep_tagged: bool = True
+
+    def __post_init__(self) -> None:
+        if self.keep_last_n is not None and self.keep_last_n < 1:
+            raise ValueError("keep_last_n must be >= 1 (the latest always stays)")
+        if self.keep_days is not None and self.keep_days < 0:
+            raise ValueError("keep_days must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        return self.keep_last_n is not None or self.keep_days is not None
+
+    def to_state(self) -> tuple:
+        return (self.keep_last_n, self.keep_days, self.keep_tagged)
+
+    @classmethod
+    def from_state(cls, state: tuple) -> "RetentionPolicy":
+        keep_last_n, keep_days, keep_tagged = state
+        return cls(keep_last_n, keep_days, keep_tagged)
+
+
+def scope_key(scope: Any) -> str:
+    """Normalize a retention scope to its catalog key.
+
+    Accepts a ``@persistent`` class, a registered type name, an
+    :class:`Oid`, or a bound ``Ref`` (anything with an ``oid``).
+    Type scopes key as ``"type:<name>"``, object overrides as
+    ``"oid:<value>"`` -- an override beats the type policy.
+    """
+    from repro.storage import serialization
+
+    if isinstance(scope, str):
+        return scope if scope.startswith(("type:", "oid:")) else f"type:{scope}"
+    if isinstance(scope, type):
+        name = serialization.registered_name(scope)
+        if name is None:
+            raise CatalogError(f"{scope!r} is not a registered persistent type")
+        return f"type:{name}"
+    if isinstance(scope, Oid):
+        return f"oid:{scope.value}"
+    oid = getattr(scope, "oid", None)
+    if isinstance(oid, Oid):
+        return f"oid:{oid.value}"
+    raise TypeError(f"cannot derive a retention scope from {scope!r}")
+
+
+def load_retention(catalog: Any) -> dict[str, RetentionPolicy]:
+    """The retention table stored in the catalog (empty dict if unset)."""
+    state = catalog.get_root(RETENTION_ROOT, ())
+    return {key: RetentionPolicy.from_state(pol) for key, pol in state}
+
+
+def save_retention(
+    catalog: Any, table: dict[str, RetentionPolicy], log_op: Any
+) -> None:
+    state = tuple(sorted((key, pol.to_state()) for key, pol in table.items()))
+    catalog.set_root(RETENTION_ROOT, state, log_op)
+
+
+def load_tags(catalog: Any) -> dict[int, dict[int, str]]:
+    """Version tags: oid value -> {serial -> tag}."""
+    state = catalog.get_root(TAGS_ROOT, ())
+    return {oid: dict(serials) for oid, serials in state}
+
+
+def save_tags(catalog: Any, tags: dict[int, dict[int, str]], log_op: Any) -> None:
+    state = tuple(
+        sorted(
+            (oid, tuple(sorted(serials.items())))
+            for oid, serials in tags.items()
+            if serials
+        )
+    )
+    catalog.set_root(TAGS_ROOT, state, log_op)
+
+
+@dataclass
+class GCReport:
+    """What one ``run_gc`` pass did (or would do, for a dry run)."""
+
+    versions_examined: int = 0
+    versions_deleted: int = 0
+    objects_pruned: int = 0
+    batches: int = 0
+    blobs_unlinked: int = 0
+    bytes_freed: int = 0
+    #: Zero-ref candidates left behind: not yet provably unreachable
+    #: (pinned snapshot, active transaction, in-doubt participant) or
+    #: beyond this pass's batch limit.  A later pass retries them.
+    candidates_remaining: int = 0
+    dry_run: bool = False
+
+    def merge_reclaim(self, unlinked: int, freed: int, remaining: int) -> None:
+        self.blobs_unlinked += unlinked
+        self.bytes_freed += freed
+        self.candidates_remaining = remaining
+
+    def render(self) -> str:
+        verb = "would delete" if self.dry_run else "deleted"
+        return (
+            f"gc: {verb} {self.versions_deleted} version(s) of "
+            f"{self.objects_pruned} object(s) in {self.batches} batch(es); "
+            f"unlinked {self.blobs_unlinked} blob(s) / {self.bytes_freed} "
+            f"byte(s); {self.candidates_remaining} candidate(s) remaining"
+        )
+
+
+def doomed_versions(
+    db: "Database",
+    oid: Oid,
+    policy: RetentionPolicy,
+    tags: dict[int, str],
+    now: float,
+) -> list[Vid]:
+    """The versions of ``oid`` the policy displaces, oldest first.
+
+    Pure selection -- no mutation.  The latest version is always kept;
+    protection rules are a union (see :class:`RetentionPolicy`).
+    """
+    if not policy.active:
+        return []
+    graph = db.store.graph(oid)
+    nodes = list(graph.walk_temporal())
+    if len(nodes) <= 1:
+        return []
+    keep: set[int] = {nodes[-1].serial}  # the latest always survives
+    if policy.keep_last_n is not None:
+        keep.update(n.serial for n in nodes[-policy.keep_last_n:])
+    if policy.keep_days is not None:
+        horizon = now - policy.keep_days * 86400.0
+        keep.update(n.serial for n in nodes if n.ctime >= horizon)
+    if policy.keep_tagged:
+        keep.update(tags.keys())
+    return [Vid(oid, n.serial) for n in nodes if n.serial not in keep]
+
+
+def collect(
+    db: "Database",
+    batch_limit: int = 64,
+    now: float | None = None,
+    dry_run: bool = False,
+    reclaim: bool = True,
+) -> GCReport:
+    """One incremental GC pass: apply retention, then reclaim blobs.
+
+    Retention deletions run through the ordinary transactional delete
+    path in batches of at most ``batch_limit`` versions -- each batch is
+    one transaction, so writers interleave between batches and a crash
+    loses at most one unacknowledged batch (never an acknowledged one).
+    """
+    if now is None:
+        now = time.time()
+    report = GCReport(dry_run=dry_run)
+    policies = load_retention(db.catalog)
+    if policies:
+        all_tags = load_tags(db.catalog)
+        doomed: list[Vid] = []
+        # Plan against a pinned snapshot: a consistent cut of every graph,
+        # taken without blocking writers.
+        with db.snapshot() as snap:
+            for ref in snap.all_objects():
+                oid = ref.oid
+                pol = policies.get(f"oid:{oid.value}")
+                if pol is None:
+                    pol = policies.get(f"type:{snap.type_name(oid)}")
+                if pol is None or not pol.active:
+                    continue
+                report.versions_examined += db.version_count(oid)
+                victims = doomed_versions(
+                    db, oid, pol, all_tags.get(oid.value, {}), now
+                )
+                if victims:
+                    report.objects_pruned += 1
+                    doomed.extend(victims)
+        for start in range(0, len(doomed), batch_limit):
+            batch = doomed[start : start + batch_limit]
+            report.batches += 1
+            if dry_run:
+                report.versions_deleted += len(batch)
+                continue
+            with db.transaction():
+                for vid in batch:
+                    # Replanned state may have moved underneath us (a
+                    # concurrent writer pruned or deleted); skip stale
+                    # victims rather than fail the batch.
+                    if not db.version_exists(vid):
+                        continue
+                    if db.latest_vid(vid.oid) == vid:
+                        continue  # became the latest: now protected
+                    db.pdelete(vid)
+                    report.versions_deleted += 1
+    if reclaim:
+        unlinked, freed, remaining = db.reclaim_blobs(
+            limit=batch_limit, dry_run=dry_run
+        )
+        report.merge_reclaim(unlinked, freed, remaining)
+    return report

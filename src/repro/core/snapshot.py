@@ -52,6 +52,7 @@ import threading
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.errors import (
+    BlobMissingError,
     DanglingReferenceError,
     ReadOnlySnapshotError,
     StorageError,
@@ -168,6 +169,21 @@ class SnapshotRegistry:
         """Number of snapshots currently pinned by readers."""
         with self._lock:
             return len(self._pinned)
+
+    def min_pinned_epoch(self) -> int | None:
+        """The oldest epoch any pinned snapshot is reading (None = no pins).
+
+        The GC's epoch-reclamation signal: a displaced payload whose
+        refcount hit zero at epoch E is provably unreachable through shared
+        state once ``epoch > E`` (the displacement has been published, so
+        no later pin can resolve to it), and every snapshot pinned at an
+        epoch <= E received the content in its stash overlay when the
+        displacement happened -- it never needs the blob file again.
+        """
+        with self._lock:
+            if not self._pinned:
+                return None
+            return min(snap._epoch for snap in self._pinned.values())
 
     def stats(self) -> dict[str, int]:
         """The ``snap.*`` counter block for ``Database.stats()``."""
@@ -450,7 +466,17 @@ class Snapshot:
         content = self._bytes_overlay.get(vid)
         if content is not None:
             return content, True
-        return raw, False
+        try:
+            return self._store._resolve_payload(raw), False
+        except BlobMissingError:
+            # The record we read was displaced and its blob reclaimed
+            # between our heap read and the file open.  The displacing
+            # writer stashed the content before touching the record, so
+            # the overlay must cover us -- a miss here is a refcount bug.
+            content = self._bytes_overlay.get(vid)
+            if content is not None:
+                return content, True
+            raise
 
     def _version_bytes(self, entry: SnapshotEntry, oid: Oid, serial: int) -> bytes:
         """Materialized content of one version, per this snapshot.

@@ -31,11 +31,13 @@ inherited from the heap layer through the ``log_op`` callback.
 from __future__ import annotations
 
 import inspect
+import os
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
 from repro.errors import (
+    BlobError,
     DanglingReferenceError,
     UnknownObjectError,
     UnknownVersionError,
@@ -52,7 +54,9 @@ from repro.core.identity import Oid, Vid
 from repro.core.pointers import Ref, VersionRef, unwrap_ids
 from repro.core.snapshot import Snapshot, SnapshotEntry, SnapshotRegistry
 from repro.core.vgraph import VersionGraph
+from repro.storage import blobs as blobstore
 from repro.storage import serialization
+from repro.storage.blobs import BlobStore
 from repro.storage.catalog import Catalog
 from repro.storage.delta import apply_delta, compute_delta
 from repro.storage.heap import HeapFile, LogOp, Rid
@@ -62,6 +66,11 @@ from repro.verify import hooks
 OBJECTS_HEAP = "ode.objects"
 VERSIONS_HEAP = "ode.versions"
 CLUSTERS_HEAP = "ode.clusters"
+#: Blob refcount index: ``(key, refcount, size)`` records, one per live
+#: content key.  Updated through the same ``log_op`` as the version record
+#: that references the blob, so refcounts commit, abort, and replay
+#: together with the references themselves.
+BLOBS_HEAP = "ode.blobs"
 
 #: Payload storage kinds (first element of a node's ``data`` tuple).
 _FULL = "F"
@@ -158,6 +167,17 @@ class _Entry:
         self.graph_shared = False
 
 
+class _BlobRef:
+    """In-memory image of one ``ode.blobs`` index record."""
+
+    __slots__ = ("refcount", "size", "rid")
+
+    def __init__(self, refcount: int, size: int, rid: Rid) -> None:
+        self.refcount = refcount
+        self.size = size
+        self.rid = rid
+
+
 class VersionStore:
     """Versioned persistent objects over the heap layer.
 
@@ -165,6 +185,13 @@ class VersionStore:
     memory and written through to the ``ode.objects`` heap; version
     payloads live in ``ode.versions``; per-type cluster membership in
     ``ode.clusters``.
+
+    Version-heap records are content-addressed **blob references**: the
+    payload bytes (full copy or delta body) live once in the blob store,
+    keyed by their sha256, and the heap record is a fixed-size pointer.
+    The ``ode.blobs`` heap holds the refcount per key; a key whose
+    refcount reaches zero becomes a GC candidate stamped with the current
+    snapshot epoch (see ``repro.core.gc`` for the reclaim protocol).
     """
 
     def __init__(
@@ -175,6 +202,7 @@ class VersionStore:
         decoded_entries: int = DEFAULT_DECODED_ENTRIES,
         oid_stride: int = 1,
         oid_residue: int = 0,
+        blob_root: str | os.PathLike[str] | None = None,
     ) -> None:
         self._catalog = catalog
         self._policy = policy or StoragePolicy()
@@ -187,6 +215,18 @@ class VersionStore:
         self._objects: HeapFile = catalog.ensure_heap(OBJECTS_HEAP)
         self._versions: HeapFile = catalog.ensure_heap(VERSIONS_HEAP)
         self._clusters: HeapFile = catalog.ensure_heap(CLUSTERS_HEAP)
+        self._blobs_heap: HeapFile = catalog.ensure_heap(BLOBS_HEAP)
+        if blob_root is None:
+            blob_root = os.path.join(catalog.directory, "blobs")
+        self._blobs = BlobStore(blob_root)
+        #: key -> live index record image.  Mirrors the ``ode.blobs`` heap.
+        self._blob_index: dict[str, _BlobRef] = {}
+        #: Zero-refcount keys awaiting reclaim, stamped with the snapshot
+        #: epoch at which the count hit zero.  The GC only unlinks a key
+        #: once the epoch has advanced past the stamp (the displacement has
+        #: been published, so no later pin can reach it and every earlier
+        #: pin holds stash overlays).
+        self._gc_candidates: dict[str, int] = {}
         self._table: dict[Oid, _Entry] = {}
         self._by_type: dict[str, set[Oid]] = {}
         #: Materialized payload bytes, LRU-bounded by a byte budget with a
@@ -230,6 +270,17 @@ class VersionStore:
         self._bytes_cache.clear()
         self._decoded_cache.clear()
         self._load_table()
+        self._load_blob_index()
+
+    def _load_blob_index(self) -> None:
+        self._blob_index.clear()
+        self._gc_candidates.clear()
+        epoch = self._snapshots.epoch
+        for rid, payload in self._blobs_heap.scan():
+            key, refcount, size = serialization.decode(payload)
+            self._blob_index[key] = _BlobRef(refcount, size, rid)
+            if refcount == 0:
+                self._gc_candidates[key] = epoch
 
     def _load_table(self) -> None:
         self._table.clear()
@@ -260,6 +311,11 @@ class VersionStore:
             self._load()
             return
         self._load_table()
+        # Refcount updates ride every payload mutation, so the rolled-back
+        # transaction may have touched the blob index even when only a few
+        # objects changed; rebuild it wholesale (it is small -- one record
+        # per unique content key).
+        self._load_blob_index()
         for oid in touched:
             self._invalidate_object(oid)
 
@@ -387,6 +443,159 @@ class VersionStore:
             raise UnknownObjectError(f"no persistent object {oid!r}")
         return entry
 
+    # -- content-addressed payload records ----------------------------------------
+
+    @property
+    def blobs(self) -> BlobStore:
+        """The content-addressed blob store backing version payloads."""
+        return self._blobs
+
+    def _blob_incref(self, key: str, size: int, log_op: LogOp | None) -> None:
+        ref = self._blob_index.get(key)
+        if ref is None:
+            rid = self._blobs_heap.insert(
+                serialization.encode((key, 1, size)), log_op
+            )
+            self._blob_index[key] = _BlobRef(1, size, rid)
+        else:
+            ref.refcount += 1
+            self._blobs_heap.update(
+                ref.rid, serialization.encode((key, ref.refcount, ref.size)), log_op
+            )
+            if ref.refcount == 1:
+                # Revived while awaiting reclaim: the content is identical
+                # (that is what content addressing means), so the file is
+                # simply live again.
+                self._gc_candidates.pop(key, None)
+
+    def _blob_decref(self, key: str, log_op: LogOp | None) -> None:
+        ref = self._blob_index.get(key)
+        if ref is None or ref.refcount <= 0:
+            raise BlobError(f"blob refcount underflow for {key}")
+        ref.refcount -= 1
+        self._blobs_heap.update(
+            ref.rid, serialization.encode((key, ref.refcount, ref.size)), log_op
+        )
+        if ref.refcount == 0:
+            self._gc_candidates[key] = self._snapshots.epoch
+
+    def _blob_ref_record(self, stored: bytes, log_op: LogOp | None) -> bytes:
+        """Write ``stored`` into the blob store; returns the heap record.
+
+        The file write happens *before* the index record: a crash in
+        between leaves an orphan file, which the GC's orphan sweep (and
+        the recovery repair pass) removes.  The reverse order could lose
+        acknowledged payload bytes.
+        """
+        key = self._blobs.put(stored)
+        self._blob_incref(key, len(stored), log_op)
+        # Remember which keys this transaction introduced: if it rolls
+        # back, the undone increfs can leave content files with no index
+        # record, and the owner sweeps exactly these (see
+        # :meth:`sweep_blob_puts`) instead of scanning the whole store.
+        owner = getattr(log_op, "__self__", None)
+        puts = getattr(owner, "blob_puts", None)
+        if puts is not None:
+            puts.append(key)
+        return blobstore.encode_ref(key, len(stored))
+
+    def _release_record(self, record: bytes, log_op: LogOp | None) -> None:
+        """Drop the blob reference held by a displaced heap record."""
+        if blobstore.is_ref(record):
+            key, _size = blobstore.decode_ref(record)
+            self._blob_decref(key, log_op)
+
+    def _record_insert(self, stored: bytes, log_op: LogOp | None) -> Rid:
+        return self._versions.insert(self._blob_ref_record(stored, log_op), log_op)
+
+    def _record_update(self, rid: Rid, stored: bytes, log_op: LogOp | None) -> None:
+        # Incref-new before decref-old: rewriting a record to the same
+        # content must never let the shared key's count touch zero.
+        old = self._versions.read(rid)
+        self._versions.update(rid, self._blob_ref_record(stored, log_op), log_op)
+        self._release_record(old, log_op)
+
+    def _record_delete(self, rid: Rid, log_op: LogOp | None) -> None:
+        old = self._versions.read(rid)
+        self._versions.delete(rid, log_op)
+        self._release_record(old, log_op)
+
+    def _resolve_payload(self, raw: bytes) -> bytes:
+        """Materialize a versions-heap record: follow a blob reference.
+
+        Legacy records (pre-CAS databases) hold the payload inline and
+        pass through unchanged.
+        """
+        if blobstore.is_ref(raw):
+            key, _size = blobstore.decode_ref(raw)
+            return self._blobs.get(key)
+        return raw
+
+    # -- blob accounting surface (GC, check, inspect) ------------------------------
+
+    def blob_entries(self) -> dict[str, tuple[int, int]]:
+        """Snapshot of the refcount index: key -> (refcount, size)."""
+        return {k: (ref.refcount, ref.size) for k, ref in self._blob_index.items()}
+
+    def gc_candidates(self) -> dict[str, int]:
+        """Zero-refcount keys awaiting reclaim: key -> epoch stamp."""
+        return dict(self._gc_candidates)
+
+    def blob_refcount(self, key: str) -> int | None:
+        """Live refcount of a key, or None when it has no index record."""
+        ref = self._blob_index.get(key)
+        return None if ref is None else ref.refcount
+
+    def orphan_blob_keys(self) -> list[str]:
+        """Content files on disk with no index record (crashed puts)."""
+        return [key for key in self._blobs.keys() if key not in self._blob_index]
+
+    def sweep_blob_puts(self, keys: "list[str]") -> int:
+        """Unlink rolled-back puts that lost their last index record.
+
+        Called after an abort or savepoint rollback with the keys the
+        transaction put (the caller holds the storage mutex).  A key
+        another reference revived -- or that a concurrent transaction
+        also put -- still has an index record and is left alone; put +
+        incref are atomic under the storage mutex, so a key with *no*
+        record is provably garbage.
+        """
+        swept = 0
+        for key in dict.fromkeys(keys):  # dedup, order preserved
+            if key not in self._blob_index and self._blobs.unlink(key):
+                swept += 1
+        return swept
+
+    def drop_blob_entry(self, key: str, log_op: LogOp | None) -> None:
+        """Delete a reclaimed key's index record (GC, after the unlink)."""
+        ref = self._blob_index.get(key)
+        if ref is None:
+            return
+        if ref.refcount != 0:
+            raise BlobError(
+                f"cannot drop live blob {key} (refcount {ref.refcount})"
+            )
+        self._blobs_heap.delete(ref.rid, log_op)
+        del self._blob_index[key]
+        self._gc_candidates.pop(key, None)
+
+    def blob_stats(self) -> dict[str, int]:
+        """Blob-store counters plus index totals (``blobs.*`` namespace)."""
+        out = self._blobs.stats.as_dict()
+        live = sum(1 for ref in self._blob_index.values() if ref.refcount > 0)
+        live_bytes = sum(
+            ref.size for ref in self._blob_index.values() if ref.refcount > 0
+        )
+        logical = sum(
+            ref.refcount * ref.size for ref in self._blob_index.values()
+        )
+        out["blobs.count"] = len(self._blob_index)
+        out["blobs.live"] = live
+        out["blobs.live_bytes"] = live_bytes
+        out["blobs.logical_bytes"] = logical
+        out["blobs.pending_reclaim"] = len(self._gc_candidates)
+        return out
+
     # -- payload storage ---------------------------------------------------------
 
     def _store_payload(
@@ -408,9 +617,9 @@ class VersionStore:
             base_bytes = self._version_bytes(entry, base_serial)
             delta = compute_delta(base_bytes, content)
             if len(delta) < len(content):
-                rid = self._versions.insert(delta, log_op)
+                rid = self._record_insert(delta, log_op)
                 return (_DELTA, rid.page_id, rid.slot)
-        rid = self._versions.insert(content, log_op)
+        rid = self._record_insert(content, log_op)
         return (_FULL, rid.page_id, rid.slot)
 
     def _depth_since_keyframe(self, entry: _Entry, serial: int) -> int:
@@ -470,7 +679,7 @@ class VersionStore:
 
     def _read_record(self, data: tuple) -> bytes:
         _kind, page_id, slot = data
-        return self._versions.read(Rid(page_id, slot))
+        return self._resolve_payload(self._versions.read(Rid(page_id, slot)))
 
     def _rewrite_payload(
         self, entry: _Entry, serial: int, content: bytes, log_op: LogOp | None
@@ -510,7 +719,7 @@ class VersionStore:
                 node.data = (_FULL, page_id, slot)
         else:
             stored = content
-        self._versions.update(Rid(page_id, slot), stored, log_op)
+        self._record_update(Rid(page_id, slot), stored, log_op)
         # The version's *content* changed: its decoded copy is stale, and
         # the bytes cache takes the new payload.
         self._decoded_cache.pop(Vid(entry.oid, serial))
@@ -521,9 +730,9 @@ class VersionStore:
             new_delta = compute_delta(content, child_content)
             if len(new_delta) >= len(child_content):
                 child_node.data = (_FULL, cpage, cslot)
-                self._versions.update(Rid(cpage, cslot), child_content, log_op)
+                self._record_update(Rid(cpage, cslot), child_content, log_op)
             else:
-                self._versions.update(Rid(cpage, cslot), new_delta, log_op)
+                self._record_update(Rid(cpage, cslot), new_delta, log_op)
             # Children keep their content (only the encoding changed), so
             # their decoded copies stay valid.
             self._cache_bytes(Vid(entry.oid, child), child_content)
@@ -624,7 +833,7 @@ class VersionStore:
         self._dirty_oids.add(oid)
         for node in list(entry.graph.walk_temporal()):
             _kind, page_id, slot = node.data
-            self._versions.delete(Rid(page_id, slot), log_op)
+            self._record_delete(Rid(page_id, slot), log_op)
         self._invalidate_object(oid)
         if entry.rid is not None:
             self._objects.delete(entry.rid, log_op)
@@ -661,7 +870,7 @@ class VersionStore:
         removed = graph.remove(vid.serial)
         entry.latest_vid = None  # deleting the latest moves the denotation
         _kind, page_id, slot = removed.data
-        self._versions.delete(Rid(page_id, slot), log_op)
+        self._record_delete(Rid(page_id, slot), log_op)
         self._invalidate_version(vid)
         for child, child_content in child_contents.items():
             child_node = graph.node(child)
@@ -669,15 +878,15 @@ class VersionStore:
             if child_node.dprev is None:
                 # Re-parented to nothing: must become a full copy.
                 child_node.data = (_FULL, cpage, cslot)
-                self._versions.update(Rid(cpage, cslot), child_content, log_op)
+                self._record_update(Rid(cpage, cslot), child_content, log_op)
             else:
                 base = self._version_bytes(entry, child_node.dprev)
                 new_delta = compute_delta(base, child_content)
                 if len(new_delta) >= len(child_content):
                     child_node.data = (_FULL, cpage, cslot)
-                    self._versions.update(Rid(cpage, cslot), child_content, log_op)
+                    self._record_update(Rid(cpage, cslot), child_content, log_op)
                 else:
-                    self._versions.update(Rid(cpage, cslot), new_delta, log_op)
+                    self._record_update(Rid(cpage, cslot), new_delta, log_op)
             self._cache_bytes(Vid(entry.oid, child), child_content)
         self._save_entry(entry, log_op)
         self._notify(EV_DELETE_VERSION, vid.oid, vid)

@@ -66,6 +66,22 @@ class CatalogError(StorageError):
     """The system catalog is missing an entry or is inconsistent."""
 
 
+class BlobError(StorageError):
+    """A content-addressed blob operation failed (bad key, refcount bug)."""
+
+
+class BlobMissingError(BlobError):
+    """The blob file for a content key is not on disk.
+
+    Snapshot readers treat this exactly like a deleted heap record: the
+    payload was displaced by a writer or the GC, so the reader re-checks
+    its stash overlay (stash-before-overwrite guarantees the bytes are
+    there for any version the snapshot can still reach).  Seen outside
+    that protocol it indicates a refcount-accounting bug -- the blob
+    audit in ``repro.tools.check`` looks for exactly that.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Versioning kernel
 # ---------------------------------------------------------------------------

@@ -691,6 +691,135 @@ class ShardedDatabase:
             return VersionRef(self, ident)
         raise TypeError(f"expected Oid or Vid, got {type(ident).__qualname__}")
 
+    # -- retention & garbage collection ---------------------------------------
+
+    def set_retention(self, scope: Any, policy: Any | None) -> None:
+        """Declare (or clear) a retention policy across the cluster.
+
+        Type-scoped policies are broadcast to every up shard (each
+        shard's catalog carries its own copy, so a shard GC needs no
+        cross-shard coordination); object-scoped policies route to the
+        owning shard alone.
+        """
+        if isinstance(scope, (Oid, Ref, VersionRef)):
+            oid = _oid_of(scope)
+            self._on_shard(
+                self._locate(oid), lambda db: db.set_retention(oid, policy)
+            )
+            return
+        sess = self._current_session()
+        self._scatter(
+            self._fanout_shards(),
+            lambda idx: self._on_shard(
+                idx, lambda db: db.set_retention(scope, policy), sess=sess
+            ),
+        )
+
+    def retention_policies(self) -> dict[str, Any]:
+        """The union of every up shard's retention table."""
+        sess = self._current_session()
+        parts = self._scatter(
+            self._fanout_shards(),
+            lambda idx: self._on_shard(
+                idx, lambda db: db.retention_policies(), sess=sess
+            ),
+        )
+        merged: dict[str, Any] = {}
+        for part in parts:
+            merged.update(part)
+        return merged
+
+    def retention_for(self, target: Ref | Oid | type | str) -> Any | None:
+        """The effective policy: routed for objects, any up shard for types."""
+        if isinstance(target, (Oid, Ref, VersionRef)):
+            oid = _oid_of(target)
+            return self._on_shard(
+                self._locate(oid), lambda db: db.retention_for(oid)
+            )
+        # Type policies are broadcast identically to every shard.
+        return self._first_up(lambda db: db.retention_for(target))
+
+    def _first_up(self, fn: Callable[[Database], Any]) -> Any:
+        up = self._fanout_shards()
+        if not up:
+            raise ShardUnavailableError("no shard is up", shard=-1)
+        return self._on_shard(up[0], fn)
+
+    def tag_version(self, target: VersionRef | Vid, tag: str) -> None:
+        """Pin one version with a tag on its owning shard."""
+        vid = target.vid if isinstance(target, VersionRef) else target
+        self._on_shard(
+            self._locate(vid.oid), lambda db: db.tag_version(vid, tag)
+        )
+
+    def untag_version(self, target: VersionRef | Vid) -> None:
+        vid = target.vid if isinstance(target, VersionRef) else target
+        self._on_shard(
+            self._locate(vid.oid), lambda db: db.untag_version(vid)
+        )
+
+    def version_tags(self, target: Ref | VersionRef | Oid | Vid) -> dict[int, str]:
+        oid = _oid_of(target)
+        return self._on_shard(
+            self._locate(oid), lambda db: db.version_tags(oid)
+        )
+
+    def run_gc(
+        self,
+        batch_limit: int = 64,
+        now: float | None = None,
+        dry_run: bool = False,
+        reclaim: bool = True,
+    ) -> Any:
+        """Scatter one incremental GC pass across every up shard.
+
+        Each shard collects independently (retention tables are
+        shard-local); a shard holding in-doubt 2PC participants skips
+        blob reclaim on its own (their verdict may undo displacements),
+        so running GC during a partial outage is safe.  Reports are
+        merged.
+        """
+        from repro.core.gc import GCReport
+
+        sess = self._current_session()
+        parts = self._scatter(
+            self._fanout_shards(),
+            lambda idx: self._on_shard(
+                idx,
+                lambda db: db.run_gc(
+                    batch_limit=batch_limit, now=now, dry_run=dry_run,
+                    reclaim=reclaim,
+                ),
+                sess=sess,
+            ),
+        )
+        merged = GCReport(dry_run=dry_run)
+        for part in parts:
+            merged.versions_examined += part.versions_examined
+            merged.versions_deleted += part.versions_deleted
+            merged.objects_pruned += part.objects_pruned
+            merged.batches += part.batches
+            merged.blobs_unlinked += part.blobs_unlinked
+            merged.bytes_freed += part.bytes_freed
+            merged.candidates_remaining += part.candidates_remaining
+        return merged
+
+    def reclaim_blobs(
+        self, limit: int | None = None, dry_run: bool = False
+    ) -> tuple[int, int, int]:
+        """Scatter a blob-reclaim batch; sums the per-shard outcomes."""
+        sess = self._current_session()
+        parts = self._scatter(
+            self._fanout_shards(),
+            lambda idx: self._on_shard(
+                idx, lambda db: db.reclaim_blobs(limit, dry_run), sess=sess
+            ),
+        )
+        unlinked = sum(p[0] for p in parts)
+        freed = sum(p[1] for p in parts)
+        remaining = sum(p[2] for p in parts)
+        return (unlinked, freed, remaining)
+
     # -- store protocol (Ref/VersionRef bound to the router) -------------------
 
     def materialize(self, vid: Vid) -> Any:

@@ -133,6 +133,20 @@ FAILPOINTS: tuple[str, ...] = (
     "net.proxy.accept",
     "net.proxy.forward.c2s",
     "net.proxy.forward.s2c",
+    # -- online GC protocol windows (repro.core.gc) -------------------------
+    # Every step of the reclaim protocol is bracketed: crash before the
+    # tombstone is durable (nothing happened), between tombstone and
+    # unlink (recovery repair finishes the unlink), between unlink and
+    # index delete (repair drops the stale index entry), and inside the
+    # recovery repair itself (the double-crash scenarios).
+    "gc.tombstone.pre",
+    "gc.tombstone.post",
+    "gc.unlink.pre",
+    "gc.unlink.post",
+    "gc.index.pre",
+    "gc.index.post",
+    "gc.repair.pre",
+    "gc.repair.post",
 )
 
 #: Failpoints that wrap an actual file write (torn/short writes possible).

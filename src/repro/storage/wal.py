@@ -58,6 +58,10 @@ OP_DELETE = 6
 PREPARE = 7
 COORD_COMMIT = 8
 COORD_END = 9
+# Online GC: "these blob keys are about to be unlinked" (repro.core.gc).
+# Journaled and flushed *before* the files go away, so a crash anywhere
+# between tombstone and index update is repaired at recovery.
+GC_TOMBSTONE = 10
 
 
 @dataclass(frozen=True)
@@ -370,6 +374,11 @@ class RecoveryReport:
     #: txids above this floor, or a retained loser's records could be
     #: mistaken for a fresh winner's on the next recovery.
     max_txid: int = 0
+    #: Blob keys named by ``GC_TOMBSTONE`` records, in log order.  Collected
+    #: from *every* transaction, committed or loser: the tombstone means "an
+    #: unlink may have happened", and the repair pass (see
+    #: ``Database._repair_gc_tombstones``) is idempotent either way.
+    gc_tombstones: tuple[str, ...] = ()
 
 
 def recover(log: LogManager, heap_resolver) -> RecoveryReport:
@@ -407,6 +416,8 @@ def recover(log: LogManager, heap_resolver) -> RecoveryReport:
     prepared: dict[int, tuple] = {}
     decisions: dict[tuple, tuple[int, ...]] = {}
     ended: set[tuple] = set()
+    tombstones: list[str] = []
+    tombstone_seen: set[str] = set()
     for rec in records:
         seen.add(rec.txid)
         if rec.kind in (COMMIT, ABORT_END):
@@ -419,6 +430,11 @@ def recover(log: LogManager, heap_resolver) -> RecoveryReport:
             decisions[gtxid] = tuple(participants)
         elif rec.kind == COORD_END:
             ended.add(serialization.decode(rec.payload))
+        elif rec.kind == GC_TOMBSTONE:
+            for key in serialization.decode(rec.payload):
+                if key not in tombstone_seen:
+                    tombstone_seen.add(key)
+                    tombstones.append(key)
     in_doubt_ids = set(prepared) - finished
     losers = tuple(sorted(seen - finished - in_doubt_ids - {0}))
     loser_set = set(losers)
@@ -430,6 +446,7 @@ def recover(log: LogManager, heap_resolver) -> RecoveryReport:
             g: parts for g, parts in decisions.items() if g not in ended
         },
         max_txid=max(seen, default=0),
+        gc_tombstones=tuple(tombstones),
     )
     in_doubt_ops: dict[int, list[LogRecord]] = {t: [] for t in in_doubt_ids}
 

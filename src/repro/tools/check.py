@@ -145,6 +145,46 @@ def check_database(db: Database, strict: bool = False) -> CheckReport:
         if rid not in referenced:
             report.problems.append(f"orphan payload record at {rid}")
 
+    # 10. content-addressed refcount audit: the blob index must agree
+    # with a from-scratch recount of the payload records, live keys must
+    # have their files, and counts are never negative.
+    from repro.storage import blobs as blobstore
+
+    recounted: dict[str, int] = {}
+    for _rid, payload in versions_heap.scan():
+        if blobstore.is_ref(payload):
+            key, _size = blobstore.decode_ref(payload)
+            recounted[key] = recounted.get(key, 0) + 1
+    entries = store.blob_entries()
+    for key, count in recounted.items():
+        entry = entries.get(key)
+        if entry is None:
+            report.problems.append(
+                f"blob {key[:12]}… referenced by {count} payload record(s) "
+                "but absent from the index"
+            )
+        elif entry[0] != count:
+            report.problems.append(
+                f"blob {key[:12]}…: index refcount {entry[0]} != "
+                f"{count} referencing payload record(s)"
+            )
+    for key, (refcount, _size) in entries.items():
+        if refcount < 0:
+            report.problems.append(
+                f"blob {key[:12]}…: negative refcount {refcount}"
+            )
+        elif refcount > 0:
+            if key not in recounted:
+                report.problems.append(
+                    f"blob {key[:12]}…: refcount {refcount} but no payload "
+                    "record references it"
+                )
+            if not store.blobs.exists(key):
+                report.problems.append(
+                    f"blob {key[:12]}…: live (refcount {refcount}) but its "
+                    "content file is missing"
+                )
+
     # 4. cluster membership symmetric with the object table.
     cluster_oids = set()
     for rid, payload in clusters_heap.scan():
@@ -248,3 +288,35 @@ def _check_strict(db: Database, report: CheckReport) -> None:
                 f"object {oid!r} is above the ode.oid counter ({next_oid}); "
                 f"its id could be re-issued"
             )
+
+    # 10 (strict): the durable blob index round-trips and matches the
+    # in-memory one, and no content file lacks an index record entirely
+    # (runtime sweeps cover aborts; recovery repair covers crashes).
+    blobs_heap = catalog.ensure_heap("ode.blobs")
+    durable_blobs: dict[str, tuple[int, int]] = {}
+    for rid, payload in blobs_heap.scan():
+        try:
+            key, refcount, size = serialization.decode(payload)
+        except (OdeError, ValueError, TypeError) as exc:
+            report.problems.append(f"blob-index record {rid} undecodable: {exc}")
+            continue
+        if key in durable_blobs:
+            report.problems.append(
+                f"blob {key[:12]}… has duplicate index records"
+            )
+            continue
+        durable_blobs[key] = (refcount, size)
+    in_memory = store.blob_entries()
+    if durable_blobs != in_memory:
+        extra = set(durable_blobs) ^ set(in_memory)
+        diff = extra or {
+            k for k in durable_blobs if durable_blobs[k] != in_memory[k]
+        }
+        report.problems.append(
+            f"blob index diverges between disk and memory for "
+            f"{sorted(k[:12] for k in diff)}"
+        )
+    for key in store.orphan_blob_keys():
+        report.problems.append(
+            f"blob file {key[:12]}… has no index record (leaked content)"
+        )

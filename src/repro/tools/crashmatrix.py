@@ -46,7 +46,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro import Database, PersistentObject, persistent
-from repro.core.identity import Oid
+from repro.core.identity import Oid, Vid
 from repro.errors import SerializationError
 from repro.shard import ShardedDatabase
 from repro.storage import faults, serialization
@@ -67,6 +67,12 @@ ROUNDS = 8
 #: exceed one page (forcing spanning records) and shrink-then-grow cycles
 #: force in-page compaction.
 BLOB_CHUNK = 1300
+
+#: newversions per explicit-transaction batch.  Graph state costs ~25
+#: bytes per node in the object table, so two batches push that record
+#: past one page -- the spanning/compaction paths that inline payloads
+#: used to reach before payloads moved to the content-addressed store.
+HISTORY_BATCH = 85
 
 _JOIN_TIMEOUT = 60.0
 
@@ -312,14 +318,20 @@ class _Worker:
             model = dict(item.committed, val=val)
             self._attempt(item, model, lambda: setattr(item.ref, "val", val))
         elif op == 1:
-            # Explicit transaction: newversion + write (two logged ops).
+            # Explicit transaction: a *batch* of newversions + a write.
+            # Version payloads are content-addressed (fixed-size heap
+            # refs), so the record that grows with use is the object
+            # table's graph-state entry -- the batches push it past a
+            # page (forcing spanning + in-page compaction) the way big
+            # inline payloads used to.
             val = 1000 * (self.wid + 1) + 200 + j
             model = dict(item.committed, val=val)
-            model["versions"] += 1
+            model["versions"] += HISTORY_BATCH
 
             def txn_fn() -> None:
                 with db.transaction():
-                    db.newversion(item.ref)
+                    for _ in range(HISTORY_BATCH):
+                        db.newversion(item.ref)
                     item.ref.val = val
 
             self._attempt(item, model, txn_fn)
@@ -351,16 +363,21 @@ class _Worker:
 
             self._attempt(item, model, sp_fn)
         else:
-            # Prune the oldest version once history is deep enough.
-            if item.committed["versions"] > 2:
-                model = dict(item.committed)
-                model["versions"] -= 1
+            # Prune the two oldest versions once history is deep enough
+            # (exercises heap.delete on the version-index records).
+            if item.committed["versions"] > 3:
+                # Each pdelete is its own autocommit, so each gets its
+                # own ledger attempt (a crash between them is a valid
+                # intermediate state).
+                for _ in range(2):
+                    model = dict(item.committed)
+                    model["versions"] -= 1
 
-                def prune_fn() -> None:
-                    versions = db.versions(item.ref)
-                    db.pdelete(versions[0])
+                    def prune_fn() -> None:
+                        versions = db.versions(item.ref)
+                        db.pdelete(versions[0])
 
-                self._attempt(item, model, prune_fn)
+                    self._attempt(item, model, prune_fn)
             else:
                 val = 1000 * (self.wid + 1) + 400 + j
                 model = dict(item.committed, val=val)
@@ -892,6 +909,285 @@ def run_twopc_matrix(
     return report
 
 
+# -- the GC matrix (retention pruning + blob reclaim; repro.core.gc) ----------
+
+_GC_OBJECTS = 4
+_GC_VERSIONS = 10
+_GC_KEEP = 3
+
+#: Reclaim-protocol windows armed while the *workload* runs a GC.  The
+#: ``gc.repair.*`` windows are deliberately absent: repair fires at every
+#: database open (the orphan sweep is unconditional), so arming them here
+#: would crash the workload's own setup open -- they are exercised as
+#: ``recovery_failpoint`` double-crash scenarios instead.
+_GC_CRASH_HITS: dict[str, tuple[int, ...]] = {
+    # Once per reclaim batch: hit=2 lands on the second tombstone, i.e.
+    # after one batch already committed its index deletes.
+    "gc.tombstone.pre": (1, 2),
+    "gc.tombstone.post": (1, 2),
+    # Once per key: hit=1 is the batch's first unlink (tombstone durable,
+    # nothing unlinked yet); hit=5 is deep inside a batch, files and
+    # index records interleaved across the crash point.
+    "gc.unlink.pre": (1, 5),
+    "gc.unlink.post": (1, 5),
+    "gc.index.pre": (1, 5),
+    "gc.index.post": (1, 5),
+}
+
+
+def enumerate_gc_scenarios(smoke: bool = False) -> list[Scenario]:
+    """Crash scenarios covering every blob-reclaim protocol window.
+
+    The double-crash entries interrupt the *repair* of an interrupted
+    reclaim: the first before any repair action ran, the second after
+    repair finished but before its WAL truncate could persist -- a clean
+    third open must repair again (repair is idempotent) and converge.
+    """
+    scenarios: list[Scenario] = []
+    for failpoint, hits in _GC_CRASH_HITS.items():
+        assert failpoint in FAILPOINTS, failpoint
+        for hit in hits:
+            scenarios.append(Scenario(failpoint, "crash", hit=hit))
+    scenarios.append(
+        Scenario(
+            "gc.unlink.post", "crash", hit=3, recovery_failpoint="gc.repair.pre"
+        )
+    )
+    scenarios.append(
+        Scenario(
+            "gc.index.pre", "crash", hit=3, recovery_failpoint="gc.repair.post"
+        )
+    )
+    if smoke:
+        picked: dict[str, Scenario] = {}
+        for scenario in scenarios:
+            picked.setdefault(scenario.failpoint, scenario)
+        picked["double"] = next(
+            s for s in scenarios if s.recovery_failpoint is not None
+        )
+        scenarios = list(picked.values())
+    return scenarios
+
+
+@dataclass
+class _GcLedger:
+    """What the GC workload promised before the fault fired.
+
+    ``keep`` holds, per object, the serials retention must preserve (the
+    latest, the last ``_GC_KEEP``, and any tagged serial); every other
+    serial is *doomed* -- the collector may have deleted it, or the crash
+    may have left it behind.  Recovered state is valid iff each object's
+    surviving serials satisfy ``keep <= survivors <= all``.
+    """
+
+    oid_values: list[int] = field(default_factory=list)
+    #: oid value -> serial -> the val written at that serial.
+    vals: dict[int, dict[int, int]] = field(default_factory=dict)
+    keep: dict[int, set[int]] = field(default_factory=dict)
+    all_serials: dict[int, set[int]] = field(default_factory=dict)
+    #: True once every write (and the retention/tag setup) is committed;
+    #: the armed faults fire inside run_gc, after this point.
+    setup_done: bool = False
+
+
+def _run_gc_workload(path: Path) -> _GcLedger:
+    """Build doomed history, then collect it until the armed fault fires."""
+    from repro.core.gc import RetentionPolicy
+
+    ledger = _GcLedger()
+    try:
+        db = Database(path, pool_size=8)
+        refs = []
+        for i in range(_GC_OBJECTS):
+            ref = db.pnew(Item(tag=i, val=i * 1000))
+            refs.append(ref)
+            oid = ref.oid.value
+            ledger.oid_values.append(oid)
+            ledger.vals[oid] = {1: i * 1000}
+        db.set_retention(Item, RetentionPolicy(keep_last_n=_GC_KEEP))
+        for i, ref in enumerate(refs):
+            oid = ref.oid.value
+            for serial in range(2, _GC_VERSIONS + 1):
+                db.newversion(ref)
+                val = i * 1000 + serial  # distinct payload -> distinct blob
+                ref.val = val
+                ledger.vals[oid][serial] = val
+        # One tagged version outside the keep-last window: keep_tagged
+        # must shield it from the sweep.
+        db.tag_version(db.versions(refs[0])[1], "pinned")
+        for i, oid in enumerate(ledger.oid_values):
+            serials = set(ledger.vals[oid])
+            ledger.all_serials[oid] = serials
+            keep = set(sorted(serials)[-_GC_KEEP:])
+            if i == 0:
+                keep.add(2)  # the tagged serial
+            ledger.keep[oid] = keep
+        db.checkpoint()
+        ledger.setup_done = True
+        # Small batches -> several tombstone/unlink/index rounds, so the
+        # armed window is crossed with committed batches on either side.
+        for _ in range(6):
+            report = db.run_gc(batch_limit=5)
+            if report.candidates_remaining == 0 and report.blobs_unlinked == 0:
+                break
+        if not faults.is_crashed():
+            db.close()
+    except (SimulatedCrash, InjectedFaultError):
+        pass  # the simulated machine is dead; leave the files as they lie
+    return ledger
+
+
+def _blob_leaks(db: Database) -> list[str]:
+    """Content files with no index record (must be none after repair)."""
+    return [key[:12] for key in db.store.orphan_blob_keys()]
+
+
+def _verify_gc(db: Database, ledger: _GcLedger, problems: list[str]) -> None:
+    """Retention safety: kept versions survive with their exact payloads."""
+    for oid_value in ledger.oid_values:
+        oid = Oid(oid_value)
+        if not db.object_exists(oid):
+            problems.append(f"object oid {oid_value} lost by the collector")
+            continue
+        survivors = {v.vid.serial for v in db.versions(oid)}
+        keep = ledger.keep[oid_value]
+        if not keep <= survivors:
+            problems.append(
+                f"oid {oid_value}: retained serials {sorted(keep - survivors)} "
+                f"deleted (survivors {sorted(survivors)})"
+            )
+        if not survivors <= ledger.all_serials[oid_value]:
+            problems.append(
+                f"oid {oid_value}: phantom serials "
+                f"{sorted(survivors - ledger.all_serials[oid_value])}"
+            )
+        for serial in survivors & ledger.all_serials[oid_value]:
+            obj = db.materialize(Vid(oid, serial))
+            expected = ledger.vals[oid_value][serial]
+            if obj.val != expected:
+                problems.append(
+                    f"oid {oid_value} serial {serial}: val {obj.val!r}, "
+                    f"expected {expected!r}"
+                )
+
+
+def _gc_convergence_probe(
+    db: Database, ledger: _GcLedger, problems: list[str]
+) -> None:
+    """Post-recovery GC must finish the job: exact keep set, no debris."""
+    try:
+        for _ in range(4):
+            report = db.run_gc(batch_limit=64)
+            if report.candidates_remaining == 0:
+                break
+        else:
+            problems.append(
+                f"reclaim did not drain: {report.candidates_remaining} "
+                f"candidate(s) remain after 4 passes"
+            )
+        for oid_value in ledger.oid_values:
+            survivors = {v.vid.serial for v in db.versions(Oid(oid_value))}
+            if survivors != ledger.keep[oid_value]:
+                problems.append(
+                    f"oid {oid_value}: post-recovery GC kept "
+                    f"{sorted(survivors)}, retention demands "
+                    f"{sorted(ledger.keep[oid_value])}"
+                )
+        leaks = _blob_leaks(db)
+        if leaks:
+            problems.append(f"blob files leaked after converged GC: {leaks}")
+        stats = db.stats()
+        if stats["blobs.count"] != stats["blobs.live"]:
+            problems.append(
+                f"converged GC left {stats['blobs.count'] - stats['blobs.live']} "
+                f"zero-ref index entries"
+            )
+    except Exception as exc:  # noqa: BLE001 - any failure is a finding
+        problems.append(f"post-recovery GC probe failed: {exc!r}")
+
+
+def run_gc_scenario(base_dir: Path, scenario: Scenario) -> ScenarioResult:
+    """One GC workload under ``scenario``'s fault, then recover and verify."""
+    path = base_dir / scenario.name.replace(":", "_").replace("-", "_")
+    injector = faults.activate(scenario.plan())
+    try:
+        ledger = _run_gc_workload(path)
+        fired = bool(injector.fired)
+        crashed = injector.crashed
+    finally:
+        faults.deactivate()
+
+    result = ScenarioResult(scenario, fired=fired, crashed=crashed)
+    if not fired:
+        result.problems.append(
+            f"failpoint {scenario.failpoint} hit {scenario.hit} never fired"
+        )
+        return result
+    if not ledger.setup_done:
+        result.problems.append("fault fired before the GC ran (setup crashed)")
+        return result
+
+    # Optional second crash while tombstone repair itself runs.
+    if scenario.recovery_failpoint is not None:
+        plan2 = FaultPlan().crash(scenario.recovery_failpoint, hit=1)
+        injector2 = faults.activate(plan2)
+        try:
+            db = Database(path)
+            db.close()  # repair never reached the second failpoint
+        except SimulatedCrash:
+            result.recovery_crashed = True
+        finally:
+            faults.deactivate()
+
+    # Clean reopen: repair must complete and the result must check out.
+    try:
+        db = Database(path)
+    except Exception as exc:  # noqa: BLE001 - unrecoverable = the finding
+        result.problems.append(f"reopen after crash failed: {exc!r}")
+        return result
+    try:
+        check = check_database(db, strict=True)
+        result.problems.extend(f"strict check: {p}" for p in check.problems)
+        leaks = _blob_leaks(db)
+        if leaks:
+            result.problems.append(f"blob files leaked past repair: {leaks}")
+        _verify_gc(db, ledger, result.problems)
+        _gc_convergence_probe(db, ledger, result.problems)
+        _usability_probe(db, result.problems)
+    finally:
+        db.close()
+    return result
+
+
+def run_gc_matrix(
+    base_dir: Path | None = None,
+    scenarios: list[Scenario] | None = None,
+    verbose: bool = False,
+) -> MatrixReport:
+    """Run every GC scenario; each gets a fresh database directory."""
+    if scenarios is None:
+        scenarios = enumerate_gc_scenarios()
+    report = MatrixReport()
+    tmp = None
+    if base_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="crashmatrix-gc-")
+        base_dir = Path(tmp.name)
+    try:
+        for scenario in scenarios:
+            result = run_gc_scenario(base_dir, scenario)
+            report.results.append(result)
+            if verbose:
+                status = "ok" if result.ok else "FAIL"
+                note = "fired" if result.fired else "not reached"
+                print(f"[{status}] {scenario.name} ({note})", flush=True)
+                for problem in result.problems:
+                    print(f"    - {problem}", flush=True)
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    return report
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="crashmatrix", description="fault-injection crash matrix"
@@ -904,6 +1200,10 @@ def main(argv: list[str] | None = None) -> int:
         "--twopc", action="store_true",
         help="run the cross-shard 2PC matrix instead of the single-node one",
     )
+    parser.add_argument(
+        "--gc", action="store_true",
+        help="run the blob-reclaim GC matrix instead of the single-node one",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     parser.add_argument(
         "--dir", type=Path, default=None,
@@ -913,6 +1213,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.twopc:
         scenarios = enumerate_twopc_scenarios(smoke=args.smoke)
         report = run_twopc_matrix(args.dir, scenarios, verbose=args.verbose)
+    elif args.gc:
+        scenarios = enumerate_gc_scenarios(smoke=args.smoke)
+        report = run_gc_matrix(args.dir, scenarios, verbose=args.verbose)
     else:
         scenarios = enumerate_scenarios(smoke=args.smoke)
         report = run_matrix(args.dir, scenarios, verbose=args.verbose)

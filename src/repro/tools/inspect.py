@@ -102,6 +102,21 @@ class DatabaseSummary:
                 f"{get('shard.snap.cuts', 0)} global cut(s) "
                 f"({get('shard.snap.degraded_cuts', 0)} degraded)"
             )
+        if "blobs.count" in self.counters:
+            # The content-addressed payload store: dedup efficiency and
+            # how much displaced content awaits the collector.
+            get = self.counters.get
+            lines.append(
+                f"  blobs: {get('blobs.live', 0)}/{get('blobs.count', 0)} "
+                f"live ({get('blobs.live_bytes', 0)} bytes, "
+                f"{get('blobs.logical_bytes', 0)} logical), "
+                f"{get('blobs.dedup_hits', 0)} dedup hit(s), "
+                f"{get('blobs.pending_reclaim', 0)} pending reclaim; "
+                f"gc: {get('gc.runs', 0)} run(s), "
+                f"{get('gc.versions_deleted', 0)} version(s) pruned, "
+                f"{get('gc.blobs_unlinked', 0)} blob(s) / "
+                f"{get('gc.bytes_freed', 0)} byte(s) freed"
+            )
         lines += [
             f"  policy: {self.storage_policy}",
             f"  data pages: {self.data_pages}  wal bytes: {self.wal_bytes}",

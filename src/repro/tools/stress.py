@@ -23,6 +23,12 @@ workload shapes most likely to deadlock, starve, or lose updates:
   never go backwards for any reader), that every pinned view is
   internally consistent, and -- via a final snapshot -- that no
   acknowledged increment was lost.
+* ``gc_churn`` (``--gc-churn``) -- writers churn version history under a
+  retention policy while snapshot readers scan and a dedicated thread
+  runs the online collector continuously.  Verifies read-your-acked-
+  writes after every commit, that no reader ever observes a missing
+  blob, monotone collector progress, and exact post-convergence
+  retention (every object at its keep-last-N floor, no zero-ref debris).
 * ``server`` (``--server``) -- the same invariants *over the wire*: an
   in-process :class:`~repro.net.server.ServerThread` serves 512
   concurrent client connections, each driving full wire transactions
@@ -381,6 +387,164 @@ def _scenario_snapshot_readers(
     return result
 
 
+def _scenario_gc_churn(path: Path, threads: int, rounds: int) -> ScenarioResult:
+    """Writers churn version history while the online GC collects it.
+
+    Half the threads rewrite their own versioned counters (every write a
+    ``newversion`` + distinct payload, so history -- and displaced blob
+    content -- grows continuously) under a ``keep_last_n`` retention
+    policy; the rest continuously pin snapshots and materialize the
+    latest version of every object; one dedicated thread runs
+    ``db.run_gc`` in a loop the whole time.  Verifies:
+
+    1. **read-your-acked-writes** -- each writer reads its own object
+       back immediately after every acknowledged commit and must see the
+       value it wrote (the collector never eats an acked write);
+    2. **no missing blobs** -- no reader or writer ever observes a
+       ``BlobMissingError`` (reclaim never unlinks content a live reader
+       can reach);
+    3. **monotone GC progress** -- the collector's deleted-versions
+       counter never decreases and the final convergence run drains the
+       candidate set to zero, leaving exactly the retention keep set.
+    """
+    from repro.core.gc import RetentionPolicy
+    from repro.errors import BlobMissingError
+
+    result = ScenarioResult("gc_churn", threads, rounds)
+    writers = max(1, threads // 2)
+    readers = max(1, threads - writers - 1)
+    keep = 3
+    with Database(path, lock_timeout=LOCK_TIMEOUT) as db:
+        db.set_retention(Counter, RetentionPolicy(keep_last_n=keep))
+        refs = [db.pnew(Counter(tag=i)) for i in range(writers)]
+        oids = [ref.oid for ref in refs]
+        committed = [0] * writers
+        acked = threading.Semaphore(0)  # one release per acknowledged commit
+        done = threading.Event()
+
+        def writer(wid: int) -> None:
+            ref = refs[wid]  # private object: churn, not lock contention
+            released = 0
+            try:
+                for j in range(rounds):
+                    val = wid * 1_000_000 + j
+
+                    def rewrite() -> None:
+                        db.newversion(ref)
+                        ref.val = val
+
+                    db.run_transaction(rewrite, max_attempts=40)
+                    committed[wid] += 1
+                    acked.release()
+                    released += 1
+                    try:
+                        got = ref.val
+                    except BlobMissingError as exc:
+                        result.problems.append(
+                            f"writer {wid}: acked write unreadable "
+                            f"(BlobMissingError {exc})"
+                        )
+                        return
+                    if got != val:
+                        result.problems.append(
+                            f"writer {wid}: read-your-acked-writes broken "
+                            f"(wrote {val}, read {got})"
+                        )
+                        return
+            finally:
+                # An early return (a recorded problem, a raised error)
+                # must still unblock the closer below.
+                if released < rounds:
+                    acked.release(rounds - released)
+
+        def reader(rid: int) -> None:
+            while not done.is_set():
+                try:
+                    with db.snapshot() as snap:
+                        for oid in oids:
+                            snap.materialize(snap.latest_vid(oid))
+                except BlobMissingError as exc:
+                    result.problems.append(
+                        f"reader {rid}: BlobMissingError surfaced ({exc})"
+                    )
+                    return
+
+        def collector() -> None:
+            last = 0
+            while not done.is_set():
+                report = db.run_gc(batch_limit=8)
+                total = db.stats()["gc.versions_deleted"]
+                if total < last:
+                    result.problems.append(
+                        f"GC progress went backwards ({total} < {last})"
+                    )
+                    return
+                last = total
+                if report.versions_deleted == 0 and report.blobs_unlinked == 0:
+                    time.sleep(0.002)  # idle pass: let the writers refill
+
+        def worker(wid: int) -> None:
+            if wid < writers:
+                writer(wid)
+            elif wid < writers + readers:
+                reader(wid - writers)
+            else:
+                collector()
+
+        # Writers signal completion through the semaphore; flip ``done``
+        # once every acknowledged commit is in so the readers and the
+        # collector wind down.
+        def closer() -> None:
+            for _ in range(writers * rounds):
+                acked.acquire()
+            done.set()
+
+        stop = threading.Thread(target=closer, name="stress-gc-closer")
+        stop.start()
+        try:
+            _run_workers(result, worker, writers + readers + 1)
+        finally:
+            done.set()
+            stop.join(timeout=_JOIN_TIMEOUT)
+
+        # Convergence: a quiet database drains completely in two passes
+        # (displacement publishes on the first, reclaim eligibility on
+        # the next); allow a couple extra for snapshot-epoch stragglers.
+        for _ in range(4):
+            report = db.run_gc(batch_limit=256)
+            if report.candidates_remaining == 0:
+                break
+        else:
+            result.problems.append(
+                f"reclaim did not drain: {report.candidates_remaining} "
+                f"candidate(s) remain after the workload went quiet"
+            )
+        result.commits = sum(committed)
+        for wid, ref in enumerate(refs):
+            if ref.val != wid * 1_000_000 + (rounds - 1):
+                result.problems.append(
+                    f"writer {wid}: final value {ref.val} != last acked write"
+                )
+            versions = db.version_count(ref)
+            if versions != keep:
+                result.problems.append(
+                    f"writer {wid}: {versions} versions survive, retention "
+                    f"demands exactly {keep}"
+                )
+        if db.stats()["gc.versions_deleted"] == 0:
+            result.problems.append(
+                "the collector never deleted anything -- churn misconfigured?"
+            )
+        stats = db.stats()
+        if stats["blobs.count"] != stats["blobs.live"]:
+            result.problems.append(
+                f"{stats['blobs.count'] - stats['blobs.live']} zero-ref "
+                f"index entries remain after convergence"
+            )
+        _finish(db, result)
+    return result
+
+
 #: Connection count for the ``server`` scenario.  The acceptance floor
 #: is 500 live sessions; 512 keeps it a round power of two above it.
 SERVER_CONNECTIONS = 512
@@ -534,6 +698,12 @@ _SERVER_SCENARIOS = {
     "server": _scenario_server,
 }
 
+#: Opt-in (``--gc-churn``): writers + snapshot readers vs. the online
+#: collector.  Separate so the default set is stable.
+_GC_SCENARIOS = {
+    "gc_churn": _scenario_gc_churn,
+}
+
 
 # -- the harness -------------------------------------------------------------
 
@@ -564,12 +734,14 @@ def run_stress(
     verbose: bool = False,
     snapshots: bool = False,
     server: bool = False,
+    gc_churn: bool = False,
 ) -> StressReport:
     """Run every scenario against a fresh database directory.
 
     ``snapshots=True`` adds the readers-vs-writers snapshot scenarios;
-    ``server=True`` adds the 512-connection wire-protocol swarm.  Both
-    ride on top of the default set.
+    ``server=True`` adds the 512-connection wire-protocol swarm;
+    ``gc_churn=True`` adds the online-GC churn scenario.  All ride on
+    top of the default set.
     """
     report = StressReport()
     tmp = None
@@ -581,6 +753,8 @@ def run_stress(
         scenarios.update(_SNAPSHOT_SCENARIOS)
     if server:
         scenarios.update(_SERVER_SCENARIOS)
+    if gc_churn:
+        scenarios.update(_GC_SCENARIOS)
     try:
         for name, scenario in scenarios.items():
             result = scenario(base_dir / name, threads, rounds)
@@ -613,6 +787,10 @@ def main(argv: list[str] | None = None) -> int:
         "--server", action="store_true",
         help="also run the 512-connection wire-protocol swarm",
     )
+    parser.add_argument(
+        "--gc-churn", action="store_true",
+        help="also run the online-GC vs. writers/readers churn scenario",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     parser.add_argument(
         "--dir", type=Path, default=None,
@@ -624,6 +802,7 @@ def main(argv: list[str] | None = None) -> int:
     report = run_stress(
         args.dir, threads=threads, rounds=rounds,
         verbose=args.verbose, snapshots=args.snapshots, server=args.server,
+        gc_churn=args.gc_churn,
     )
     print(report.render())
     return 0 if report.ok else 1

@@ -157,6 +157,71 @@ class ModelStore:
         self._object(key)
         del self._objects[key]
 
+    # -- retention --------------------------------------------------------------
+
+    def doomed(
+        self,
+        key: Key,
+        keep_last_n: int | None = None,
+        keep_days: float | None = None,
+        keep_tagged: bool = True,
+        tags: Iterable[int] = (),
+        now: float | None = None,
+    ) -> list[int]:
+        """Serials a retention policy displaces, oldest first (pure).
+
+        The reference semantics, stated independently of the kernel's
+        :func:`repro.core.gc.doomed_versions`: a wholly inactive policy
+        (neither ``keep_last_n`` nor ``keep_days`` set) dooms nothing;
+        the temporally latest version always survives; the protection
+        rules are a *union* (recent by count, recent by age, tagged --
+        any one of them shields a version).
+        """
+        if keep_last_n is None and keep_days is None:
+            return []
+        obj = self._object(key)
+        chain = self._chain(key)
+        if len(chain) <= 1:
+            return []
+        if now is None:
+            now = self._clock
+        tagged = set(tags) if keep_tagged else set()
+        out: list[int] = []
+        for position, serial in enumerate(chain):
+            if serial == chain[-1]:
+                continue  # the latest always survives
+            if keep_last_n is not None and position >= len(chain) - keep_last_n:
+                continue
+            if keep_days is not None:
+                if obj.versions[serial].ctime >= now - keep_days * 86400.0:
+                    continue
+            if serial in tagged:
+                continue
+            out.append(serial)
+        return out
+
+    def apply_retention(
+        self,
+        key: Key,
+        keep_last_n: int | None = None,
+        keep_days: float | None = None,
+        keep_tagged: bool = True,
+        tags: Iterable[int] = (),
+        now: float | None = None,
+    ) -> list[int]:
+        """Delete what :meth:`doomed` selects; returns the deleted serials."""
+        doomed = self.doomed(
+            key,
+            keep_last_n=keep_last_n,
+            keep_days=keep_days,
+            keep_tagged=keep_tagged,
+            tags=tags,
+            now=now,
+        )
+        for serial in doomed:
+            self.vdelete(key, serial)
+        return doomed
+
     # -- queries ---------------------------------------------------------------
 
     def exists(self, key: Key) -> bool:

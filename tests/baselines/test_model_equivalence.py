@@ -184,3 +184,73 @@ def test_encore_baseline_matches_via_version_sets():
     # Documented delta: non-HBE objects are rejected outright.
     with pytest.raises(BaselineError):
         store.create(object())
+
+
+# -- retention: the kernel's collector vs. the reference model ----------------
+
+#: Policy grid for the differential retention trace.  ``keep_days`` uses
+#: version *index* distances (the trace below assigns ctimes 1..N), so
+#: ``days`` here means "versions of age" -- the arithmetic is identical.
+_RETENTION_GRID = [
+    {"keep_last_n": 3, "keep_days": None, "keep_tagged": True},
+    {"keep_last_n": 1, "keep_days": None, "keep_tagged": True},
+    {"keep_last_n": 3, "keep_days": None, "keep_tagged": False},
+    {"keep_last_n": None, "keep_days": 4 / 86400.0, "keep_tagged": True},
+    {"keep_last_n": 2, "keep_days": 6 / 86400.0, "keep_tagged": True},
+    {"keep_last_n": None, "keep_days": None, "keep_tagged": True},  # inactive
+]
+
+
+@pytest.mark.parametrize("policy_kw", _RETENTION_GRID)
+def test_retention_matches_model_exactly(tmp_path, policy_kw):
+    """Differential retention: for each policy in the grid, the kernel's
+    doomed-version selection and its post-GC survivors must equal the
+    reference model's, version for version, content for content."""
+    from repro.core import gc as gc_engine
+    from repro.core.gc import RetentionPolicy
+    from repro.verify.model import ModelStore
+
+    n_versions = 8
+    tagged_serial = 2
+
+    db = Database(tmp_path / "db")
+    model = ModelStore()
+    try:
+        ref = db.pnew(EquivCell(0))
+        for serial in range(2, n_versions + 1):
+            db.newversion(ref)
+            ref.v = serial * 10
+        db.tag_version(db.deref(Vid(ref.oid, tagged_serial)), "milestone")
+
+        # Mirror the kernel's actual ctimes into the model so keep_days
+        # horizons compute over the same timeline.
+        nodes = list(db.store.graph(ref.oid).walk_temporal())
+        model.pnew("x", 0, ctime=nodes[0].ctime)
+        for node in nodes[1:]:
+            model.newversion("x", ctime=node.ctime)
+            model.write("x", node.serial * 10)
+        now = nodes[-1].ctime + 1.0
+
+        # The pure selections agree, in order.
+        policy = RetentionPolicy(**policy_kw)
+        doomed = gc_engine.doomed_versions(
+            db, ref.oid, policy, db.version_tags(ref), now
+        )
+        model_doomed = model.doomed("x", tags=[tagged_serial], now=now, **policy_kw)
+        assert [vid.serial for vid in doomed] == model_doomed
+
+        # Applying them agrees too: survivors and payloads match.
+        db.set_retention(ref, policy)
+        db.run_gc(now=now)
+        model.apply_retention("x", tags=[tagged_serial], now=now, **policy_kw)
+        survivors = [vr.vid.serial for vr in db.versions(ref)]
+        assert survivors == model.serials("x")
+        for serial in survivors:
+            assert db.deref(Vid(ref.oid, serial)).v == model.read("x", serial)
+
+        # Retention never dooms the latest, and tags shield iff keep_tagged.
+        assert n_versions in survivors
+        if policy.active and policy_kw["keep_tagged"]:
+            assert tagged_serial in survivors
+    finally:
+        db.close()

@@ -101,9 +101,15 @@ def test_stats_shape(db):
 
 
 def test_small_buffer_pool_still_correct(tmp_path):
-    """With a tiny pool, evictions happen constantly; results must not change."""
+    """With a tiny pool, evictions happen constantly; results must not change.
+
+    Payload bytes live in the blob store (content-addressed), so the heap
+    records themselves are small; the unique per-object names below keep
+    enough distinct object-table and version-index records to overflow an
+    8-page pool anyway.
+    """
     db = Database(tmp_path / "tiny", pool_size=8)
-    refs = [db.pnew(Part(f"p{i}" + "x" * 500, i)) for i in range(60)]
+    refs = [db.pnew(Part(f"p{i}" + "x" * 500, i)) for i in range(400)]
     for ref in refs[::3]:
         v = db.newversion(ref)
         v.weight = v.weight + 1000

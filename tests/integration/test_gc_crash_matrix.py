@@ -1,0 +1,68 @@
+"""GC crash-matrix integration tests: fault injection inside the collector.
+
+Runs the blob-reclaim matrix (every ``gc.*`` protocol window, plus the
+double-crash-during-repair scenarios) and asserts the collector's
+contract at every point: strict integrity check clean, every retained
+version durable with its exact payload, no blob content leaked, and the
+post-recovery collector converges to exactly the retention keep set.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.storage import faults
+from repro.tools.crashmatrix import (
+    _GC_CRASH_HITS,
+    Scenario,
+    enumerate_gc_scenarios,
+    run_gc_matrix,
+    run_gc_scenario,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    yield
+    assert faults.active() is None, "a test leaked an active fault injector"
+    faults.deactivate()
+
+
+def test_full_gc_crash_matrix(tmp_path):
+    """The acceptance gate: every reclaim window fires and recovers."""
+    report = run_gc_matrix(tmp_path)
+    failures = [r for r in report.results if not r.ok]
+    detail = "\n".join(f"{r.scenario.name}: {r.problems}" for r in failures)
+    assert not failures, f"gc crash-matrix failures:\n{detail}"
+    assert report.fired_failpoints >= set(_GC_CRASH_HITS), (
+        f"unfired reclaim windows: "
+        f"{sorted(set(_GC_CRASH_HITS) - report.fired_failpoints)}"
+    )
+
+
+def test_gc_matrix_enumerates_double_crash_repair():
+    scenarios = enumerate_gc_scenarios()
+    doubles = [s for s in scenarios if s.recovery_failpoint is not None]
+    assert {s.recovery_failpoint for s in doubles} == {
+        "gc.repair.pre",
+        "gc.repair.post",
+    }, "the matrix must interrupt repair both before and after its work"
+    # Smoke subset: still every workload failpoint, plus one double crash.
+    smoke = enumerate_gc_scenarios(smoke=True)
+    assert {s.failpoint for s in smoke} >= set(_GC_CRASH_HITS)
+    assert any(s.recovery_failpoint for s in smoke)
+    assert len(smoke) < len(scenarios)
+
+
+def test_double_crash_during_gc_repair(tmp_path):
+    """A crash mid-reclaim, then a crash mid-repair: the third open must
+    repair again (tombstones are still in the WAL) and leak nothing."""
+    scenario = Scenario(
+        "gc.unlink.post", "crash", hit=3, recovery_failpoint="gc.repair.pre"
+    )
+    result = run_gc_scenario(Path(tmp_path), scenario)
+    assert result.fired, "the reclaim fault never fired"
+    assert result.recovery_crashed, "repair never reached the second fault"
+    assert result.ok, result.problems

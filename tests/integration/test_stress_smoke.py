@@ -10,7 +10,12 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.tools.stress import _SCENARIOS, _SNAPSHOT_SCENARIOS, run_stress
+from repro.tools.stress import (
+    _GC_SCENARIOS,
+    _SCENARIOS,
+    _SNAPSHOT_SCENARIOS,
+    run_stress,
+)
 
 
 def test_smoke_scale_stress_all_scenarios_pass(tmp_path):
@@ -30,6 +35,17 @@ def test_smoke_scale_stress_with_snapshot_readers(tmp_path):
     assert len(report.results) == len(_SCENARIOS) + len(_SNAPSHOT_SCENARIOS) == 4
     names = {r.name for r in report.results}
     assert "snapshot_readers" in names
+    for result in report.results:
+        assert result.ok, f"{result.name}: {result.problems}"
+        assert result.commits > 0
+    assert report.ok
+
+
+def test_smoke_scale_stress_with_gc_churn(tmp_path):
+    report = run_stress(tmp_path / "stress", threads=4, rounds=8, gc_churn=True)
+    assert len(report.results) == len(_SCENARIOS) + len(_GC_SCENARIOS) == 4
+    names = {r.name for r in report.results}
+    assert "gc_churn" in names
     for result in report.results:
         assert result.ok, f"{result.name}: {result.problems}"
         assert result.commits > 0
